@@ -1,0 +1,108 @@
+// Ablation A2 — COW checkpoint geometry.
+//
+// DESIGN.md's checkpointing choice has two knobs: the page size of the COW
+// heap and the checkpoint interval. This ablation sweeps both on the
+// KV-store workload and reports checkpoint work (pages copied, bytes) and
+// retained storage — the trade the Time Machine actually makes.
+#include <cstdio>
+
+#include "apps/kv_store.hpp"
+#include "bench_util.hpp"
+#include "ckpt/timemachine.hpp"
+#include "common/rng.hpp"
+#include "mem/paged_heap.hpp"
+
+namespace {
+
+using namespace fixd;
+
+void page_size_sweep() {
+  bench::header("page-size sweep: 4 MB heap, 400 random 64B writes per "
+                "checkpoint, 32 checkpoints");
+  bench::row("%-10s %12s %12s %13s %13s %9s", "page", "pages-cowed",
+             "bytes-cowed", "cow/ckpt(ms)", "restore(ms)", "waste");
+  bench::rule();
+  for (std::size_t page : {512u, 1024u, 4096u, 16384u, 65536u}) {
+    mem::PagedHeap h(page);
+    h.resize(4 << 20);
+    Rng rng(7);
+    for (std::uint64_t off = 0; off + 8 <= h.size(); off += page)
+      h.store<std::uint64_t>(off, rng.next_u64());
+    h.reset_stats();
+
+    std::vector<mem::HeapSnapshot> snaps;
+    bench::WallTimer t;
+    for (int ck = 0; ck < 32; ++ck) {
+      snaps.push_back(h.snapshot());
+      for (int wr = 0; wr < 400; ++wr) {
+        std::uint64_t off = rng.next_below(h.size() - 64);
+        std::uint64_t v = rng.next_u64();
+        for (int j = 0; j < 8; ++j)
+          h.store<std::uint64_t>(off + 8 * j, v + j);
+      }
+    }
+    double ckpt_ms = t.ms() / 32.0;
+    t.reset();
+    h.restore(snaps.front());
+    double restore_ms = t.ms();
+    double waste = h.stats().bytes_cowed
+                       ? static_cast<double>(h.stats().bytes_cowed) /
+                             (32.0 * 400.0 * 64.0)
+                       : 0.0;
+    bench::row("%-10zu %12llu %12llu %13.3f %13.3f %8.1fx", page,
+               (unsigned long long)h.stats().pages_cowed,
+               (unsigned long long)h.stats().bytes_cowed, ckpt_ms,
+               restore_ms, waste);
+  }
+}
+
+void interval_sweep() {
+  bench::header("checkpoint-interval sweep: kv-store 3 procs, 300 ops");
+  bench::row("%-18s %9s %14s %13s %9s", "policy", "ckpts", "retained(KB)",
+             "run-ms", "rb-depth");
+  bench::rule();
+  struct P {
+    const char* name;
+    bool cic;
+    std::uint64_t interval;
+  } policies[] = {
+      {"cic (every recv)", true, 0}, {"periodic/2", false, 2},
+      {"periodic/4", false, 4},      {"periodic/16", false, 16},
+      {"periodic/64", false, 64},
+  };
+  for (const auto& p : policies) {
+    apps::KvConfig cfg;
+    cfg.total_ops = 300;
+    cfg.key_space = 64;
+    auto w = apps::make_kv_world(3, 2, cfg);
+    ckpt::TimeMachineOptions topt;
+    topt.cic = p.cic;
+    topt.periodic_interval = p.interval;
+    topt.store_capacity = 1 << 12;
+    ckpt::TimeMachine tm(*w, topt);
+    tm.attach();
+    bench::WallTimer t;
+    w->run(100000);
+    double ms = t.ms();
+    auto line = tm.compute_line();
+    bench::row("%-18s %9llu %14.1f %13.2f %9zu", p.name,
+               (unsigned long long)tm.stats().checkpoints,
+               tm.retained_bytes() / 1024.0, ms,
+               line.line.total_rollback());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — ablation: COW checkpoint geometry "
+              "(page size x checkpoint interval)\n");
+  page_size_sweep();
+  interval_sweep();
+  std::printf(
+      "\nShape check: smaller pages copy less per checkpoint but cost more\n"
+      "page-table overhead; denser checkpoints raise storage but shrink\n"
+      "rollback distance — CIC buys zero-domino lines for the same order\n"
+      "of storage as periodic/2.\n");
+  return 0;
+}

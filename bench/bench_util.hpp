@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benches: wall timing and
+// fixed-width table printing, so every bench emits the paper-shaped rows.
+#pragma once
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace fixd::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void rule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+}  // namespace fixd::bench

@@ -1,0 +1,119 @@
+// Figure 2 — The Time Machine: checkpoint and restore cost.
+//
+// Compares the paper's lightweight copy-on-write checkpoints (§4.2:
+// "speculations use a copy-on-write mechanism to build lightweight,
+// incremental checkpoints") against traditional full serialization, across
+// state sizes and mutation (dirty-page) rates. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/paged_heap.hpp"
+
+namespace {
+
+using namespace fixd;
+
+mem::PagedHeap make_heap(std::uint64_t bytes) {
+  mem::PagedHeap h(4096);
+  h.resize(bytes);
+  Rng rng(42);
+  for (std::uint64_t off = 0; off + 8 <= bytes; off += 4096) {
+    h.store<std::uint64_t>(off, rng.next_u64());
+  }
+  return h;
+}
+
+// Traditional checkpoint: serialize the whole state.
+void BM_FullCheckpoint(benchmark::State& state) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::PagedHeap h = make_heap(bytes);
+  std::uint64_t produced = 0;
+  for (auto _ : state) {
+    BinaryWriter w;
+    h.save(w);
+    produced += w.size();
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(produced));
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+
+// COW checkpoint: share the page table; cost is O(pages), not O(bytes).
+void BM_CowCheckpoint(benchmark::State& state) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::PagedHeap h = make_heap(bytes);
+  std::vector<mem::HeapSnapshot> keep;
+  keep.reserve(1024);
+  for (auto _ : state) {
+    keep.push_back(h.snapshot());
+    benchmark::DoNotOptimize(keep.back().page_count());
+    if (keep.size() >= 1024) keep.clear();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes));
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+
+// Steady state: snapshot, then mutate a fraction of pages (the COW tax).
+void BM_CowCheckpointWithDirty(benchmark::State& state) {
+  const std::uint64_t bytes = 4ull << 20;
+  const int dirty_pct = static_cast<int>(state.range(0));
+  mem::PagedHeap h = make_heap(bytes);
+  Rng rng(7);
+  const std::uint64_t pages = bytes / 4096;
+  const std::uint64_t dirty = pages * dirty_pct / 100;
+  mem::HeapSnapshot prev = h.snapshot();
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < dirty; ++i) {
+      std::uint64_t page = rng.next_below(pages);
+      h.store<std::uint64_t>(page * 4096, rng.next_u64());
+    }
+    prev = h.snapshot();  // drops the old snapshot, takes a new one
+    benchmark::DoNotOptimize(prev.page_count());
+  }
+  state.counters["dirty_pct"] = dirty_pct;
+  state.counters["pages_cowed_per_iter"] =
+      benchmark::Counter(static_cast<double>(h.stats().pages_cowed),
+                         benchmark::Counter::kAvgIterations);
+}
+
+// Restore cost: COW restore is page-table assignment.
+void BM_CowRestore(benchmark::State& state) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::PagedHeap h = make_heap(bytes);
+  mem::HeapSnapshot snap = h.snapshot();
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 8; ++i) {
+      h.store<std::uint64_t>(rng.next_below(bytes - 8), rng.next_u64());
+    }
+    state.ResumeTiming();
+    h.restore(snap);
+  }
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+
+// Restore from serialized bytes (the traditional path).
+void BM_FullRestore(benchmark::State& state) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  mem::PagedHeap h = make_heap(bytes);
+  BinaryWriter w;
+  h.save(w);
+  for (auto _ : state) {
+    BinaryReader r(w.bytes());
+    h.load(r);
+    benchmark::DoNotOptimize(h.page_count());
+  }
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullCheckpoint)->Range(64 << 10, 16 << 20);
+BENCHMARK(BM_CowCheckpoint)->Range(64 << 10, 16 << 20);
+BENCHMARK(BM_CowCheckpointWithDirty)->Arg(1)->Arg(5)->Arg(25)->Arg(100);
+BENCHMARK(BM_CowRestore)->Range(64 << 10, 16 << 20);
+BENCHMARK(BM_FullRestore)->Range(64 << 10, 16 << 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Figure 3 — The Investigator: exhaustively finding execution paths that
+// lead to invariant violations.
+//
+// Measures state-space exploration from an initial (or restored) state:
+// states/transitions explored, wall time, time-to-first-violation, and the
+// blowup with process count — the paper's observation that model checking
+// a global state space is "often prohibitively expensive, memory-wise ...
+// more than 5-10 processes" (§2.1), here made concrete.
+#include <cstdio>
+
+#include "apps/token_ring.hpp"
+#include "apps/two_phase_commit.hpp"
+#include "bench_util.hpp"
+#include "mc/sysmodel.hpp"
+
+namespace {
+
+using namespace fixd;
+using bench::WallTimer;
+
+void explore_row(const char* app, std::size_t n, const char* order_name,
+                 mc::SearchOrder order, rt::World& w,
+                 const std::function<void(rt::World&)>& installer,
+                 std::size_t max_states) {
+  mc::SysExploreOptions o;
+  o.order = order;
+  o.max_states = max_states;
+  o.max_depth = 80;
+  o.walk_restarts = 256;
+  o.install_invariants = installer;
+  mc::SystemExplorer ex(w, o);
+  WallTimer t;
+  auto res = ex.explore();
+  double ms = t.ms();
+  bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %10.0f", app, n,
+             order_name, (unsigned long long)res.stats.states,
+             (unsigned long long)res.stats.transitions,
+             res.found_violation() ? "YES" : "no",
+             res.found_violation() ? res.violations[0].depth : 0, ms,
+             ms > 0 ? res.stats.states / ms * 1000.0 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — Figure 3: the Investigator (exhaustive "
+              "path exploration)\n");
+
+  bench::header("Buggy protocols: time-to-first-violation by search order");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
+             "order", "states", "trans", "bug?", "depth", "ms",
+             "states/s");
+  bench::rule();
+
+  struct OrderCase {
+    const char* name;
+    mc::SearchOrder order;
+  } orders[] = {
+      {"bfs", mc::SearchOrder::kBfs},
+      {"dfs", mc::SearchOrder::kDfs},
+      {"random", mc::SearchOrder::kRandomWalk},
+  };
+
+  for (const auto& oc : orders) {
+    apps::TokenRingConfig cfg;
+    cfg.target_rounds = 2;
+    auto w = apps::make_token_ring_world(3, 1, cfg);
+    explore_row("token-ring", 3, oc.name, oc.order, *w,
+                apps::install_token_ring_invariants, 200000);
+  }
+  for (const auto& oc : orders) {
+    apps::TwoPcConfig cfg;
+    cfg.total_txns = 1;
+    auto w = apps::make_two_pc_world(3, 1, cfg);
+    explore_row("2pc", 3, oc.name, oc.order, *w,
+                apps::install_two_pc_invariants, 200000);
+  }
+
+  bench::header("State-space blowup with process count (fixed verified 2pc)");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
+             "order", "states", "trans", "bug?", "depth", "ms",
+             "states/s");
+  bench::rule();
+  for (std::size_t n = 2; n <= 6; ++n) {
+    apps::TwoPcConfig cfg;
+    cfg.total_txns = 1;
+    auto w = apps::make_two_pc_world(n, 2, cfg);
+    explore_row("2pc-v2", n, "bfs", mc::SearchOrder::kBfs, *w,
+                apps::install_two_pc_invariants, 120000);
+  }
+
+  bench::header("Exploration from a mid-run (Time Machine restored) state");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
+             "order", "states", "trans", "bug?", "depth", "ms",
+             "states/s");
+  bench::rule();
+  {
+    apps::TokenRingConfig cfg;
+    cfg.target_rounds = 3;
+    auto w = apps::make_token_ring_world(4, 1, cfg);
+    w->run(8);  // partway in; the Investigator picks up from here
+    explore_row("token-ring*", 4, "bfs", mc::SearchOrder::kBfs, *w,
+                apps::install_token_ring_invariants, 200000);
+  }
+
+  std::printf(
+      "\nShape check (paper): exhaustive exploration finds the scheduling\n"
+      "bugs plain runs miss; state counts grow steeply with N (the 5-10\n"
+      "process feasibility wall); BFS gives the shortest trails.\n");
+  return 0;
+}

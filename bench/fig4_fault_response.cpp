@@ -1,0 +1,118 @@
+// Figure 4 — Response of the FixD mechanism during fault detection.
+//
+// End-to-end pipeline cost, per phase: run-until-detection, rollback to a
+// consistent line, collection of checkpoints+models from the other
+// processes (control-plane messages and bytes — the Fig. 4 exchange),
+// investigation, and healing. One row per application.
+#include <cstdio>
+
+#include "apps/kv_store.hpp"
+#include "apps/leader_election.hpp"
+#include "apps/rep_counter.hpp"
+#include "bench_util.hpp"
+#include "core/fixd.hpp"
+
+namespace {
+
+using namespace fixd;
+
+struct Case {
+  const char* name;
+  std::function<std::unique_ptr<rt::World>()> make;
+  std::function<void(rt::World&)> installer;
+  heal::UpdatePatch patch;
+  mc::SearchOrder order = mc::SearchOrder::kRandomWalk;
+};
+
+void run_case(const Case& c) {
+  auto w = c.make();
+  heal::PatchRegistry patches;
+  patches.add(c.patch);
+  core::FixdOptions o;
+  o.install_invariants = c.installer;
+  o.investigate.order = c.order;
+  o.investigate.max_states = 20000;
+  o.investigate.max_depth = 160;
+  o.investigate.walk_restarts = 64;
+  core::FixdController fixd(*w, o, patches);
+  core::FixdReport rep = fixd.run_protected();
+
+  const core::BugReport* bug = rep.bugs.empty() ? nullptr : &rep.bugs[0];
+  bench::row("%-14s %5s %6zu %7.1f %8.1f %7.1f %11.1f %7.1f %8llu %9llu",
+             c.name, rep.completed ? "yes" : "NO", rep.faults_detected,
+             rep.phases.run_ms, rep.phases.rollback_ms,
+             rep.phases.collect_ms, rep.phases.investigate_ms,
+             rep.phases.heal_ms,
+             (unsigned long long)(bug ? bug->collect.control_messages : 0),
+             (unsigned long long)(bug ? bug->collect.control_bytes : 0));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — Figure 4: fault-response pipeline "
+              "(detect -> rollback -> collect -> investigate -> heal)\n");
+
+  bench::header("Per-application pipeline phases (ms) and Fig.4 exchange");
+  bench::row("%-14s %5s %6s %7s %8s %7s %11s %7s %8s %9s", "app", "done",
+             "faults", "run", "rollback", "collect", "investigate", "heal",
+             "ctl-msgs", "ctl-bytes");
+  bench::rule();
+
+  Case counter{
+      "rep-counter",
+      [] { return apps::make_counter_world(4, 1, apps::CounterConfig{6}); },
+      apps::install_counter_invariants,
+      apps::counter_fix_patch(apps::CounterConfig{6}),
+  };
+  run_case(counter);
+
+  Case election{
+      "election",
+      [] {
+        apps::ElectionConfig cfg;
+        std::uint64_t seed = apps::find_colliding_env_seed(5, cfg);
+        rt::WorldOptions wopts;
+        wopts.env_seed = seed;
+        return apps::make_election_world(5, 1, cfg, wopts);
+      },
+      apps::install_election_invariants,
+      apps::election_fix_patch(apps::ElectionConfig{}),
+  };
+  run_case(election);
+
+  Case kv{
+      "kv-store",
+      [] {
+        apps::KvConfig cfg;
+        cfg.total_ops = 40;
+        cfg.key_space = 2;
+        // A latency pattern known to reorder conflicting writes is found by
+        // scanning; use a deterministic scan here too.
+        for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+          rt::WorldOptions wopts;
+          wopts.net = net::NetworkOptions::reordering();
+          wopts.net.seed = seed * 7919;
+          auto probe = apps::make_kv_world(2, 1, cfg, wopts);
+          if (probe->run(100000).reason == rt::StopReason::kViolation) {
+            return apps::make_kv_world(2, 1, cfg, wopts);
+          }
+        }
+        return apps::make_kv_world(2, 1, cfg);  // unreachable in practice
+      },
+      apps::install_kv_invariants,
+      apps::kv_fix_patch([] {
+        apps::KvConfig cfg;
+        cfg.total_ops = 40;
+        cfg.key_space = 2;
+        return cfg;
+      }()),
+  };
+  run_case(kv);
+
+  std::printf(
+      "\nShape check (paper): detection is cheap; collection cost scales\n"
+      "with checkpoint sizes (bytes column); investigation dominates the\n"
+      "pipeline — which is why FixD bounds it with budgets.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Figure 5 — The Healer: user intervention and dynamic updates fix the
+// distributed application.
+//
+// The paper's two recovery options (§3.4): restart the corrected program
+// from the beginning, or roll back to a safe checkpoint and dynamically
+// update in place, keeping "computation that was correctly performed while
+// executing the faulty program". This bench quantifies the difference:
+// total events to completion and work retained, as a function of how far
+// into the run the fault strikes.
+#include <cstdio>
+
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+#include "ckpt/timemachine.hpp"
+#include "fault/injector.hpp"
+#include "heal/healer.hpp"
+
+namespace {
+
+using namespace fixd;
+
+struct Outcome {
+  bool ok = false;
+  std::uint64_t work_at_fault = 0;
+  std::uint64_t work_retained = 0;
+  std::uint64_t total_steps = 0;
+  double ms = 0;
+};
+
+// Run the buggy ring until the injected double-token fault, then recover
+// with the chosen strategy and finish the workload.
+Outcome run_with_strategy(bool rollback_update, std::uint64_t fault_at,
+                          std::uint64_t rounds) {
+  apps::TokenRingConfig cfg;
+  cfg.target_rounds = rounds;
+  cfg.timeout = 50;
+  auto w = apps::make_token_ring_world(4, 1, cfg);
+
+  ckpt::TimeMachineOptions topt;
+  topt.cic = true;
+  ckpt::TimeMachine tm(*w, topt);
+  tm.attach();
+  rt::WorldSnapshot initial = w->snapshot();
+
+  // The v1 bug needs the timeout race; inject it: force a premature timer by
+  // dropping the token once so the timeout regenerates it while the original
+  // is re-injected... simpler and fully deterministic: corrupt the state so
+  // the invariant trips at `fault_at`.
+  fault::FaultInjector inj;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kCustom;
+  spec.at_step = fault_at;
+  spec.custom = [](rt::World& world) {
+    // Duplicate the in-flight token: the exact double-token state the v1
+    // timeout race produces.
+    for (const net::Message* m : world.network().pending()) {
+      if (m->tag == apps::kTokenTag) {
+        world.network().duplicate(m->id);
+        return;
+      }
+    }
+  };
+  inj.add(spec);
+  inj.attach(*w);
+
+  bench::WallTimer t;
+  Outcome out;
+  rt::RunResult r1 = w->run(1000000);
+  out.total_steps = r1.steps;
+  out.work_at_fault = apps::token_ring_total_work(*w);
+  if (r1.reason != rt::StopReason::kViolation) {
+    // Fault did not trip (e.g. workload ended first): report as-is.
+    out.ok = !w->has_violation();
+    out.work_retained = out.work_at_fault;
+    out.ms = t.ms();
+    return out;
+  }
+
+  inj.detach(*w);
+  heal::PatchRegistry patches;
+  auto patch = apps::token_ring_fix_patch(cfg);
+
+  if (rollback_update) {
+    ProcessId failed =
+        w->violations().front().pid == kNoProcess
+            ? 0
+            : w->violations().front().pid;
+    std::size_t idx = tm.store(failed).size() - 1;
+    tm.rollback_to(failed, idx ? idx - 1 : 0);
+    w->clear_violations();
+    heal::Healer healer(*w, [] {
+      heal::HealOptions ho;
+      ho.require_quiescent_inbound = false;  // rollback point is consistent
+      return ho;
+    }());
+    heal::HealReport hr = healer.apply_all(patch);
+    if (!hr.ok) {
+      out.ok = false;
+      out.ms = t.ms();
+      return out;
+    }
+    out.work_retained = apps::token_ring_total_work(*w);
+  } else {
+    w->restore(initial);
+    w->clear_violations();
+    heal::Healer healer(*w, [] {
+      heal::HealOptions ho;
+      ho.require_quiescent_inbound = false;
+      return ho;
+    }());
+    (void)healer.apply_all(patch);
+    out.work_retained = apps::token_ring_total_work(*w);  // == 0-ish
+  }
+  tm.reset();
+
+  rt::RunResult r2 = w->run(1000000);
+  out.total_steps += r2.steps;
+  out.ok = r2.reason == rt::StopReason::kAllHalted && !w->has_violation();
+  out.ms = t.ms();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — Figure 5: the Healer (restart vs "
+              "rollback + dynamic update)\n");
+
+  const std::uint64_t rounds = 60;
+  bench::header("Token ring, 4 processes, 60 rounds; fault at varying depth");
+  bench::row("%-9s %-18s %5s %10s %10s %10s %8s", "fault@", "strategy",
+             "ok", "work@fault", "retained", "steps", "ms");
+  bench::rule();
+
+  for (std::uint64_t frac : {10, 30, 50, 70, 90}) {
+    std::uint64_t fault_at = rounds * 4 * frac / 100;  // ~steps into the run
+    for (bool rollback : {false, true}) {
+      Outcome o = run_with_strategy(rollback, fault_at, rounds);
+      bench::row("%7llu%% %-18s %5s %10llu %10llu %10llu %8.1f",
+                 (unsigned long long)frac,
+                 rollback ? "rollback+update" : "restart",
+                 o.ok ? "yes" : "NO",
+                 (unsigned long long)o.work_at_fault,
+                 (unsigned long long)o.work_retained,
+                 (unsigned long long)o.total_steps, o.ms);
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper): rollback+update retains nearly all work done\n"
+      "before the fault, so total steps to completion stay flat; restart\n"
+      "pays the full re-execution, growing with fault depth.\n");
+  return 0;
+}

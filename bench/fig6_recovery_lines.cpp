@@ -1,0 +1,139 @@
+// Figure 6 — Safe distributed recovery lines using communication-induced
+// checkpointing.
+//
+// Reproduces the paper's scenario and quantifies the contrast it draws:
+// with independent (periodic) checkpoints, a failure can force rollbacks to
+// cascade (the domino effect); with communication-induced checkpoints
+// (before every receive, the speculation mechanism's policy) the latest
+// line is safe and rollback stays local.
+#include <cstdio>
+
+#include "apps/rep_counter.hpp"
+#include "apps/token_ring.hpp"
+#include "bench_util.hpp"
+#include "ckpt/timemachine.hpp"
+
+namespace {
+
+using namespace fixd;
+
+struct LineStats {
+  double avg_rollback_depth = 0;  ///< checkpoints discarded per process
+  double avg_events_undone = 0;   ///< own events undone per process
+  double avg_ckpts_per_proc = 0;
+  std::uint64_t retained_bytes = 0;
+};
+
+LineStats measure(bool cic, std::uint64_t periodic, std::size_t n,
+                  std::uint64_t seed, std::uint64_t steps) {
+  auto w = apps::make_counter_world(n, 2, apps::CounterConfig{6});
+  w->set_scheduler(std::make_unique<rt::RandomScheduler>(seed));
+  ckpt::TimeMachineOptions topt;
+  topt.cic = cic;
+  topt.periodic_interval = periodic;
+  ckpt::TimeMachine tm(*w, topt);
+  tm.attach();
+  w->run(steps);
+
+  // Fail the process with the most recent activity; pin it one checkpoint
+  // back (it must discard its latest state).
+  ProcessId failed = 0;
+  std::size_t idx = tm.store(failed).size() - 1;
+  if (idx > 0) --idx;
+  std::vector<std::ptrdiff_t> pinned(w->size(), -1);
+  pinned[failed] = static_cast<std::ptrdiff_t>(idx);
+
+  std::vector<std::vector<VectorClock>> hist(w->size());
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    for (const auto& e : tm.store(p).entries())
+      hist[p].push_back(e.data.vclock);
+  }
+  auto line = ckpt::RecoveryLineSolver::solve_pinned(hist, pinned);
+
+  LineStats s;
+  double total_ck = 0;
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    s.avg_rollback_depth += static_cast<double>(line.rollback_depth[p]);
+    s.avg_events_undone += static_cast<double>(line.events_undone[p]);
+    total_ck += static_cast<double>(tm.store(p).size());
+  }
+  s.avg_rollback_depth /= static_cast<double>(w->size());
+  s.avg_events_undone /= static_cast<double>(w->size());
+  s.avg_ckpts_per_proc = total_ck / static_cast<double>(w->size());
+  s.retained_bytes = tm.retained_bytes();
+  return s;
+}
+
+void sweep(const char* label, bool cic, std::uint64_t periodic) {
+  for (std::size_t n : {3, 5, 8}) {
+    LineStats acc;
+    const int kSeeds = 8;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      LineStats s = measure(cic, periodic, n, seed, 40 + n * 8);
+      acc.avg_rollback_depth += s.avg_rollback_depth;
+      acc.avg_events_undone += s.avg_events_undone;
+      acc.avg_ckpts_per_proc += s.avg_ckpts_per_proc;
+      acc.retained_bytes += s.retained_bytes;
+    }
+    bench::row("%-22s %3zu %12.2f %13.2f %11.1f %12llu", label, n,
+               acc.avg_rollback_depth / kSeeds,
+               acc.avg_events_undone / kSeeds, acc.avg_ckpts_per_proc / kSeeds,
+               (unsigned long long)(acc.retained_bytes / kSeeds));
+  }
+}
+
+void figure6_exact_scenario() {
+  bench::header("The exact Fig.6 scenario (3 processes, B fails)");
+  // A <- B message early; B -> C message later; B rolls back before its
+  // send to C. Naive latest line would leave C having received a message B
+  // never sent (orphan) — the unsafe recovery line. The solver must pull C
+  // back to the safe line.
+  auto vc = [](std::initializer_list<std::uint64_t> xs) {
+    VectorClock c(3);
+    std::size_t i = 0;
+    for (auto x : xs) {
+      for (std::uint64_t k = 0; k < x; ++k)
+        c.tick(static_cast<ProcessId>(i));
+      ++i;
+    }
+    return c;
+  };
+  std::vector<std::vector<VectorClock>> hist = {
+      {vc({0, 0, 0}), vc({2, 1, 0})},  // A: received B's early message
+      {vc({0, 0, 0}), vc({0, 1, 0})},  // B: checkpoint before send to C
+      {vc({0, 0, 0}), vc({0, 3, 2})},  // C: received B's later message
+  };
+  bool naive_safe = ckpt::RecoveryLineSolver::consistent(hist, {1, 1, 1});
+  auto line = ckpt::RecoveryLineSolver::solve_pinned(hist, {-1, 1, -1});
+  bench::row("naive latest line {A1,B1,C1}: %s",
+             naive_safe ? "consistent (unexpected!)" : "UNSAFE (orphan)");
+  bench::row("safe line found by solver:   {A%zu,B%zu,C%zu}  (iterations=%u)",
+             line.index[0], line.index[1], line.index[2], line.iterations);
+  bench::row("  -> C dominoes back to its initial checkpoint, exactly as "
+             "drawn in the paper");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — Figure 6: safe recovery lines, "
+              "communication-induced vs independent checkpointing\n");
+
+  figure6_exact_scenario();
+
+  bench::header(
+      "Rollback locality after a failure (avg over 8 random runs)");
+  bench::row("%-22s %3s %12s %13s %11s %12s", "checkpoint policy", "N",
+             "rb-depth/proc", "undone/proc", "ckpts/proc", "bytes");
+  bench::rule();
+  sweep("CIC (before receive)", true, 0);
+  sweep("periodic/3 (indep)", false, 3);
+  sweep("periodic/8 (indep)", false, 8);
+  sweep("periodic/16 (indep)", false, 16);
+
+  std::printf(
+      "\nShape check (paper): CIC checkpoints always admit a safe line one\n"
+      "step back (no domino); sparse independent checkpoints cascade —\n"
+      "events undone per process grows with the checkpoint interval.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Primary–backup replicated key-value store.
+//
+// Pid 0 (the primary) generates a deterministic stream of put operations,
+// applies each locally, and replicates it to every backup with a sequence
+// number. All replica state lives in a PagedHeap-backed hash map, so this is
+// the application whose checkpoints genuinely benefit from copy-on-write
+// (bench/fig2) — megabytes of store, page-sized mutations.
+//
+//   v1 (buggy):  a backup applies replicated ops in arrival order, ignoring
+//                sequence numbers. Correct on a FIFO network; on a
+//                reordering network two writes to the same key can land in
+//                the wrong order and the replicas silently diverge.
+//   v2 (fixed):  a backup buffers out-of-order ops and applies strictly in
+//                sequence.
+//
+// Safety invariant (global): when no replication traffic is in flight and
+// the primary has finished, every replica has the same content digest.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "mem/heap_alloc.hpp"
+#include "mem/paged_map.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum KvTag : net::Tag {
+  kReplicateTag = 301,
+  kKvStopTag = 302,
+};
+
+/// 64-byte values so the store is byte-heavy (realistic COW workload).
+struct KvValue {
+  std::uint64_t val = 0;
+  std::uint64_t fill[7] = {0, 0, 0, 0, 0, 0, 0};
+
+  static KvValue of(std::uint64_t v) {
+    KvValue out;
+    out.val = v;
+    for (std::size_t i = 0; i < 7; ++i) out.fill[i] = v * (i + 2);
+    return out;
+  }
+};
+static_assert(sizeof(KvValue) == 64);
+
+class IKvReplica {
+ public:
+  virtual ~IKvReplica() = default;
+  /// Order-insensitive content digest of the replica's map.
+  virtual std::uint64_t content_digest() const = 0;
+  virtual std::uint64_t keys_stored() const = 0;
+  virtual bool finished() const = 0;
+  virtual std::uint64_t ops_applied() const = 0;
+};
+
+struct KvConfig {
+  std::uint64_t total_ops = 64;
+  std::uint64_t key_space = 16;  ///< small => write-write conflicts likely
+};
+
+namespace detail {
+class KvReplicaBase : public rt::Process, public IKvReplica {
+ public:
+  explicit KvReplicaBase(KvConfig cfg);
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  mem::PagedHeap* cow_heap() override { return &heap_; }
+
+  std::string type_name() const override { return "kv-replica"; }
+
+  std::uint64_t content_digest() const override;
+  std::uint64_t keys_stored() const override;
+  bool finished() const override { return finished_; }
+  std::uint64_t ops_applied() const override { return applied_; }
+
+  /// Direct access for benches/tests (primary-side writes).
+  void apply_put(std::uint64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> get(std::uint64_t key) const;
+
+ protected:
+  static constexpr std::uint32_t kOpTimerKind = 3;
+
+  bool is_primary(rt::Context& ctx) const { return ctx.self() == 0; }
+  void primary_step(rt::Context& ctx);
+
+  /// Version-specific replication apply at a backup.
+  virtual void on_replicate(rt::Context& ctx, std::uint64_t seq,
+                            std::uint64_t key, std::uint64_t value) = 0;
+
+  mem::PagedMap<std::uint64_t, KvValue> map() const {
+    // HeapAlloc/PagedMap are stateless views over the heap; reopening per
+    // call keeps every byte of state in COW-checkpointable memory.
+    mem::HeapAlloc alloc =
+        mem::HeapAlloc::attach(const_cast<mem::PagedHeap&>(heap_));
+    return mem::PagedMap<std::uint64_t, KvValue>::open(alloc, map_off_);
+  }
+
+  KvConfig cfg_;
+  mem::PagedHeap heap_;
+  std::uint64_t map_off_ = 0;
+  std::uint64_t next_seq_ = 0;   ///< primary: next to assign; backup: v2 cursor
+  std::uint64_t applied_ = 0;
+  bool finished_ = false;
+  /// v2 backup reorder buffer (root state; small).
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> pending_;
+};
+}  // namespace detail
+
+class KvReplicaV1 final : public detail::KvReplicaBase {
+ public:
+  explicit KvReplicaV1(KvConfig cfg = {}) : KvReplicaBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override;
+
+ protected:
+  void on_replicate(rt::Context& ctx, std::uint64_t seq, std::uint64_t key,
+                    std::uint64_t value) override;
+};
+
+class KvReplicaV2 final : public detail::KvReplicaBase {
+ public:
+  explicit KvReplicaV2(KvConfig cfg = {}) : KvReplicaBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override;
+
+ protected:
+  void on_replicate(rt::Context& ctx, std::uint64_t seq, std::uint64_t key,
+                    std::uint64_t value) override;
+};
+
+std::unique_ptr<rt::World> make_kv_world(std::size_t n, int version,
+                                         KvConfig cfg = {},
+                                         rt::WorldOptions base = {});
+
+void install_kv_invariants(rt::World& w);
+
+heal::UpdatePatch kv_fix_patch(KvConfig cfg = {});
+
+}  // namespace fixd::apps

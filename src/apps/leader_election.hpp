@@ -1,0 +1,118 @@
+// Chang–Roberts ring leader election over environment-assigned ids.
+//
+// Each process reads its candidate id from the environment (ctx.env_read —
+// the nondeterministic input the Scroll records and black-box replay feeds
+// back) and circulates the maximum around the ring.
+//
+//   v1 (buggy):  a process declares itself leader when its *id value* comes
+//                back around. Environment ids are drawn from a small space;
+//                when two processes share the maximum value, both see "their"
+//                id return and both declare: split brain.
+//   v2 (fixed):  candidates are (id, pid) pairs — totally ordered and unique,
+//                so exactly one process wins.
+//
+// Safety invariant (global): at most one self-declared leader.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum ElectionTag : net::Tag {
+  kElectTag = 401,
+  kLeaderTag = 402,
+};
+
+class IElector {
+ public:
+  virtual ~IElector() = default;
+  virtual bool declared_leader() const = 0;
+  virtual std::uint64_t candidate_uid() const = 0;
+  virtual ProcessId known_leader() const = 0;
+};
+
+struct ElectionConfig {
+  /// Ids are env values modulo this; small => collisions likely (the v1
+  /// trigger). v2 is correct regardless.
+  std::uint64_t uid_space = 4;
+};
+
+namespace detail {
+class ElectorBase : public rt::Process, public IElector {
+ public:
+  explicit ElectorBase(ElectionConfig cfg) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "leader-election"; }
+
+  bool declared_leader() const override { return is_leader_; }
+  std::uint64_t candidate_uid() const override { return uid_; }
+  ProcessId known_leader() const override { return leader_; }
+
+ protected:
+  ProcessId next_of(rt::Context& ctx) const {
+    return static_cast<ProcessId>((ctx.self() + 1) % ctx.world_size());
+  }
+  void declare(rt::Context& ctx);
+
+  /// Version-specific handling of a circulating candidacy.
+  virtual void on_candidate(rt::Context& ctx, std::uint64_t uid,
+                            ProcessId origin) = 0;
+
+  ElectionConfig cfg_;
+  std::uint64_t uid_ = 0;
+  bool is_leader_ = false;
+  ProcessId leader_ = kNoProcess;
+};
+}  // namespace detail
+
+class ElectorV1 final : public detail::ElectorBase {
+ public:
+  explicit ElectorV1(ElectionConfig cfg = {}) : ElectorBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<ElectorV1>(*this);
+  }
+
+ protected:
+  void on_candidate(rt::Context& ctx, std::uint64_t uid,
+                    ProcessId origin) override;
+};
+
+class ElectorV2 final : public detail::ElectorBase {
+ public:
+  explicit ElectorV2(ElectionConfig cfg = {}) : ElectorBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<ElectorV2>(*this);
+  }
+
+ protected:
+  void on_candidate(rt::Context& ctx, std::uint64_t uid,
+                    ProcessId origin) override;
+};
+
+std::unique_ptr<rt::World> make_election_world(std::size_t n, int version,
+                                               ElectionConfig cfg = {},
+                                               rt::WorldOptions base = {});
+
+void install_election_invariants(rt::World& w);
+
+heal::UpdatePatch election_fix_patch(ElectionConfig cfg = {});
+
+/// Find a world env seed for which at least two of `n` processes draw the
+/// same maximal uid (the v1 trigger). Deterministic scan from `from`.
+std::uint64_t find_colliding_env_seed(std::size_t n, ElectionConfig cfg,
+                                      std::uint64_t from = 1);
+
+}  // namespace fixd::apps

@@ -1,0 +1,115 @@
+// Replicated counter: the quickstart application.
+//
+// Every process broadcasts a fixed number of increments and applies every
+// increment it receives; after all DONE markers arrive, each process checks
+// its total against the (deterministically known) expected sum and reports
+// a local fault on mismatch — the simplest end-to-end FixD demo: local
+// detection, rollback, investigation, heal.
+//
+//   v1 (buggy):  increments whose value is divisible by 5 are applied twice
+//                (a copy-paste double-apply).
+//   v2 (fixed):  every increment applied exactly once.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum CounterTag : net::Tag {
+  kIncTag = 501,
+  kDoneTag = 502,
+};
+
+class ICounter {
+ public:
+  virtual ~ICounter() = default;
+  virtual std::uint64_t total() const = 0;
+  virtual bool done() const = 0;
+};
+
+struct CounterConfig {
+  std::uint64_t incs_per_proc = 4;
+};
+
+/// The value process `pid` sends as its i-th increment (deterministic, so
+/// every process knows the expected global sum).
+inline std::uint64_t counter_inc_value(ProcessId pid, std::uint64_t i) {
+  return static_cast<std::uint64_t>(pid) * 7 + i * 3 + 1;
+}
+
+/// Expected final sum for n processes.
+std::uint64_t counter_expected_sum(std::size_t n, CounterConfig cfg);
+
+namespace detail {
+class CounterBase : public rt::Process, public ICounter {
+ public:
+  explicit CounterBase(CounterConfig cfg) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "rep-counter"; }
+
+  std::uint64_t total() const override { return sum_; }
+  bool done() const override { return done_; }
+
+ protected:
+  virtual void apply_inc(std::uint64_t value) = 0;
+  void maybe_finish(rt::Context& ctx);
+
+  CounterConfig cfg_;
+  std::uint64_t sum_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint32_t done_marks_ = 0;
+  bool done_ = false;
+};
+}  // namespace detail
+
+class CounterV1 final : public detail::CounterBase {
+ public:
+  explicit CounterV1(CounterConfig cfg = {}) : CounterBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<CounterV1>(*this);
+  }
+
+ protected:
+  void apply_inc(std::uint64_t value) override {
+    sum_ += value;
+    if (value % 5 == 0) sum_ += value;  // BUG: double apply
+    ++applied_;
+  }
+};
+
+class CounterV2 final : public detail::CounterBase {
+ public:
+  explicit CounterV2(CounterConfig cfg = {}) : CounterBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<CounterV2>(*this);
+  }
+
+ protected:
+  void apply_inc(std::uint64_t value) override {
+    sum_ += value;
+    ++applied_;
+  }
+};
+
+std::unique_ptr<rt::World> make_counter_world(std::size_t n, int version,
+                                              CounterConfig cfg = {},
+                                              rt::WorldOptions base = {});
+
+void install_counter_invariants(rt::World& w);
+
+heal::UpdatePatch counter_fix_patch(CounterConfig cfg = {});
+
+}  // namespace fixd::apps

@@ -1,0 +1,139 @@
+// Token-ring mutual exclusion with timeout-based token regeneration.
+//
+// N processes in a ring pass a token; only the holder may "work" (the
+// critical section). Each process also runs a token-loss timeout.
+//
+//   v1 (buggy):  on timeout, the process simply regenerates the token. If
+//                the timeout races with a token in flight — exactly the
+//                schedule a model checker explores and a deployment hits
+//                under load — two tokens circulate and mutual exclusion is
+//                broken. In calm timed runs v1 looks correct.
+//   v2 (fixed):  on timeout, the process circulates a probe around the ring;
+//                every hop stamps whether it has seen the token since the
+//                last probe epoch (FIFO channels guarantee a live token is
+//                seen). Only a clean probe — possible only after genuine
+//                token loss — triggers regeneration.
+//
+// Safety invariant (global): holders + in-flight token messages ≤ 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+/// Message tags used by the token ring.
+enum TokenRingTag : net::Tag {
+  kTokenTag = 101,
+  kProbeTag = 102,
+  kStopTag = 103,
+};
+
+/// Read-only view shared by both versions (invariants use it).
+class ITokenHolder {
+ public:
+  virtual ~ITokenHolder() = default;
+  virtual bool holds_token() const = 0;
+  virtual std::uint64_t work_done() const = 0;
+  virtual std::uint64_t rounds_completed() const = 0;
+};
+
+struct TokenRingConfig {
+  std::uint64_t target_rounds = 3;  ///< full ring loops before shutdown
+  VirtualTime timeout = 500;        ///< token-loss timeout
+};
+
+namespace detail {
+/// State and behaviour shared between v1 and v2.
+class TokenRingBase : public rt::Process, public ITokenHolder {
+ public:
+  explicit TokenRingBase(TokenRingConfig cfg) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "token-ring"; }
+
+  bool holds_token() const override { return has_token_; }
+  std::uint64_t work_done() const override { return work_; }
+  std::uint64_t rounds_completed() const override { return rounds_; }
+
+ protected:
+  /// Version-specific timeout reaction.
+  virtual void on_timeout(rt::Context& ctx) = 0;
+  /// Version-specific probe handling (v1 ignores probes).
+  virtual void on_probe(rt::Context& ctx, const net::Message& msg);
+
+  ProcessId next_of(rt::Context& ctx) const {
+    return static_cast<ProcessId>((ctx.self() + 1) % ctx.world_size());
+  }
+  void acquire_token(rt::Context& ctx);
+  void pass_token(rt::Context& ctx);
+  void regenerate_token(rt::Context& ctx);
+  void rearm_timeout(rt::Context& ctx);
+
+  /// Timer kind used for the token-loss timeout (kind-based: no raw ids in
+  /// state, so model-checker canonicalization stays effective).
+  static constexpr std::uint32_t kTimeoutKind = 1;
+
+  TokenRingConfig cfg_;
+  bool has_token_ = false;
+  bool done_ = false;             ///< ring shut down; absorb stray tokens
+  std::uint64_t work_ = 0;
+  std::uint64_t rounds_ = 0;      ///< meaningful at pid 0
+  std::uint64_t token_seq_ = 0;
+  bool token_seen_since_probe_ = false;
+  bool probing_ = false;
+};
+}  // namespace detail
+
+/// Buggy version: timeout => immediate regeneration.
+class TokenRingV1 final : public detail::TokenRingBase {
+ public:
+  explicit TokenRingV1(TokenRingConfig cfg = {}) : TokenRingBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<TokenRingV1>(*this);
+  }
+
+ protected:
+  void on_timeout(rt::Context& ctx) override;
+};
+
+/// Fixed version: timeout => ring probe; regenerate only on a clean probe.
+class TokenRingV2 final : public detail::TokenRingBase {
+ public:
+  explicit TokenRingV2(TokenRingConfig cfg = {}) : TokenRingBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<TokenRingV2>(*this);
+  }
+
+ protected:
+  void on_timeout(rt::Context& ctx) override;
+  void on_probe(rt::Context& ctx, const net::Message& msg) override;
+};
+
+/// Build an N-process ring world (not sealed-started; caller runs it).
+std::unique_ptr<rt::World> make_token_ring_world(
+    std::size_t n, int version, TokenRingConfig cfg = {},
+    rt::WorldOptions base = {});
+
+/// Register the mutual-exclusion invariant on any token-ring world.
+void install_token_ring_invariants(rt::World& w);
+
+/// The v1 -> v2 dynamic update.
+heal::UpdatePatch token_ring_fix_patch(TokenRingConfig cfg = {});
+
+/// Total work completed across the ring (the Healer's "retained work").
+std::uint64_t token_ring_total_work(const rt::World& w);
+
+}  // namespace fixd::apps

@@ -1,0 +1,150 @@
+// Two-phase commit with a presumed-outcome timeout bug.
+//
+// Pid 0 coordinates K sequential transactions across N-1 participants.
+// A participant votes deterministically (a function of txn id and pid); a NO
+// vote also aborts unilaterally on the spot, as 2PC allows.
+//
+//   v1 (buggy):  the coordinator's vote-collection timeout decides COMMIT
+//                ("presumed commit" applied to the wrong phase — the classic
+//                blunder). If a NO vote is still in flight when the timeout
+//                fires, the coordinator commits a transaction a participant
+//                has already aborted: atomicity is broken.
+//   v2 (fixed):  the timeout decides ABORT (presumed abort), which is always
+//                safe before the decision is announced.
+//
+// Safety invariant (global): for every transaction, no two parties record
+// conflicting decisions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum TwoPcTag : net::Tag {
+  kPrepareTag = 201,
+  kVoteYesTag = 202,
+  kVoteNoTag = 203,
+  kCommitTag = 204,
+  kAbortTag = 205,
+  kAckTag = 206,
+  kTpcStopTag = 207,
+};
+
+enum class TxnDecision : std::uint8_t { kNone = 0, kCommit = 1, kAbort = 2 };
+
+/// Read-only view used by the invariant.
+class ITwoPcParty {
+ public:
+  virtual ~ITwoPcParty() = default;
+  virtual TxnDecision decision_of(std::uint64_t txn) const = 0;
+  virtual std::uint64_t txn_count() const = 0;
+};
+
+struct TwoPcConfig {
+  std::uint64_t total_txns = 3;
+  VirtualTime vote_timeout = 400;
+};
+
+/// Deterministic vote function (shared so tests can predict outcomes).
+/// Participant 1 votes NO on txn 0 (17 % 5 == 2), so the v1 timeout bug is
+/// reachable within the first transaction.
+inline bool two_pc_votes_yes(std::uint64_t txn, ProcessId pid) {
+  return (txn * 31 + static_cast<std::uint64_t>(pid) * 17) % 5 != 2;
+}
+
+namespace detail {
+class TwoPcBase : public rt::Process, public ITwoPcParty {
+ public:
+  explicit TwoPcBase(TwoPcConfig cfg) : cfg_(cfg) {
+    decisions_.assign(cfg_.total_txns, TxnDecision::kNone);
+  }
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "two-phase-commit"; }
+
+  TxnDecision decision_of(std::uint64_t txn) const override {
+    return txn < decisions_.size() ? decisions_[txn] : TxnDecision::kNone;
+  }
+  std::uint64_t txn_count() const override { return cfg_.total_txns; }
+
+  /// Transactions the coordinator has fully finished (acked by everyone).
+  std::uint64_t completed_txns() const { return completed_; }
+
+ protected:
+  static constexpr std::uint32_t kVoteTimeoutKind = 2;
+
+  bool is_coordinator(rt::Context& ctx) const { return ctx.self() == 0; }
+  std::size_t participant_count(rt::Context& ctx) const {
+    return ctx.world_size() - 1;
+  }
+
+  void begin_txn(rt::Context& ctx);
+  void decide(rt::Context& ctx, TxnDecision d);
+  void record(std::uint64_t txn, TxnDecision d) {
+    if (txn < decisions_.size()) decisions_[txn] = d;
+  }
+
+  /// Version-specific: decision taken when the vote timeout fires.
+  virtual TxnDecision timeout_decision() const = 0;
+
+  TwoPcConfig cfg_;
+  std::vector<TxnDecision> decisions_;
+  // Coordinator-only state.
+  std::uint64_t current_txn_ = 0;
+  bool voting_ = false;
+  std::uint32_t yes_votes_ = 0;
+  std::uint32_t votes_received_ = 0;
+  std::uint32_t acks_ = 0;
+  std::uint64_t completed_ = 0;
+};
+}  // namespace detail
+
+class TwoPcV1 final : public detail::TwoPcBase {
+ public:
+  explicit TwoPcV1(TwoPcConfig cfg = {}) : TwoPcBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<TwoPcV1>(*this);
+  }
+
+ protected:
+  TxnDecision timeout_decision() const override {
+    return TxnDecision::kCommit;  // BUG: presumed commit before decision
+  }
+};
+
+class TwoPcV2 final : public detail::TwoPcBase {
+ public:
+  explicit TwoPcV2(TwoPcConfig cfg = {}) : TwoPcBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<TwoPcV2>(*this);
+  }
+
+ protected:
+  TxnDecision timeout_decision() const override {
+    return TxnDecision::kAbort;  // presumed abort: always safe pre-decision
+  }
+};
+
+std::unique_ptr<rt::World> make_two_pc_world(std::size_t n, int version,
+                                             TwoPcConfig cfg = {},
+                                             rt::WorldOptions base = {});
+
+void install_two_pc_invariants(rt::World& w);
+
+heal::UpdatePatch two_pc_fix_patch(TwoPcConfig cfg = {});
+
+}  // namespace fixd::apps

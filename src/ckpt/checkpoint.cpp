@@ -1,0 +1,54 @@
+#include "ckpt/checkpoint.hpp"
+
+#include "common/error.hpp"
+
+namespace fixd::ckpt {
+
+CheckpointId CheckpointStore::push(CkptReason reason,
+                                   rt::ProcessCheckpoint data) {
+  StoredCheckpoint sc;
+  sc.id = next_id_++;
+  sc.reason = reason;
+  sc.data = std::move(data);
+  if (entries_.size() >= capacity_ && capacity_ > 1) {
+    // Keep the initial checkpoint pinned at slot 0; rotate the rest.
+    std::size_t victim = (entries_.front().reason == CkptReason::kInitial &&
+                          entries_.size() > 1)
+                             ? 1
+                             : 0;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  entries_.push_back(std::move(sc));
+  ++total_pushed_;
+  return entries_.back().id;
+}
+
+const StoredCheckpoint& CheckpointStore::latest() const {
+  FIXD_CHECK_MSG(!entries_.empty(), "checkpoint store is empty");
+  return entries_.back();
+}
+
+const StoredCheckpoint& CheckpointStore::at(std::size_t index) const {
+  FIXD_CHECK_MSG(index < entries_.size(), "checkpoint index out of range");
+  return entries_[index];
+}
+
+const StoredCheckpoint* CheckpointStore::find(CheckpointId id) const {
+  for (const auto& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t CheckpointStore::retained_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) n += e.data.size_bytes();
+  return n;
+}
+
+void CheckpointStore::truncate_after(std::size_t index) {
+  FIXD_CHECK_MSG(index < entries_.size(), "truncate_after out of range");
+  entries_.resize(index + 1);
+}
+
+}  // namespace fixd::ckpt

@@ -1,0 +1,76 @@
+// Checkpoint storage: per-process histories of captured states.
+//
+// Each process accumulates checkpoints (initial, periodic, communication-
+// induced, speculation-entry, manual). The store is a pinned-initial ring:
+// the initial checkpoint is never evicted (the recovery-line solver's
+// backstop), newer ones rotate within the capacity budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/world.hpp"
+
+namespace fixd::ckpt {
+
+enum class CkptReason : std::uint8_t {
+  kInitial = 0,   ///< taken when the Time Machine attaches
+  kPeriodic = 1,  ///< every N events
+  kCic = 2,       ///< communication-induced: before a receive (§4.2, Fig. 6)
+  kSpecEntry = 3, ///< speculation begin / absorption
+  kManual = 4,
+};
+
+inline const char* to_string(CkptReason r) {
+  switch (r) {
+    case CkptReason::kInitial: return "initial";
+    case CkptReason::kPeriodic: return "periodic";
+    case CkptReason::kCic: return "cic";
+    case CkptReason::kSpecEntry: return "spec";
+    case CkptReason::kManual: return "manual";
+  }
+  return "?";
+}
+
+struct StoredCheckpoint {
+  CheckpointId id = kNoCheckpoint;  ///< per-process, monotonically increasing
+  CkptReason reason = CkptReason::kManual;
+  rt::ProcessCheckpoint data;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Append a checkpoint; evicts the oldest non-initial entry if full.
+  CheckpointId push(CkptReason reason, rt::ProcessCheckpoint data);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries oldest-to-newest.
+  const std::vector<StoredCheckpoint>& entries() const { return entries_; }
+
+  const StoredCheckpoint& latest() const;
+  const StoredCheckpoint& at(std::size_t index) const;
+  const StoredCheckpoint* find(CheckpointId id) const;
+
+  /// Cumulative storage cost of retained checkpoints.
+  std::uint64_t retained_bytes() const;
+
+  /// Total checkpoints ever pushed (including evicted).
+  std::uint64_t total_pushed() const { return total_pushed_; }
+
+  /// Drop every checkpoint newer than `index` (after a rollback the undone
+  /// future must not be restorable).
+  void truncate_after(std::size_t index);
+
+ private:
+  std::size_t capacity_;
+  std::vector<StoredCheckpoint> entries_;
+  CheckpointId next_id_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace fixd::ckpt

@@ -1,0 +1,85 @@
+#include "ckpt/recovery.hpp"
+
+#include "common/error.hpp"
+
+namespace fixd::ckpt {
+
+bool RecoveryLineSolver::consistent(
+    const std::vector<std::vector<VectorClock>>& history,
+    const std::vector<std::size_t>& index) {
+  const std::size_t n = history.size();
+  FIXD_CHECK(index.size() == n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const VectorClock& cj = history[j][index[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const VectorClock& ci = history[i][index[i]];
+      if (cj[i] > ci[i]) return false;  // c_j observed i beyond c_i: orphan
+    }
+  }
+  return true;
+}
+
+LineResult RecoveryLineSolver::solve(
+    const std::vector<std::vector<VectorClock>>& history) {
+  return solve_pinned(history,
+                      std::vector<std::ptrdiff_t>(history.size(), -1));
+}
+
+LineResult RecoveryLineSolver::solve_pinned(
+    const std::vector<std::vector<VectorClock>>& history,
+    const std::vector<std::ptrdiff_t>& pinned) {
+  const std::size_t n = history.size();
+  FIXD_CHECK_MSG(pinned.size() == n, "pinned size mismatch");
+  LineResult res;
+  res.index.resize(n);
+  res.rollback_depth.assign(n, 0);
+  res.events_undone.assign(n, 0);
+
+  std::vector<std::size_t> latest(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    FIXD_CHECK_MSG(!history[p].empty(),
+                   "process " + std::to_string(p) + " has no checkpoints");
+    latest[p] = history[p].size() - 1;
+    if (pinned[p] >= 0) {
+      FIXD_CHECK_MSG(static_cast<std::size_t>(pinned[p]) < history[p].size(),
+                     "pinned index out of range");
+      res.index[p] = static_cast<std::size_t>(pinned[p]);
+    } else {
+      res.index[p] = latest[p];
+    }
+  }
+
+  // Fixpoint: while some c_j has observed i beyond c_i, move j backwards.
+  // Monotone (indices only decrease), hence terminates.
+  bool changed = true;
+  while (changed) {
+    ++res.iterations;
+    changed = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == j) continue;
+        const VectorClock& ci = history[i][res.index[i]];
+        while (history[j][res.index[j]][i] > ci[i]) {
+          FIXD_CHECK_MSG(res.index[j] > 0,
+                         "no consistent line found (initial checkpoint "
+                         "should be all-zero)");
+          --res.index[j];
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    res.rollback_depth[p] = latest[p] - res.index[p];
+    const VectorClock& chosen = history[p][res.index[p]];
+    const VectorClock& newest = history[p][latest[p]];
+    res.events_undone[p] = newest[p] - chosen[p];
+  }
+  FIXD_CHECK_MSG(consistent(history, res.index),
+                 "solver produced an inconsistent line");
+  return res;
+}
+
+}  // namespace fixd::ckpt

@@ -1,0 +1,70 @@
+// Recovery-line computation: the algorithm behind Fig. 6.
+//
+// Given each process's checkpoint history (as vector clocks), find the most
+// recent *consistent* combination — one checkpoint per process such that no
+// checkpoint has observed an event another process's checkpoint has not yet
+// performed (no orphan messages):
+//
+//     consistent({c_0..c_{n-1}})  ⟺  ∀ i,j:  c_j.vclock[i] ≤ c_i.vclock[i]
+//
+// The solver starts from every process's latest checkpoint and walks
+// offending processes backwards to a fixpoint. With *independent* (periodic)
+// checkpointing this exhibits the domino effect the paper warns about; with
+// communication-induced checkpoints (one before every receive) the latest
+// line is consistent after a single process rolls back — the "safe recovery
+// line" of Fig. 6. bench/fig6_recovery_lines measures exactly this contrast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace fixd::ckpt {
+
+struct LineResult {
+  /// Chosen checkpoint index per process (into the per-process history).
+  std::vector<std::size_t> index;
+  /// latest_index - chosen_index per process ("how far each rolled back").
+  std::vector<std::size_t> rollback_depth;
+  /// Own-component events undone per process.
+  std::vector<std::uint64_t> events_undone;
+  /// Fixpoint iterations (1 = the latest line was already consistent).
+  std::uint32_t iterations = 0;
+
+  std::size_t total_rollback() const {
+    std::size_t n = 0;
+    for (std::size_t d : rollback_depth) n += d;
+    return n;
+  }
+  std::uint64_t total_events_undone() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t d : events_undone) n += d;
+    return n;
+  }
+};
+
+class RecoveryLineSolver {
+ public:
+  /// `history[p]` = vector clocks of p's checkpoints, oldest to newest.
+  /// Every process must have at least one checkpoint (the initial state,
+  /// all-zero clock, is always consistent, so the fixpoint exists).
+  ///
+  /// `pinned[p]` (optional) caps process p at the given index — "roll back
+  /// at least to here". Used for the failed process: it must return to (or
+  /// before) the checkpoint it chose; the fixpoint may pull it back further
+  /// if its own checkpoint observed sends the others cannot match.
+  static LineResult solve(
+      const std::vector<std::vector<VectorClock>>& history);
+
+  static LineResult solve_pinned(
+      const std::vector<std::vector<VectorClock>>& history,
+      const std::vector<std::ptrdiff_t>& pinned);
+
+  /// Check the consistency predicate for a specific selection.
+  static bool consistent(const std::vector<std::vector<VectorClock>>& history,
+                         const std::vector<std::size_t>& index);
+};
+
+}  // namespace fixd::ckpt

@@ -1,0 +1,205 @@
+#include "ckpt/timemachine.hpp"
+
+#include "common/error.hpp"
+
+namespace fixd::ckpt {
+
+TimeMachine::TimeMachine(rt::World& world, TimeMachineOptions opts)
+    : world_(world), opts_(opts) {}
+
+TimeMachine::~TimeMachine() {
+  if (attached_) detach();
+}
+
+void TimeMachine::attach() {
+  FIXD_CHECK_MSG(world_.sealed(), "attach: world must be sealed");
+  FIXD_CHECK_MSG(!attached_, "attach: already attached");
+  stores_.clear();
+  stores_.resize(world_.size(), CheckpointStore(opts_.store_capacity));
+  world_.add_interceptor(this);
+  world_.add_observer(this);
+  attached_ = true;
+  for (ProcessId pid = 0; pid < world_.size(); ++pid) {
+    take_checkpoint(pid, CkptReason::kInitial);
+  }
+}
+
+void TimeMachine::detach() {
+  if (!attached_) return;
+  world_.remove_interceptor(this);
+  world_.remove_observer(this);
+  attached_ = false;
+}
+
+void TimeMachine::reset() {
+  FIXD_CHECK_MSG(attached_, "reset: not attached");
+  stores_.assign(world_.size(), CheckpointStore(opts_.store_capacity));
+  delivered_log_.clear();
+  for (ProcessId pid = 0; pid < world_.size(); ++pid) {
+    take_checkpoint(pid, CkptReason::kInitial);
+  }
+}
+
+CheckpointId TimeMachine::take_checkpoint(ProcessId pid, CkptReason reason) {
+  FIXD_CHECK_MSG(pid < stores_.size(), "take_checkpoint: bad pid");
+  rt::ProcessCheckpoint data = world_.capture_process(pid, opts_.cow);
+  CheckpointId id = stores_[pid].push(reason, std::move(data));
+  ++stats_.checkpoints;
+  switch (reason) {
+    case CkptReason::kInitial: ++stats_.ckpt_initial; break;
+    case CkptReason::kPeriodic: ++stats_.ckpt_periodic; break;
+    case CkptReason::kCic: ++stats_.ckpt_cic; break;
+    case CkptReason::kSpecEntry:
+    case CkptReason::kManual: ++stats_.ckpt_manual; break;
+  }
+  return id;
+}
+
+void TimeMachine::take_global_checkpoint(CkptReason reason) {
+  for (ProcessId pid = 0; pid < world_.size(); ++pid) {
+    take_checkpoint(pid, reason);
+  }
+}
+
+const CheckpointStore& TimeMachine::store(ProcessId pid) const {
+  FIXD_CHECK_MSG(pid < stores_.size(), "store: bad pid");
+  return stores_[pid];
+}
+
+std::uint64_t TimeMachine::retained_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stores_) n += s.retained_bytes();
+  return n;
+}
+
+bool TimeMachine::before_event(rt::World& w, const rt::EventDesc& ev) {
+  if (opts_.cic) {
+    if (ev.kind == rt::EventKind::kDeliver) {
+      take_checkpoint(ev.pid, CkptReason::kCic);
+    }
+    submitted_before_event_ = w.network().stats().submitted;
+  }
+  return true;
+}
+
+void TimeMachine::after_event(rt::World& w, const rt::EventDesc& ev) {
+  if (opts_.cic &&
+      w.network().stats().submitted > submitted_before_event_) {
+    // The handler sent messages: checkpoint the sender so receivers of
+    // those messages never have to domino past this point.
+    take_checkpoint(ev.pid, CkptReason::kCic);
+  }
+  if (opts_.periodic_interval == 0) return;
+  std::uint64_t handled = w.events_handled(ev.pid);
+  if (handled > 0 && handled % opts_.periodic_interval == 0) {
+    take_checkpoint(ev.pid, CkptReason::kPeriodic);
+  }
+}
+
+void TimeMachine::on_deliver(const rt::World& w, const net::Message& msg) {
+  DeliveredRecord rec;
+  rec.msg = msg;
+  rec.dst_own_after = w.vclock_of(msg.dst)[msg.dst];
+  delivered_log_.push_back(std::move(rec));
+  if (delivered_log_.size() > opts_.delivered_log_capacity) {
+    delivered_log_.pop_front();
+  }
+}
+
+std::vector<std::vector<VectorClock>> TimeMachine::clock_history() const {
+  std::vector<std::vector<VectorClock>> hist(stores_.size());
+  for (std::size_t p = 0; p < stores_.size(); ++p) {
+    for (const auto& e : stores_[p].entries()) {
+      hist[p].push_back(e.data.vclock);
+    }
+  }
+  return hist;
+}
+
+RecoveryLine TimeMachine::compute_line() const {
+  RecoveryLine rl;
+  rl.line = RecoveryLineSolver::solve(clock_history());
+  rl.ids.resize(stores_.size());
+  for (std::size_t p = 0; p < stores_.size(); ++p) {
+    rl.ids[p] = stores_[p].at(rl.line.index[p]).id;
+  }
+  return rl;
+}
+
+RecoveryLine TimeMachine::rollback() {
+  RecoveryLine rl = compute_line();
+  execute_line(rl);
+  return rl;
+}
+
+RecoveryLine TimeMachine::rollback_to(ProcessId failed,
+                                      std::size_t ckpt_index) {
+  FIXD_CHECK_MSG(failed < stores_.size(), "rollback_to: bad pid");
+  std::vector<std::ptrdiff_t> pinned(stores_.size(), -1);
+  pinned[failed] = static_cast<std::ptrdiff_t>(ckpt_index);
+  RecoveryLine rl;
+  rl.line = RecoveryLineSolver::solve_pinned(clock_history(), pinned);
+  rl.ids.resize(stores_.size());
+  for (std::size_t p = 0; p < stores_.size(); ++p) {
+    rl.ids[p] = stores_[p].at(rl.line.index[p]).id;
+  }
+  execute_line(rl);
+  return rl;
+}
+
+void TimeMachine::execute_line(RecoveryLine& rl) {
+  const std::size_t n = stores_.size();
+
+  // 1. Restore every process to its chosen checkpoint.
+  std::vector<const VectorClock*> cut(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const StoredCheckpoint& sc = stores_[pid].at(rl.line.index[pid]);
+    world_.restore_process(pid, sc.data);
+    cut[pid] = &sc.data.vclock;
+  }
+
+  // 2. Drop in-flight messages sent after the line (their sends have been
+  //    undone; the re-execution will regenerate them).
+  std::vector<MsgId> to_drop;
+  for (const net::Message* m : world_.network().pending()) {
+    if (m->vclock.size() == 0) continue;  // pre-seal traffic (not possible)
+    if (m->vclock[m->src] > (*cut[m->src])[m->src]) {
+      to_drop.push_back(m->id);
+    }
+  }
+  for (MsgId id : to_drop) world_.network().drop(id, /*forced=*/true);
+  rl.dropped = to_drop.size();
+  stats_.messages_dropped += to_drop.size();
+
+  // 3. Re-inject logged messages that crossed the line: sent before the
+  //    sender's cut, delivered after the receiver's cut. Without this the
+  //    rollback would lose them (the classic in-transit message problem).
+  std::deque<DeliveredRecord> keep;
+  for (const DeliveredRecord& rec : delivered_log_) {
+    const net::Message& m = rec.msg;
+    bool sent_before_cut = m.vclock[m.src] <= (*cut[m.src])[m.src];
+    bool delivered_after_cut = rec.dst_own_after > (*cut[m.dst])[m.dst];
+    if (delivered_after_cut) {
+      if (sent_before_cut) {
+        world_.network().reinject(m);
+        ++rl.reinjected;
+        ++stats_.messages_reinjected;
+      }
+      // Either way this delivery has been undone; forget it. Re-deliveries
+      // will be logged afresh.
+    } else {
+      keep.push_back(rec);
+    }
+  }
+  delivered_log_ = std::move(keep);
+  rl.reinjected = rl.reinjected;  // (clarity; already accumulated)
+
+  // 4. Checkpoints in the undone future are no longer valid restore points.
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    stores_[pid].truncate_after(rl.line.index[pid]);
+  }
+
+  ++stats_.rollbacks;
+}
+
+}  // namespace fixd::ckpt

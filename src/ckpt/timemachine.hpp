@@ -1,0 +1,136 @@
+// The Time Machine (§3.2, Fig. 2): rollback of the distributed application
+// to a consistent global state.
+//
+// Attached to a world, the Time Machine:
+//   - takes an initial checkpoint of every process,
+//   - takes periodic and/or communication-induced checkpoints per policy,
+//   - logs delivered messages (sender-based message logging) so that a
+//     rollback can re-inject messages that were in flight across the
+//     recovery line,
+//   - computes consistent recovery lines over the checkpoint histories
+//     (RecoveryLineSolver) and performs the actual rollback: restore each
+//     process, drop channel traffic sent after the line, re-inject logged
+//     messages delivered after the line.
+//
+// COW mode keeps checkpoints as shared page tables (cheap); full mode
+// serializes (transmissible). bench/fig2_time_machine measures both.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/recovery.hpp"
+#include "rt/hooks.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::ckpt {
+
+struct TimeMachineOptions {
+  std::size_t store_capacity = 64;
+  bool cow = true;
+  /// Take a checkpoint of a process every N events it handles (0 = off).
+  std::uint64_t periodic_interval = 0;
+  /// Communication-induced: checkpoint before every receive (Fig. 6) and
+  /// after any event in which the process sent messages. The send-side half
+  /// keeps pure senders checkpointed — without it their only checkpoint is
+  /// the initial one and every receiver dominoes back to the start.
+  bool cic = false;
+  /// Delivered-message log capacity (ring).
+  std::size_t delivered_log_capacity = 1 << 16;
+};
+
+struct TimeMachineStats {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ckpt_initial = 0;
+  std::uint64_t ckpt_periodic = 0;
+  std::uint64_t ckpt_cic = 0;
+  std::uint64_t ckpt_manual = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t messages_dropped = 0;    ///< sent-after-line channel drops
+  std::uint64_t messages_reinjected = 0; ///< logged deliveries re-injected
+};
+
+/// A computed (and possibly executed) recovery line.
+struct RecoveryLine {
+  LineResult line;
+  std::vector<CheckpointId> ids;  ///< chosen checkpoint id per process
+  std::size_t dropped = 0;
+  std::size_t reinjected = 0;
+};
+
+class TimeMachine final : public rt::StepInterceptor,
+                          public rt::RuntimeObserver {
+ public:
+  TimeMachine(rt::World& world, TimeMachineOptions opts = {});
+  ~TimeMachine() override;
+
+  TimeMachine(const TimeMachine&) = delete;
+  TimeMachine& operator=(const TimeMachine&) = delete;
+
+  /// Hook into the world and take initial checkpoints. World must be sealed.
+  void attach();
+  void detach();
+  bool attached() const { return attached_; }
+
+  const TimeMachineOptions& options() const { return opts_; }
+
+  /// Drop all history (stores + delivered-message log) and re-take initial
+  /// checkpoints of the current state. Used after a restart or a dynamic
+  /// update: old-version checkpoints are not valid restore points for the
+  /// new code, so the updated system starts a fresh checkpoint era.
+  void reset();
+
+  /// Manual checkpoint of one process.
+  CheckpointId take_checkpoint(ProcessId pid,
+                               CkptReason reason = CkptReason::kManual);
+
+  /// Checkpoint every process (a manual global cut; consistent only if the
+  /// world is between events, which it is whenever user code runs).
+  void take_global_checkpoint(CkptReason reason = CkptReason::kManual);
+
+  const CheckpointStore& store(ProcessId pid) const;
+
+  /// Compute the most recent consistent line without executing it.
+  RecoveryLine compute_line() const;
+
+  /// Compute a line with `failed` pinned to its checkpoint `ckpt_index`
+  /// (the faulty process chooses how far back it must go; the rest of the
+  /// system adapts), then execute the rollback.
+  RecoveryLine rollback_to(ProcessId failed, std::size_t ckpt_index);
+
+  /// Roll back to the most recent consistent line.
+  RecoveryLine rollback();
+
+  const TimeMachineStats& stats() const { return stats_; }
+
+  /// Total retained checkpoint storage (bytes) across processes.
+  std::uint64_t retained_bytes() const;
+
+  // --- rt::StepInterceptor --------------------------------------------------
+  bool before_event(rt::World& w, const rt::EventDesc& ev) override;
+  void after_event(rt::World& w, const rt::EventDesc& ev) override;
+
+  // --- rt::RuntimeObserver --------------------------------------------------
+  void on_deliver(const rt::World& w, const net::Message& msg) override;
+
+ private:
+  struct DeliveredRecord {
+    net::Message msg;
+    /// Receiver's own vector-clock component right after the delivery.
+    std::uint64_t dst_own_after = 0;
+  };
+
+  std::vector<std::vector<VectorClock>> clock_history() const;
+  void execute_line(RecoveryLine& rl);
+
+  rt::World& world_;
+  TimeMachineOptions opts_;
+  std::vector<CheckpointStore> stores_;
+  std::deque<DeliveredRecord> delivered_log_;
+  TimeMachineStats stats_;
+  std::uint64_t submitted_before_event_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace fixd::ckpt

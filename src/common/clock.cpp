@@ -1,0 +1,30 @@
+#include "common/clock.hpp"
+
+namespace fixd {
+
+CausalOrder VectorClock::compare(const VectorClock& other) const {
+  if (other.size() != size())
+    throw SerializationError("vector clock size mismatch in compare");
+  bool le = true;  // this <= other componentwise
+  bool ge = true;  // this >= other componentwise
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) le = false;
+    if (v_[i] < other.v_[i]) ge = false;
+  }
+  if (le && ge) return CausalOrder::kEqual;
+  if (le) return CausalOrder::kBefore;
+  if (ge) return CausalOrder::kAfter;
+  return CausalOrder::kConcurrent;
+}
+
+std::string VectorClock::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(v_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace fixd

@@ -1,0 +1,72 @@
+// Error types and checking macros used across FixD.
+//
+// FixD distinguishes programming errors (FIXD_CHECK -> FixdError subclasses,
+// these indicate misuse of the library or internal bugs) from *detected
+// application faults* (which are first-class values, see rt/invariant.hpp --
+// a fault in the application under test is data, not an exception).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fixd {
+
+/// Base class for all errors raised by the FixD library itself.
+class FixdError : public std::runtime_error {
+ public:
+  explicit FixdError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on malformed serialized data (truncated buffer, bad tag...).
+class SerializationError : public FixdError {
+ public:
+  explicit SerializationError(const std::string& what) : FixdError(what) {}
+};
+
+/// Raised on invalid configuration (unknown process id, bad parameters...).
+class ConfigError : public FixdError {
+ public:
+  explicit ConfigError(const std::string& what) : FixdError(what) {}
+};
+
+/// Raised when a checkpoint/rollback operation cannot be performed.
+class CheckpointError : public FixdError {
+ public:
+  explicit CheckpointError(const std::string& what) : FixdError(what) {}
+};
+
+/// Raised when a dynamic update cannot be applied safely.
+class UpdateError : public FixdError {
+ public:
+  explicit UpdateError(const std::string& what) : FixdError(what) {}
+};
+
+/// Raised when replay diverges from the recorded scroll.
+class ReplayDivergence : public FixdError {
+ public:
+  explicit ReplayDivergence(const std::string& what) : FixdError(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw FixdError(std::string("FIXD_CHECK failed: ") + expr + " at " + file +
+                  ":" + std::to_string(line) + (msg.empty() ? "" : ": ") + msg);
+}
+}  // namespace detail
+
+/// Internal invariant check. Throws FixdError on failure (never disabled:
+/// the library is a verification tool; silent corruption is worse than cost).
+#define FIXD_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::fixd::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define FIXD_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::fixd::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+}  // namespace fixd

@@ -1,0 +1,78 @@
+// 64-bit streaming hash used for model-checker state dedup and run digests.
+//
+// The hash is a simple multiply-xor construction (FNV-1a over 8-byte lanes
+// with a splitmix64 finalizer). It is NOT cryptographic; it only needs good
+// avalanche behaviour so that distinct world states rarely collide in the
+// visited set. Collisions are safe-for-soundness in the explorer's default
+// mode (a collision can only cause missed states, which the tests bound) and
+// the engine offers an exact mode that stores full state bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fixd {
+
+/// splitmix64 finalizer: excellent avalanche, cheap.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+/// Streaming hasher over arbitrary bytes.
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed = 0x46697844ull /* "FixD" */)
+      : state_(mix64(seed)) {}
+
+  Hasher& update(std::span<const std::byte> bytes) {
+    std::uint64_t lane = 0;
+    std::size_t i = 0;
+    for (const std::byte b : bytes) {
+      lane |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b))
+              << (8 * (i % 8));
+      if (++i % 8 == 0) {
+        state_ = hash_combine(state_, lane);
+        lane = 0;
+      }
+    }
+    if (i % 8 != 0) state_ = hash_combine(state_, lane ^ (i % 8));
+    len_ += bytes.size();
+    return *this;
+  }
+
+  Hasher& update_u64(std::uint64_t v) {
+    state_ = hash_combine(state_, v);
+    len_ += 8;
+    return *this;
+  }
+
+  Hasher& update_string(std::string_view s) {
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    return update({p, s.size()});
+  }
+
+  /// Final digest; includes total length so prefixes don't collide trivially.
+  std::uint64_t digest() const { return hash_combine(state_, len_); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t len_ = 0;
+};
+
+/// One-shot hash of a byte span.
+inline std::uint64_t hash_bytes(std::span<const std::byte> bytes,
+                                std::uint64_t seed = 0x46697844ull) {
+  return Hasher(seed).update(bytes).digest();
+}
+
+}  // namespace fixd

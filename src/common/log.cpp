@@ -1,0 +1,45 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fixd {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("FIXD_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[fixd:%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace fixd

@@ -1,0 +1,39 @@
+// Minimal leveled diagnostic logger for the FixD library itself.
+//
+// This is *library* logging (debugging FixD), entirely separate from the
+// Scroll (which records the application under test). Default level is Warn
+// so tests and benches stay quiet; set FIXD_LOG=debug|info|warn|error or call
+// set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fixd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global level; reads FIXD_LOG on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+#define FIXD_LOG(level, expr)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(                \
+                                       ::fixd::log_level())) {      \
+      std::ostringstream fixd_log_os;                               \
+      fixd_log_os << expr;                                          \
+      ::fixd::detail::log_emit((level), fixd_log_os.str());         \
+    }                                                               \
+  } while (0)
+
+#define FIXD_DEBUG(expr) FIXD_LOG(::fixd::LogLevel::kDebug, expr)
+#define FIXD_INFO(expr) FIXD_LOG(::fixd::LogLevel::kInfo, expr)
+#define FIXD_WARN(expr) FIXD_LOG(::fixd::LogLevel::kWarn, expr)
+#define FIXD_ERROR(expr) FIXD_LOG(::fixd::LogLevel::kError, expr)
+
+}  // namespace fixd

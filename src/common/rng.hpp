@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Determinism is the foundation of the whole system: the Scroll records RNG
+// draws, replay must reproduce them bit-for-bit, and the model checker needs
+// reproducible schedules. Therefore we implement the generator ourselves
+// (xoshiro256**) instead of relying on std::mt19937 distribution behaviour,
+// and the full generator state is serializable (checkpointed with a process).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+
+namespace fixd {
+
+/// splitmix64 generator; used to seed xoshiro and for cheap one-off streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state, fully serializable.
+class Rng {
+ public:
+  Rng() : Rng(0x5eedull) {}
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; rejection loop for exact uniformity.
+    while (true) {
+      std::uint64_t x = next_u64();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p) { return next_double() < p; }
+
+  void save(BinaryWriter& w) const {
+    for (auto s : state_) w.write_u64(s);
+  }
+
+  void load(BinaryReader& r) {
+    for (auto& s : state_) s = r.read_u64();
+  }
+
+  bool operator==(const Rng& other) const = default;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fixd

@@ -1,0 +1,4 @@
+// serialize.hpp is header-only; this translation unit exists so the library
+// has at least one object file and to fail fast if the header is not
+// self-contained.
+#include "common/serialize.hpp"

@@ -1,0 +1,45 @@
+// Core identifier and time types shared by every FixD module.
+//
+// All ids are plain integral types wrapped in distinct struct tags where the
+// distinction matters for correctness (ProcessId vs TimerId vs SpecId);
+// elsewhere plain aliases keep the API light.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fixd {
+
+/// Identifies a process in the distributed world. Dense: 0..N-1.
+using ProcessId = std::uint32_t;
+
+/// Virtual time in nanoseconds. The runtime is a discrete-event simulator;
+/// this is simulation time, not wall time.
+using VirtualTime = std::uint64_t;
+
+/// Monotonically increasing per-world sequence number for messages.
+using MsgId = std::uint64_t;
+
+/// Identifies a timer registered by a process.
+using TimerId = std::uint64_t;
+
+/// Identifies a speculation (see fixd::ckpt::SpeculationManager).
+using SpecId = std::uint64_t;
+
+/// Identifies a checkpoint within a process's checkpoint store.
+using CheckpointId = std::uint64_t;
+
+/// Lamport logical timestamp.
+using LamportTime = std::uint64_t;
+
+/// A sentinel "no process" value.
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// A sentinel "no checkpoint" value.
+inline constexpr CheckpointId kNoCheckpoint =
+    std::numeric_limits<CheckpointId>::max();
+
+/// A sentinel "no speculation" value.
+inline constexpr SpecId kNoSpec = std::numeric_limits<SpecId>::max();
+
+}  // namespace fixd

@@ -1,0 +1,184 @@
+#include "core/fixd.hpp"
+
+#include <algorithm>
+
+namespace fixd::core {
+
+FixdController::FixdController(rt::World& world, FixdOptions opts,
+                               heal::PatchRegistry patches)
+    : world_(world),
+      opts_(std::move(opts)),
+      patches_(std::move(patches)),
+      scroll_(opts_.logging),
+      tm_(world, opts_.tm) {
+  FIXD_CHECK_MSG(world_.sealed(), "FixD: world must be sealed");
+  world_.set_stop_on_violation(true);
+  world_.add_observer(&scroll_);
+  tm_.attach();
+  initial_ = world_.snapshot(/*cow=*/true);
+}
+
+FixdController::~FixdController() {
+  world_.remove_observer(&scroll_);
+  tm_.detach();
+}
+
+FixdReport FixdController::run_protected(std::uint64_t max_steps) {
+  FixdReport rep;
+  std::size_t attempt = 0;
+
+  while (true) {
+    auto t0 = Clock::now();
+    rt::RunResult run = world_.run(max_steps);
+    rep.phases.run_ms += ms_since(t0);
+    rep.final_run = run;
+
+    if (run.reason != rt::StopReason::kViolation) {
+      rep.completed = true;
+      break;
+    }
+
+    ++rep.faults_detected;
+    BugReport bug = handle_fault(attempt, rep);
+    rep.bugs.push_back(bug);
+
+    if (attempt + 1 >= opts_.max_recovery_attempts) {
+      rep.completed = false;
+      break;
+    }
+    if (!recover(rep.bugs.back(), rep)) {
+      rep.completed = false;
+      break;
+    }
+    ++attempt;
+  }
+
+  rep.scroll_records = scroll_.stats().records;
+  rep.scroll_bytes = scroll_.stats().bytes;
+  return rep;
+}
+
+BugReport FixdController::handle_fault(std::size_t attempt, FixdReport& rep) {
+  BugReport bug;
+  FIXD_CHECK_MSG(world_.has_violation(), "handle_fault without violation");
+  bug.violation = world_.violations().front();
+
+  // --- Phase: roll back to a consistent line (§3.2) ------------------------
+  auto t0 = Clock::now();
+  ProcessId failed =
+      bug.violation.pid == kNoProcess ? 0 : bug.violation.pid;
+  // Latest checkpoint strictly before the violation step, deepened by
+  // `attempt` on retries.
+  const auto& entries = tm_.store(failed).entries();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].data.step <= bug.violation.step) idx = i;
+  }
+  idx = (idx > attempt) ? idx - attempt : 0;
+  bug.line = tm_.rollback_to(failed, idx);
+
+  // Work retained = events whose effects survive the rollback.
+  std::uint64_t retained = 0;
+  for (ProcessId p = 0; p < world_.size(); ++p) {
+    retained += world_.events_handled(p);
+  }
+  rep.work_retained_events = retained;
+  rep.phases.rollback_ms += ms_since(t0);
+
+  // --- Phase: collect checkpoints + models (Fig. 4) -------------------------
+  // Every healthy process replies to the fault notification with (a) a
+  // checkpoint consistent with the recovery line — serialized through the
+  // wire format and round-tripped, so the cost is the real cost — and (b) a
+  // model of its behaviour (here: the implementation itself, per §3.3).
+  t0 = Clock::now();
+  for (ProcessId p = 0; p < world_.size(); ++p) {
+    if (p == failed) continue;
+    ++bug.collect.control_messages;  // FAULT_NOTIFY failed -> p
+    bug.collect.control_bytes += 16;
+    rt::ProcessCheckpoint ckpt = world_.capture_process(p, /*cow=*/false);
+    BinaryWriter w;
+    ckpt.save(w);
+    ++bug.collect.control_messages;  // CKPT_REPLY p -> failed
+    bug.collect.control_bytes += w.size();
+    // Round-trip: the investigating node reconstructs the checkpoint from
+    // wire bytes (catches any non-transmissible state early).
+    BinaryReader r(w.bytes());
+    rt::ProcessCheckpoint back;
+    back.load(r);
+    FIXD_CHECK_MSG(back.root == ckpt.root,
+                   "checkpoint wire round-trip mismatch");
+    ++bug.collect.checkpoints_collected;
+    ++bug.collect.models_collected;  // clone_behavior() is the model
+  }
+  rep.phases.collect_ms += ms_since(t0);
+
+  // --- Phase: investigate (§3.3) --------------------------------------------
+  t0 = Clock::now();
+  // The violation that triggered us must not leak into the explorer's
+  // baseline; the rolled-back state is presumed clean.
+  world_.clear_violations();
+  mc::SysExploreOptions iopts = opts_.investigate;
+  if (!iopts.install_invariants) {
+    iopts.install_invariants = opts_.install_invariants;
+  }
+  mc::SystemExplorer explorer(world_, iopts);
+  mc::SysExploreResult res = explorer.explore();
+  bug.trails = res.violations;
+  bug.explore = res.stats;
+  rep.phases.investigate_ms += ms_since(t0);
+
+  bug.scroll_excerpt = scroll_.render(40);
+  return bug;
+}
+
+bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
+  auto t0 = Clock::now();
+
+  if (opts_.attempt_heal && patches_.size() > 0) {
+    // Pick the patch matching the faulty process (or any process if the
+    // violation was global).
+    const heal::UpdatePatch* patch = nullptr;
+    if (bug.violation.pid != kNoProcess) {
+      patch = patches_.find(world_.process(bug.violation.pid));
+    }
+    if (!patch) {
+      for (ProcessId p = 0; p < world_.size() && !patch; ++p) {
+        patch = patches_.find(world_.process(p));
+      }
+    }
+    if (patch) {
+      heal::Healer healer(world_);
+      heal::HealReport hr = healer.apply_all(*patch);
+      if (hr.ok) {
+        ++rep.heals_applied;
+        world_.clear_violations();
+        tm_.reset();  // old-version checkpoints are not valid restore points
+        rep.phases.heal_ms += ms_since(t0);
+        return true;
+      }
+    }
+  }
+
+  if (opts_.restart_on_heal_failure) {
+    // §3.4: "the simplest option ... restarted from the beginning". Apply
+    // any applicable patches to the fresh instances so the restart is with
+    // corrected code when a fix exists.
+    world_.restore(initial_);
+    world_.clear_violations();
+    if (patches_.size() > 0) {
+      heal::Healer healer(world_);
+      for (const auto& patch : patches_.all()) {
+        healer.apply_all(patch);  // best effort; failure means no such proc
+      }
+    }
+    tm_.reset();
+    ++rep.restarts;
+    rep.phases.heal_ms += ms_since(t0);
+    return true;
+  }
+
+  rep.phases.heal_ms += ms_since(t0);
+  return false;
+}
+
+}  // namespace fixd::core

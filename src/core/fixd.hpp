@@ -1,0 +1,139 @@
+// The FixD controller: the glue the paper contributes (§3, Fig. 4).
+//
+// Wires the four components over a running world:
+//
+//   Scroll        records the run (attached as an observer)
+//   Time Machine  checkpoints per policy; rolls back on fault
+//   Investigator  explores from the restored state; returns trails
+//   Healer        applies a registered patch, or restarts from scratch
+//
+// run_protected() drives the loop:
+//
+//   run ──fault──> rollback to a consistent line (failed process pins it)
+//        └──────── collect checkpoints+models from the other processes
+//                  (the Fig. 4 exchange: serialized ProcessCheckpoints —
+//                  round-tripped through the wire format so the cost is
+//                  real, and accounted as control-plane traffic)
+//        └──────── investigate: SystemExplorer finds violation trails
+//        └──────── heal: dynamic update at the rolled-back state; if no
+//                  patch applies, restart from the initial state (§3.4's
+//                  "simplest option")
+//        └──────── resume; repeat up to max_recovery_attempts
+//
+// Escalation: on the r-th attempt for the same fault, the failed process is
+// rolled back r extra checkpoints — "maybe the latest checkpoint is already
+// inside the doomed region".
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/timemachine.hpp"
+#include "heal/healer.hpp"
+#include "heal/patch.hpp"
+#include "mc/sysmodel.hpp"
+#include "rt/world.hpp"
+#include "scroll/scroll.hpp"
+
+namespace fixd::core {
+
+struct FixdOptions {
+  scroll::LoggingPreset logging = scroll::LoggingPreset::digests();
+  ckpt::TimeMachineOptions tm = [] {
+    ckpt::TimeMachineOptions o;
+    o.cic = true;  // the paper's communication-induced policy (§4.2)
+    return o;
+  }();
+  mc::SysExploreOptions investigate;
+  bool attempt_heal = true;
+  bool restart_on_heal_failure = true;
+  std::size_t max_recovery_attempts = 3;
+  /// Registers the application's invariants on investigation worlds.
+  std::function<void(rt::World&)> install_invariants;
+};
+
+/// Fig. 4 exchange accounting.
+struct CollectStats {
+  std::uint64_t control_messages = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t checkpoints_collected = 0;
+  std::uint64_t models_collected = 0;
+};
+
+struct PhaseBreakdown {
+  double run_ms = 0;
+  double rollback_ms = 0;
+  double collect_ms = 0;
+  double investigate_ms = 0;
+  double heal_ms = 0;
+  double total_ms() const {
+    return run_ms + rollback_ms + collect_ms + investigate_ms + heal_ms;
+  }
+};
+
+struct BugReport {
+  rt::Violation violation;
+  ckpt::RecoveryLine line;
+  CollectStats collect;
+  std::vector<mc::SysViolation> trails;
+  mc::ExploreStats explore;
+  std::string scroll_excerpt;
+
+  std::string render() const;
+};
+
+struct FixdReport {
+  bool completed = false;
+  rt::RunResult final_run;
+  std::size_t faults_detected = 0;
+  std::size_t heals_applied = 0;
+  std::size_t restarts = 0;
+  std::vector<BugReport> bugs;
+  PhaseBreakdown phases;
+  std::uint64_t scroll_records = 0;
+  std::uint64_t scroll_bytes = 0;
+  std::uint64_t work_retained_events = 0;  ///< events preserved by rollbacks
+
+  std::string render() const;
+};
+
+class FixdController {
+ public:
+  FixdController(rt::World& world, FixdOptions opts,
+                 heal::PatchRegistry patches = {});
+  ~FixdController();
+
+  FixdController(const FixdController&) = delete;
+  FixdController& operator=(const FixdController&) = delete;
+
+  /// Run the application under FixD protection.
+  FixdReport run_protected(std::uint64_t max_steps = 1ull << 40);
+
+  const scroll::Scroll& the_scroll() const { return scroll_; }
+  ckpt::TimeMachine& time_machine() { return tm_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  }
+
+  /// The Fig. 4 pipeline for the current violation. Returns the bug report;
+  /// `attempt` deepens the rollback.
+  BugReport handle_fault(std::size_t attempt, FixdReport& rep);
+
+  /// Heal or restart; returns true if the run may resume.
+  bool recover(const BugReport& bug, FixdReport& rep);
+
+  rt::World& world_;
+  FixdOptions opts_;
+  heal::PatchRegistry patches_;
+  scroll::Scroll scroll_;
+  ckpt::TimeMachine tm_;
+  rt::WorldSnapshot initial_;
+};
+
+}  // namespace fixd::core

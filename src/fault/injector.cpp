@@ -1,0 +1,94 @@
+#include "fault/injector.hpp"
+
+namespace fixd::fault {
+
+std::size_t FaultInjector::add(FaultSpec spec) {
+  const std::uint64_t seed = spec.seed;
+  Armed a{std::move(spec), Rng(seed), false};
+  faults_.push_back(std::move(a));
+  return faults_.size() - 1;
+}
+
+bool FaultInjector::should_fire(Armed& a, const rt::World& w,
+                                ProcessId event_target) {
+  if (a.fired && a.spec.once) return false;
+  if (w.step_count() < a.spec.at_step) return false;
+  if (a.spec.target != kNoProcess && a.spec.target != event_target)
+    return false;
+  if (a.spec.probability < 1.0 && !a.rng.next_bool(a.spec.probability))
+    return false;
+  return true;
+}
+
+bool FaultInjector::before_event(rt::World& w, const rt::EventDesc& ev) {
+  bool allow = true;
+  for (Armed& a : faults_) {
+    switch (a.spec.kind) {
+      case FaultKind::kCrashStop: {
+        // Crash fires on the target's own next event.
+        if (ev.pid == (a.spec.target == kNoProcess ? ev.pid : a.spec.target) &&
+            should_fire(a, w, ev.pid)) {
+          w.set_crashed(ev.pid, true);
+          a.fired = true;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+          allow = false;  // the event is consumed by the crash
+        }
+        break;
+      }
+      case FaultKind::kMessageLoss: {
+        if (ev.kind == rt::EventKind::kDeliver &&
+            should_fire(a, w, ev.pid)) {
+          a.fired = true;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+          allow = false;  // suppress => forced drop in the dispatch pipeline
+        }
+        break;
+      }
+      case FaultKind::kMessageCorrupt: {
+        if (ev.kind == rt::EventKind::kDeliver && a.spec.corrupt_message &&
+            should_fire(a, w, ev.pid)) {
+          if (w.network().mutate(ev.msg, a.spec.corrupt_message)) {
+            a.fired = true;
+            injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                                 a.spec.note});
+          }
+        }
+        break;
+      }
+      case FaultKind::kMessageDuplicate: {
+        if (ev.kind == rt::EventKind::kDeliver &&
+            should_fire(a, w, ev.pid)) {
+          if (w.network().duplicate(ev.msg)) {
+            a.fired = true;
+            injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                                 a.spec.note});
+          }
+        }
+        break;
+      }
+      case FaultKind::kStateCorruption: {
+        if (a.spec.corrupt_state && should_fire(a, w, ev.pid)) {
+          a.spec.corrupt_state(w.process(ev.pid));
+          a.fired = true;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+        }
+        break;
+      }
+      case FaultKind::kCustom: {
+        if (a.spec.custom && should_fire(a, w, ev.pid)) {
+          a.spec.custom(w);
+          a.fired = true;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+        }
+        break;
+      }
+    }
+  }
+  return allow;
+}
+
+}  // namespace fixd::fault

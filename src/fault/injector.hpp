@@ -1,0 +1,99 @@
+// Deterministic fault injection.
+//
+// The evaluation needs faults on demand: crash a replica at step 40, drop
+// the third vote message, corrupt a token payload, flip a byte of process
+// state. The injector is a StepInterceptor whose specs have *deterministic*
+// triggers (step thresholds / event counts / seeded coin flips), so an
+// injected run is reproducible — which is what lets the Scroll replay runs
+// that include failures.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rt/hooks.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrashStop = 0,     ///< target stops handling events permanently
+  kMessageLoss,       ///< suppress a delivery to the target
+  kMessageCorrupt,    ///< mutate a message about to be delivered to target
+  kMessageDuplicate,  ///< duplicate a message about to be delivered
+  kStateCorruption,   ///< mutate the target's state in place
+  kCustom,            ///< arbitrary action on the world
+};
+
+inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashStop: return "crash-stop";
+    case FaultKind::kMessageLoss: return "message-loss";
+    case FaultKind::kMessageCorrupt: return "message-corrupt";
+    case FaultKind::kMessageDuplicate: return "message-duplicate";
+    case FaultKind::kStateCorruption: return "state-corruption";
+    case FaultKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrashStop;
+  /// Target process (kNoProcess = any; for message faults: the destination).
+  ProcessId target = kNoProcess;
+  /// Eligible from this world step on.
+  std::uint64_t at_step = 0;
+  /// Fire at most once (false: every eligible opportunity).
+  bool once = true;
+  /// Probability of firing at each eligible opportunity.
+  double probability = 1.0;
+  std::uint64_t seed = 0xfa1757ull;
+  /// For kStateCorruption.
+  std::function<void(rt::Process&)> corrupt_state;
+  /// For kMessageCorrupt.
+  std::function<void(net::Message&)> corrupt_message;
+  /// For kCustom.
+  std::function<void(rt::World&)> custom;
+  /// Shows up in reports.
+  std::string note;
+};
+
+struct InjectionEvent {
+  FaultKind kind;
+  ProcessId target;
+  std::uint64_t step;
+  std::string note;
+};
+
+class FaultInjector final : public rt::StepInterceptor {
+ public:
+  FaultInjector() = default;
+
+  /// Register a fault; returns its index.
+  std::size_t add(FaultSpec spec);
+
+  void attach(rt::World& w) { w.add_interceptor(this); }
+  void detach(rt::World& w) { w.remove_interceptor(this); }
+
+  bool before_event(rt::World& w, const rt::EventDesc& ev) override;
+
+  const std::vector<InjectionEvent>& injected() const { return injected_; }
+  std::size_t fired_count() const { return injected_.size(); }
+  void reset_history() { injected_.clear(); }
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    Rng rng;
+    bool fired = false;
+  };
+
+  bool should_fire(Armed& a, const rt::World& w, ProcessId event_target);
+
+  std::vector<Armed> faults_;
+  std::vector<InjectionEvent> injected_;
+};
+
+}  // namespace fixd::fault

@@ -1,0 +1,76 @@
+// Update patches: the unit of dynamic software update (§3.4, §4.4).
+//
+// A patch targets a process type+version and provides:
+//   - a factory for the replacement behaviour (the fixed code),
+//   - a state transformer mapping the old serialized root state to the new
+//     representation (Ginseng's state transformation contract), and
+//   - an optional post-update validator.
+//
+// The identity transform covers the common case where only code changed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/serialize.hpp"
+#include "rt/process.hpp"
+
+namespace fixd::heal {
+
+/// Maps old root-state bytes to new root-state bytes. Returns false when the
+/// old state has no equivalent in the new version (update must be refused).
+using StateTransform = std::function<bool(BinaryReader&, BinaryWriter&)>;
+
+/// Copies the state verbatim (layout-compatible update).
+inline bool identity_transform(BinaryReader& in, BinaryWriter& out) {
+  auto rest = in.read_raw(in.remaining());
+  out.write_raw(rest);
+  return true;
+}
+
+struct UpdatePatch {
+  /// Process::type_name() this patch applies to.
+  std::string target_type;
+  /// Versions: applicable iff the live process reports `from_version`.
+  std::uint32_t from_version = 1;
+  std::uint32_t to_version = 2;
+  /// Constructs a fresh instance of the new behaviour (state unloaded).
+  std::function<std::unique_ptr<rt::Process>()> factory;
+  /// State mapping; identity by default.
+  StateTransform transform = identity_transform;
+  /// Post-update check on the new process (nullopt = OK).
+  std::function<std::optional<std::string>(const rt::Process&)> validate;
+  /// Whether the COW heap content carries over to the new process.
+  bool carry_heap = true;
+  /// Human-readable change description (shows up in FixD reports).
+  std::string description;
+
+  bool applies_to(const rt::Process& p) const {
+    return p.type_name() == target_type && p.version() == from_version;
+  }
+};
+
+/// Patches indexed by (type, from_version).
+class PatchRegistry {
+ public:
+  void add(UpdatePatch patch) { patches_.push_back(std::move(patch)); }
+
+  /// First patch applicable to `p`, or nullptr.
+  const UpdatePatch* find(const rt::Process& p) const {
+    for (const auto& patch : patches_) {
+      if (patch.applies_to(p)) return &patch;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return patches_.size(); }
+  const std::vector<UpdatePatch>& all() const { return patches_; }
+
+ private:
+  std::vector<UpdatePatch> patches_;
+};
+
+}  // namespace fixd::heal

@@ -1,0 +1,241 @@
+// The ModelD back-end engine: state-space exploration over guarded models.
+//
+// "The back-end component is responsible for performing the actual state
+// transitions, keeping track of the visited execution paths (calculating the
+// reachability graph), and verifying that no user-specified invariants are
+// violated." (§4.3)
+//
+// Search orders (the "customize the search order" feature):
+//   kDfs        depth-first, cheap frontier, long counterexamples
+//   kBfs        breadth-first, shortest counterexamples
+//   kPriority   best-first by a user heuristic (ModelD's heuristic search)
+//   kRandomWalk repeated seeded walks with restarts (no visited set)
+//
+// The engine records the reachability graph as (parent, action) links so a
+// violation's full trail is reconstructible without storing states.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mc/guarded.hpp"
+
+namespace fixd::mc {
+
+enum class SearchOrder { kDfs, kBfs, kPriority, kRandomWalk };
+
+inline const char* to_string(SearchOrder o) {
+  switch (o) {
+    case SearchOrder::kDfs: return "dfs";
+    case SearchOrder::kBfs: return "bfs";
+    case SearchOrder::kPriority: return "priority";
+    case SearchOrder::kRandomWalk: return "random-walk";
+  }
+  return "?";
+}
+
+struct ExploreStats {
+  std::uint64_t states = 0;       ///< unique states visited
+  std::uint64_t transitions = 0;  ///< actions executed
+  std::uint64_t duplicates = 0;   ///< transitions into already-seen states
+  std::uint64_t max_depth = 0;
+  bool truncated = false;  ///< a budget (states/depth) was exhausted
+};
+
+struct ModelViolation {
+  std::string invariant;
+  std::string detail;
+  std::vector<std::string> trail;  ///< action names from the initial state
+  std::size_t depth = 0;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::vector<ModelViolation> violations;
+  bool found_violation() const { return !violations.empty(); }
+};
+
+struct ExploreOptions {
+  SearchOrder order = SearchOrder::kBfs;
+  std::size_t max_states = 1 << 20;
+  std::size_t max_depth = 1 << 20;
+  std::size_t max_violations = 1;  ///< stop after this many violations
+  std::uint64_t seed = 42;         ///< random-walk seed
+  std::size_t walk_restarts = 64;  ///< random-walk budget
+};
+
+template <typename S>
+class Explorer {
+ public:
+  using PriorityFn = std::function<double(const S&)>;
+
+  explicit Explorer(const GuardedModel<S>& model, ExploreOptions opts = {})
+      : model_(model), opts_(opts) {}
+
+  /// Heuristic for kPriority (higher explored first).
+  void set_priority(PriorityFn fn) { priority_ = std::move(fn); }
+
+  ExploreResult explore() {
+    if (opts_.order == SearchOrder::kRandomWalk) return random_walk();
+    return graph_search();
+  }
+
+ private:
+  struct Node {
+    S state;
+    std::size_t meta;   ///< index into meta_ (trail reconstruction)
+    std::size_t depth;
+    double priority = 0.0;
+  };
+  struct Meta {
+    std::size_t parent;      ///< index into meta_; npos for root
+    std::size_t action_idx;  ///< action taken from parent
+  };
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::vector<std::string> trail_of(std::size_t meta_idx) const {
+    std::vector<std::string> t;
+    while (meta_idx != kNpos) {
+      const Meta& m = meta_[meta_idx];
+      if (m.parent == kNpos && m.action_idx == kNpos) break;
+      t.push_back(model_.actions()[m.action_idx].name);
+      meta_idx = m.parent;
+    }
+    std::reverse(t.begin(), t.end());
+    return t;
+  }
+
+  void check_state(const S& s, std::size_t meta_idx, std::size_t depth,
+                   ExploreResult& res) {
+    if (auto v = model_.violated(s)) {
+      ModelViolation mv;
+      mv.invariant = v->first;
+      mv.detail = v->second;
+      mv.trail = trail_of(meta_idx);
+      mv.depth = depth;
+      res.violations.push_back(std::move(mv));
+    }
+  }
+
+  ExploreResult graph_search() {
+    ExploreResult res;
+    std::unordered_set<std::uint64_t> visited;
+
+    auto cmp = [](const Node& a, const Node& b) {
+      return a.priority < b.priority;  // max-heap by priority
+    };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> pq(cmp);
+    std::deque<Node> fifo;  // BFS front / DFS back
+
+    meta_.clear();
+    meta_.push_back({kNpos, kNpos});
+    Node root{model_.initial(), 0, 0, 0.0};
+    visited.insert(model_.hash_state(root.state));
+    ++res.stats.states;
+    check_state(root.state, 0, 0, res);
+    if (res.violations.size() >= opts_.max_violations) return res;
+
+    if (opts_.order == SearchOrder::kPriority) {
+      if (priority_) root.priority = priority_(root.state);
+      pq.push(std::move(root));
+    } else {
+      fifo.push_back(std::move(root));
+    }
+
+    while (true) {
+      Node cur;
+      if (opts_.order == SearchOrder::kPriority) {
+        if (pq.empty()) break;
+        cur = pq.top();
+        pq.pop();
+      } else if (opts_.order == SearchOrder::kBfs) {
+        if (fifo.empty()) break;
+        cur = std::move(fifo.front());
+        fifo.pop_front();
+      } else {  // DFS
+        if (fifo.empty()) break;
+        cur = std::move(fifo.back());
+        fifo.pop_back();
+      }
+
+      if (cur.depth >= opts_.max_depth) {
+        res.stats.truncated = true;
+        continue;
+      }
+
+      for (std::size_t ai : model_.fireable(cur.state)) {
+        S next = cur.state;
+        model_.actions()[ai].effect(next);
+        ++res.stats.transitions;
+        std::uint64_t h = model_.hash_state(next);
+        if (!visited.insert(h).second) {
+          ++res.stats.duplicates;
+          continue;
+        }
+        ++res.stats.states;
+        meta_.push_back({cur.meta, ai});
+        std::size_t mi = meta_.size() - 1;
+        std::size_t depth = cur.depth + 1;
+        res.stats.max_depth = std::max<std::uint64_t>(res.stats.max_depth,
+                                                      depth);
+        check_state(next, mi, depth, res);
+        if (res.violations.size() >= opts_.max_violations) return res;
+        if (res.stats.states >= opts_.max_states) {
+          res.stats.truncated = true;
+          return res;
+        }
+        Node child{std::move(next), mi, depth, 0.0};
+        if (opts_.order == SearchOrder::kPriority) {
+          if (priority_) child.priority = priority_(child.state);
+          pq.push(std::move(child));
+        } else {
+          fifo.push_back(std::move(child));
+        }
+      }
+    }
+    return res;
+  }
+
+  ExploreResult random_walk() {
+    ExploreResult res;
+    Rng rng(opts_.seed);
+    for (std::size_t walk = 0; walk < opts_.walk_restarts; ++walk) {
+      S cur = model_.initial();
+      std::vector<std::string> trail;
+      ++res.stats.states;
+      for (std::size_t d = 0; d < opts_.max_depth; ++d) {
+        if (auto v = model_.violated(cur)) {
+          ModelViolation mv;
+          mv.invariant = v->first;
+          mv.detail = v->second;
+          mv.trail = trail;
+          mv.depth = d;
+          res.violations.push_back(std::move(mv));
+          break;
+        }
+        auto fire = model_.fireable(cur);
+        if (fire.empty()) break;
+        std::size_t ai = fire[rng.next_below(fire.size())];
+        model_.actions()[ai].effect(cur);
+        trail.push_back(model_.actions()[ai].name);
+        ++res.stats.transitions;
+        ++res.stats.states;
+        res.stats.max_depth = std::max<std::uint64_t>(res.stats.max_depth,
+                                                      d + 1);
+      }
+      if (res.violations.size() >= opts_.max_violations) break;
+    }
+    return res;
+  }
+
+  const GuardedModel<S>& model_;
+  ExploreOptions opts_;
+  PriorityFn priority_;
+  std::vector<Meta> meta_;
+};
+
+}  // namespace fixd::mc

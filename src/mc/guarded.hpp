@@ -1,0 +1,130 @@
+// ModelD's guarded-command front end (§4.3, Fig. 7).
+//
+// "The model checking engine is based on a guarded command model, where the
+// behavior of the system is described by a set of guarded commands that can
+// be chosen for execution any time."
+//
+// A GuardedModel<S> is: an initial state, a set of named actions
+// (guard: S -> bool, effect: S -> S), and a set of invariants. The engine
+// (mc/engine.hpp) explores the induced transition system. Two ModelD
+// features the paper leans on are first-class here:
+//
+//  - dynamic action sets: actions can be added/enabled/disabled between (or
+//    during, via ActionSetEditor) explorations — "the ability to dynamically
+//    change the set of actions available to the model checking engine";
+//  - customizable search order — "the ability to customize the search order
+//    for the state graph" (see ExploreOptions::order / priority).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+
+namespace fixd::mc {
+
+template <typename S>
+struct GuardedAction {
+  std::string name;
+  std::function<bool(const S&)> guard;
+  std::function<void(S&)> effect;
+  bool enabled = true;
+};
+
+template <typename S>
+struct ModelInvariant {
+  std::string name;
+  /// nullopt = holds; string = violation detail.
+  std::function<std::optional<std::string>(const S&)> check;
+};
+
+/// Default state hasher for states providing save(BinaryWriter&).
+template <typename S>
+std::uint64_t hash_by_serialization(const S& s) {
+  BinaryWriter w;
+  s.save(w);
+  return hash_bytes(w.bytes());
+}
+
+template <typename S>
+class GuardedModel {
+ public:
+  using HashFn = std::function<std::uint64_t(const S&)>;
+
+  GuardedModel(S initial, HashFn hash)
+      : initial_(std::move(initial)), hash_(std::move(hash)) {
+    FIXD_CHECK_MSG(hash_ != nullptr, "GuardedModel: null hash fn");
+  }
+
+  /// Convenience for serializable states.
+  static GuardedModel with_serial_hash(S initial) {
+    return GuardedModel(std::move(initial), &hash_by_serialization<S>);
+  }
+
+  /// Register an action; returns its handle.
+  std::size_t add_action(std::string name, std::function<bool(const S&)> guard,
+                         std::function<void(S&)> effect) {
+    GuardedAction<S> a;
+    a.name = std::move(name);
+    a.guard = std::move(guard);
+    a.effect = std::move(effect);
+    actions_.push_back(std::move(a));
+    return actions_.size() - 1;
+  }
+
+  /// Enable/disable an action (dynamic action-set mutation).
+  void set_enabled(std::size_t handle, bool enabled) {
+    FIXD_CHECK_MSG(handle < actions_.size(), "bad action handle");
+    actions_[handle].enabled = enabled;
+  }
+
+  bool is_enabled(std::size_t handle) const {
+    FIXD_CHECK_MSG(handle < actions_.size(), "bad action handle");
+    return actions_[handle].enabled;
+  }
+
+  void add_invariant(std::string name,
+                     std::function<std::optional<std::string>(const S&)> fn) {
+    invariants_.push_back({std::move(name), std::move(fn)});
+  }
+
+  const S& initial() const { return initial_; }
+  void set_initial(S s) { initial_ = std::move(s); }
+
+  const std::vector<GuardedAction<S>>& actions() const { return actions_; }
+  const std::vector<ModelInvariant<S>>& invariants() const {
+    return invariants_;
+  }
+
+  std::uint64_t hash_state(const S& s) const { return hash_(s); }
+
+  /// Indices of actions whose guard holds in `s` (enabled ones only).
+  std::vector<std::size_t> fireable(const S& s) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      if (actions_[i].enabled && actions_[i].guard(s)) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// First violated invariant in `s`, if any.
+  std::optional<std::pair<std::string, std::string>> violated(
+      const S& s) const {
+    for (const auto& inv : invariants_) {
+      if (auto r = inv.check(s)) return std::make_pair(inv.name, *r);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  S initial_;
+  HashFn hash_;
+  std::vector<GuardedAction<S>> actions_;
+  std::vector<ModelInvariant<S>> invariants_;
+};
+
+}  // namespace fixd::mc

@@ -1,0 +1,7 @@
+// ModelD is header-only (templates); this TU verifies the headers are
+// self-contained and anchors the library.
+#include "mc/modeld.hpp"
+#include "mc/engine.hpp"
+#include "mc/guarded.hpp"
+#include "mc/models.hpp"
+#include "mc/trail.hpp"

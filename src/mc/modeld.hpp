@@ -1,0 +1,110 @@
+// ModelD: the named model checker contributed by the paper (Fig. 7).
+//
+// The original ModelD has two components: a Camlp4 syntax extension
+// (front end) and a guarded-command exploration engine (back end). Here the
+// front end is a fluent C++ builder — the closest native analogue of a
+// syntax extension — and the back end is mc/engine.hpp.
+//
+//   auto m = ModelD<State>::build(initial)
+//              .action("inc", guard, effect)
+//              .invariant("bounded", check)
+//              .done();
+//   auto result = m.check({.order = SearchOrder::kBfs});
+//
+// The feature the paper highlights — "inject actions that divert the
+// execution of a program using an updated version of the actions" (§4.4,
+// the Healer's ModelD path) — is exposed as inject_action / retire_action:
+// the action set can be edited between explorations, and the engine picks
+// up the new behaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "mc/engine.hpp"
+#include "mc/guarded.hpp"
+
+namespace fixd::mc {
+
+template <typename S>
+class ModelD {
+ public:
+  class Builder {
+   public:
+    explicit Builder(S initial)
+        : model_(GuardedModel<S>::with_serial_hash(std::move(initial))) {}
+
+    Builder& action(std::string name, std::function<bool(const S&)> guard,
+                    std::function<void(S&)> effect) {
+      model_.add_action(std::move(name), std::move(guard), std::move(effect));
+      return *this;
+    }
+
+    /// Unconditional action.
+    Builder& action(std::string name, std::function<void(S&)> effect) {
+      model_.add_action(
+          std::move(name), [](const S&) { return true; }, std::move(effect));
+      return *this;
+    }
+
+    Builder& invariant(std::string name,
+                       std::function<std::optional<std::string>(const S&)> f) {
+      model_.add_invariant(std::move(name), std::move(f));
+      return *this;
+    }
+
+    /// Boolean-predicate convenience: violation when pred is false.
+    Builder& always(std::string name, std::function<bool(const S&)> pred) {
+      std::string n = name;
+      model_.add_invariant(
+          std::move(name),
+          [pred = std::move(pred), n](const S& s) -> std::optional<std::string> {
+            if (pred(s)) return std::nullopt;
+            return "predicate '" + n + "' is false";
+          });
+      return *this;
+    }
+
+    ModelD done() { return ModelD(std::move(model_)); }
+
+   private:
+    GuardedModel<S> model_;
+  };
+
+  static Builder build(S initial) { return Builder(std::move(initial)); }
+
+  /// Run the back-end engine with the given options.
+  ExploreResult check(ExploreOptions opts = {},
+                      typename Explorer<S>::PriorityFn priority = nullptr) {
+    Explorer<S> ex(model_, opts);
+    if (priority) ex.set_priority(std::move(priority));
+    return ex.explore();
+  }
+
+  /// Dynamic action-set mutation: add an action to the live model.
+  /// Returns the handle (usable with retire_action / restore_action).
+  std::size_t inject_action(std::string name,
+                            std::function<bool(const S&)> guard,
+                            std::function<void(S&)> effect) {
+    return model_.add_action(std::move(name), std::move(guard),
+                             std::move(effect));
+  }
+
+  /// Disable an action (e.g. the buggy version, after injecting the fix).
+  void retire_action(std::size_t handle) { model_.set_enabled(handle, false); }
+  void restore_action(std::size_t handle) { model_.set_enabled(handle, true); }
+
+  /// Reset the state the next exploration starts from (resume-from-
+  /// checkpoint exploration).
+  void set_initial(S s) { model_.set_initial(std::move(s)); }
+
+  GuardedModel<S>& model() { return model_; }
+  const GuardedModel<S>& model() const { return model_; }
+
+ private:
+  explicit ModelD(GuardedModel<S> m) : model_(std::move(m)) {}
+  GuardedModel<S> model_;
+};
+
+}  // namespace fixd::mc

@@ -1,0 +1,353 @@
+// A library of general-purpose guarded models.
+//
+// §4.5 (future work): "develop a set of general-purpose models designed to
+// integrate with ModelD in order to imitate the behavior of common and
+// well-known components of the environment". This header provides the
+// classics — both as ready substrates for environment modeling and as
+// engine workloads with known state counts and known bugs:
+//
+//   dining_philosophers(n)    deadlock when every philosopher holds one
+//                             fork (found via the no-progress invariant)
+//   peterson_mutex()          Peterson's algorithm (verifies), plus the
+//                             broken variant without the turn variable
+//   bounded_channel(cap)      a FIFO channel model with overflow invariant
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mc/guarded.hpp"
+
+namespace fixd::mc::models {
+
+// --- dining philosophers ------------------------------------------------------
+
+struct PhilosopherState {
+  // fork[i]: 0 free, else 1 + holder index. phase[i]: 0 thinking,
+  // 1 holds left, 2 eating.
+  std::array<std::uint8_t, 8> fork{};
+  std::array<std::uint8_t, 8> phase{};
+  std::uint8_t n = 0;
+  std::uint64_t meals = 0;
+
+  void save(BinaryWriter& w) const {
+    for (auto f : fork) w.write_u8(f);
+    for (auto p : phase) w.write_u8(p);
+    w.write_u8(n);
+    // meals deliberately excluded from the hash-relevant encoding? No —
+    // include: progress counting is part of the modeled state.
+    w.write_u64(meals);
+  }
+};
+
+/// The classic left-fork-first protocol: deadlocks when all n hold their
+/// left fork. `max_meals` bounds the state space.
+inline GuardedModel<PhilosopherState> dining_philosophers(
+    std::uint8_t n, std::uint64_t max_meals = 2) {
+  FIXD_CHECK_MSG(n >= 2 && n <= 8, "2..8 philosophers");
+  PhilosopherState init;
+  init.n = n;
+  auto m = GuardedModel<PhilosopherState>::with_serial_hash(init);
+
+  for (std::uint8_t i = 0; i < n; ++i) {
+    const std::uint8_t left = i;
+    const std::uint8_t right = static_cast<std::uint8_t>((i + 1) % n);
+    m.add_action(
+        "p" + std::to_string(i) + ".take-left",
+        [i, left, max_meals](const PhilosopherState& s) {
+          return s.phase[i] == 0 && s.fork[left] == 0 &&
+                 s.meals < max_meals;
+        },
+        [i, left](PhilosopherState& s) {
+          s.fork[left] = static_cast<std::uint8_t>(1 + i);
+          s.phase[i] = 1;
+        });
+    m.add_action(
+        "p" + std::to_string(i) + ".take-right",
+        [i, right](const PhilosopherState& s) {
+          return s.phase[i] == 1 && s.fork[right] == 0;
+        },
+        [i, right](PhilosopherState& s) {
+          s.fork[right] = static_cast<std::uint8_t>(1 + i);
+          s.phase[i] = 2;
+        });
+    m.add_action(
+        "p" + std::to_string(i) + ".put-down",
+        [i](const PhilosopherState& s) { return s.phase[i] == 2; },
+        [i, left, right](PhilosopherState& s) {
+          s.fork[left] = 0;
+          s.fork[right] = 0;
+          s.phase[i] = 0;
+          ++s.meals;
+        });
+  }
+
+  // Deadlock: everyone holds exactly their left fork.
+  m.add_invariant(
+      "no-deadlock",
+      [n](const PhilosopherState& s) -> std::optional<std::string> {
+        for (std::uint8_t i = 0; i < n; ++i) {
+          if (s.phase[i] != 1) return std::nullopt;
+        }
+        return "circular wait: every philosopher holds one fork";
+      });
+  return m;
+}
+
+/// The standard fix: the last philosopher picks the right fork first.
+inline GuardedModel<PhilosopherState> dining_philosophers_fixed(
+    std::uint8_t n, std::uint64_t max_meals = 2) {
+  auto m = dining_philosophers(n, max_meals);
+  // Retire the last philosopher's buggy order; inject the asymmetric one.
+  // Actions are laid out 3 per philosopher: [take-left, take-right, put].
+  const std::size_t base = static_cast<std::size_t>(n - 1) * 3;
+  m.set_enabled(base + 0, false);
+  m.set_enabled(base + 1, false);
+  const std::uint8_t i = static_cast<std::uint8_t>(n - 1);
+  const std::uint8_t left = i;
+  const std::uint8_t right = 0;
+  m.add_action(
+      "p" + std::to_string(i) + ".take-right-first",
+      [i, right, max_meals](const PhilosopherState& s) {
+        return s.phase[i] == 0 && s.fork[right] == 0 && s.meals < max_meals;
+      },
+      [i, right](PhilosopherState& s) {
+        s.fork[right] = static_cast<std::uint8_t>(1 + i);
+        s.phase[i] = 1;
+      });
+  m.add_action(
+      "p" + std::to_string(i) + ".take-left-second",
+      [i, left](const PhilosopherState& s) {
+        return s.phase[i] == 1 && s.fork[left] == 0;
+      },
+      [i, left](PhilosopherState& s) {
+        s.fork[left] = static_cast<std::uint8_t>(1 + i);
+        s.phase[i] = 2;
+      });
+  return m;
+}
+
+// --- Peterson's mutual exclusion ------------------------------------------------
+
+struct PetersonState {
+  std::uint8_t flag0 = 0, flag1 = 0;
+  std::uint8_t turn = 0;
+  std::uint8_t pc0 = 0, pc1 = 0;
+  std::uint8_t in_cs0 = 0, in_cs1 = 0;
+  std::uint64_t entries = 0;
+
+  void save(BinaryWriter& w) const {
+    w.write_u8(flag0);
+    w.write_u8(flag1);
+    w.write_u8(turn);
+    w.write_u8(pc0);
+    w.write_u8(pc1);
+    w.write_u8(in_cs0);
+    w.write_u8(in_cs1);
+    w.write_u64(entries);
+  }
+};
+
+namespace detail {
+inline void add_mutex_invariant(GuardedModel<PetersonState>& m) {
+  m.add_invariant("mutual-exclusion",
+                  [](const PetersonState& s) -> std::optional<std::string> {
+                    if (s.in_cs0 && s.in_cs1)
+                      return "both processes in the critical section";
+                    return std::nullopt;
+                  });
+}
+}  // namespace detail
+
+/// Peterson's algorithm (correct: flag + turn + gated entry). Verifies.
+///
+/// `use_turn=false` returns the broken check-then-act variant: each process
+/// first *checks* the other's flag, then sets its own and enters — the
+/// classic TOCTOU race in which both pass the check before either flag is
+/// visible.
+inline GuardedModel<PetersonState> peterson_mutex(bool use_turn = true,
+                                                  std::uint64_t max_entries =
+                                                      2) {
+  auto m = GuardedModel<PetersonState>::with_serial_hash(PetersonState{});
+
+  auto add_safe_proc = [&](int me) {
+    auto flag_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.flag0 : s.flag1;
+    };
+    auto pc_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.pc0 : s.pc1;
+    };
+    auto cs_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.in_cs0 : s.in_cs1;
+    };
+    auto pc_val = [me](const PetersonState& s) {
+      return me == 0 ? s.pc0 : s.pc1;
+    };
+    auto other_flag = [me](const PetersonState& s) {
+      return me == 0 ? s.flag1 : s.flag0;
+    };
+
+    m.add_action(
+        "p" + std::to_string(me) + ".request",
+        [pc_val, max_entries](const PetersonState& s) {
+          return pc_val(s) == 0 && s.entries < max_entries;
+        },
+        [flag_of, pc_of, me](PetersonState& s) {
+          flag_of(s) = 1;
+          s.turn = static_cast<std::uint8_t>(1 - me);
+          pc_of(s) = 1;
+        });
+    m.add_action(
+        "p" + std::to_string(me) + ".enter",
+        [pc_val, other_flag, me](const PetersonState& s) {
+          return pc_val(s) == 1 &&
+                 (other_flag(s) == 0 || s.turn == me);
+        },
+        [pc_of, cs_of](PetersonState& s) {
+          pc_of(s) = 2;
+          cs_of(s) = 1;
+          ++s.entries;
+        });
+    m.add_action(
+        "p" + std::to_string(me) + ".exit",
+        [pc_val](const PetersonState& s) { return pc_val(s) == 2; },
+        [flag_of, pc_of, cs_of](PetersonState& s) {
+          flag_of(s) = 0;
+          pc_of(s) = 0;
+          cs_of(s) = 0;
+        });
+  };
+
+  auto add_racy_proc = [&](int me) {
+    auto flag_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.flag0 : s.flag1;
+    };
+    auto pc_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.pc0 : s.pc1;
+    };
+    auto cs_of = [me](PetersonState& s) -> std::uint8_t& {
+      return me == 0 ? s.in_cs0 : s.in_cs1;
+    };
+    auto pc_val = [me](const PetersonState& s) {
+      return me == 0 ? s.pc0 : s.pc1;
+    };
+    auto other_flag = [me](const PetersonState& s) {
+      return me == 0 ? s.flag1 : s.flag0;
+    };
+
+    // BUG: check the other's flag BEFORE publishing our own intent.
+    m.add_action(
+        "p" + std::to_string(me) + ".check",
+        [pc_val, other_flag, max_entries](const PetersonState& s) {
+          return pc_val(s) == 0 && other_flag(s) == 0 &&
+                 s.entries < max_entries;
+        },
+        [pc_of](PetersonState& s) { pc_of(s) = 1; });
+    m.add_action(
+        "p" + std::to_string(me) + ".set-flag",
+        [pc_val](const PetersonState& s) { return pc_val(s) == 1; },
+        [flag_of, pc_of](PetersonState& s) {
+          flag_of(s) = 1;
+          pc_of(s) = 2;
+        });
+    m.add_action(
+        "p" + std::to_string(me) + ".enter",
+        [pc_val](const PetersonState& s) { return pc_val(s) == 2; },
+        [pc_of, cs_of](PetersonState& s) {
+          pc_of(s) = 3;
+          cs_of(s) = 1;
+          ++s.entries;
+        });
+    m.add_action(
+        "p" + std::to_string(me) + ".exit",
+        [pc_val](const PetersonState& s) { return pc_val(s) == 3; },
+        [flag_of, pc_of, cs_of](PetersonState& s) {
+          flag_of(s) = 0;
+          pc_of(s) = 0;
+          cs_of(s) = 0;
+        });
+  };
+
+  if (use_turn) {
+    add_safe_proc(0);
+    add_safe_proc(1);
+  } else {
+    add_racy_proc(0);
+    add_racy_proc(1);
+  }
+  detail::add_mutex_invariant(m);
+  return m;
+}
+
+// --- bounded FIFO channel ----------------------------------------------------------
+
+struct ChannelState {
+  std::array<std::uint8_t, 16> buf{};
+  std::uint8_t head = 0, count = 0;
+  std::uint8_t cap = 0;
+  std::uint8_t next_send = 0, next_recv = 0;
+  std::uint64_t delivered = 0;
+
+  void save(BinaryWriter& w) const {
+    for (auto b : buf) w.write_u8(b);
+    w.write_u8(head);
+    w.write_u8(count);
+    w.write_u8(cap);
+    w.write_u8(next_send);
+    w.write_u8(next_recv);
+    w.write_u64(delivered);
+  }
+};
+
+/// A bounded FIFO channel as an environment model: send (guarded by
+/// capacity unless `unchecked`), receive (checks FIFO order via sequence
+/// stamps). The `unchecked` variant violates the overflow invariant.
+inline GuardedModel<ChannelState> bounded_channel(std::uint8_t cap,
+                                                  bool unchecked = false,
+                                                  std::uint8_t messages = 6) {
+  FIXD_CHECK_MSG(cap >= 1 && cap <= 15, "capacity 1..15");
+  ChannelState init;
+  init.cap = cap;
+  auto m = GuardedModel<ChannelState>::with_serial_hash(init);
+
+  m.add_action(
+      "send",
+      [unchecked, messages](const ChannelState& s) {
+        if (s.next_send >= messages) return false;
+        return unchecked || s.count < s.cap;
+      },
+      [](ChannelState& s) {
+        std::uint8_t slot =
+            static_cast<std::uint8_t>((s.head + s.count) % s.buf.size());
+        s.buf[slot] = ++s.next_send;  // payload = sequence number
+        ++s.count;
+      });
+  m.add_action(
+      "recv", [](const ChannelState& s) { return s.count > 0; },
+      [](ChannelState& s) {
+        std::uint8_t v = s.buf[s.head];
+        s.buf[s.head] = 0;
+        s.head = static_cast<std::uint8_t>((s.head + 1) % s.buf.size());
+        --s.count;
+        // FIFO check folded into state: mismatches freeze next_recv.
+        if (v == s.next_recv + 1) ++s.next_recv;
+        ++s.delivered;
+      });
+
+  m.add_invariant("no-overflow",
+                  [](const ChannelState& s) -> std::optional<std::string> {
+                    if (s.count > s.cap)
+                      return "channel holds " + std::to_string(s.count) +
+                             " > cap " + std::to_string(s.cap);
+                    return std::nullopt;
+                  });
+  m.add_invariant("fifo-order",
+                  [](const ChannelState& s) -> std::optional<std::string> {
+                    if (s.delivered > s.next_recv)
+                      return "out-of-order or lost delivery";
+                    return std::nullopt;
+                  });
+  return m;
+}
+
+}  // namespace fixd::mc::models

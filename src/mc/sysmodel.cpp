@@ -1,0 +1,297 @@
+#include "mc/sysmodel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+
+namespace fixd::mc {
+
+SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
+    : base_(base), opts_(std::move(opts)) {
+  scratch_ = base_.clone();
+  scratch_->set_abstract_time(true);
+  scratch_->set_check_global_invariants(true);
+  scratch_->set_stop_on_violation(false);
+  if (opts_.install_invariants) opts_.install_invariants(*scratch_);
+}
+
+SystemExplorer::~SystemExplorer() = default;
+
+std::vector<SysAction> SystemExplorer::enabled_actions(rt::World& w) const {
+  std::vector<SysAction> out;
+  for (const rt::EventDesc& ev : w.enabled_events()) {
+    SysAction a;
+    a.kind = SysAction::Kind::kRuntime;
+    a.event = ev;
+    out.push_back(a);
+  }
+  if (opts_.model_message_loss || opts_.model_message_duplication) {
+    for (MsgId id : w.network().deliverable()) {
+      const net::Message* m = w.network().peek(id);
+      if (m->control) continue;  // FixD's own protocol stays reliable
+      if (opts_.model_message_loss) {
+        SysAction a;
+        a.kind = SysAction::Kind::kDropMessage;
+        a.msg = id;
+        out.push_back(a);
+      }
+      if (opts_.model_message_duplication) {
+        SysAction a;
+        a.kind = SysAction::Kind::kDupMessage;
+        a.msg = id;
+        out.push_back(a);
+      }
+    }
+  }
+  return out;
+}
+
+void SystemExplorer::apply_action(rt::World& w, const SysAction& a) {
+  switch (a.kind) {
+    case SysAction::Kind::kRuntime:
+      w.execute_event(a.event);
+      break;
+    case SysAction::Kind::kDropMessage:
+      w.network().drop(a.msg, /*forced=*/true);
+      break;
+    case SysAction::Kind::kDupMessage:
+      w.network().duplicate(a.msg);
+      break;
+  }
+}
+
+std::uint32_t SystemExplorer::fingerprint(const SysAction& a) {
+  switch (a.kind) {
+    case SysAction::Kind::kRuntime:
+      return a.event.pid;
+    case SysAction::Kind::kDropMessage:
+    case SysAction::Kind::kDupMessage:
+      // Touches the channel toward the message's destination; we cannot
+      // cheaply know dst here, so callers pass the world-resolved value via
+      // action construction order. Conservative: treat as touching the
+      // whole network => dependent with everything (fingerprint collision).
+      return 0xffffffffu;
+  }
+  return 0xffffffffu;
+}
+
+std::uint64_t SystemExplorer::action_key(const SysAction& a) {
+  Hasher h;
+  h.update_u64(static_cast<std::uint64_t>(a.kind));
+  h.update_u64(static_cast<std::uint64_t>(a.event.kind));
+  h.update_u64(a.event.pid);
+  h.update_u64(a.event.msg);
+  h.update_u64(a.event.timer);
+  h.update_u64(a.msg);
+  return h.digest();
+}
+
+Trail SystemExplorer::trail_of(std::size_t meta_idx) const {
+  Trail t;
+  while (meta_idx != kNpos) {
+    const Meta& m = meta_[meta_idx];
+    if (m.parent == kNpos && meta_idx == 0) break;
+    t.steps.push_back(m.action);
+    meta_idx = m.parent;
+  }
+  std::reverse(t.steps.begin(), t.steps.end());
+  return t;
+}
+
+SysExploreResult SystemExplorer::explore() {
+  if (opts_.order == SearchOrder::kRandomWalk) return random_walk();
+  return graph_search();
+}
+
+SysExploreResult SystemExplorer::graph_search() {
+  SysExploreResult res;
+  std::unordered_set<std::uint64_t> visited;
+
+  auto cmp = [](const Node& a, const Node& b) {
+    return a.priority < b.priority;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> pq(cmp);
+  std::deque<Node> fifo;
+
+  meta_.clear();
+  meta_.push_back({kNpos, SysAction{}});
+
+  // Root: probe the investigated state itself first — the violation might
+  // already hold (e.g. the Time Machine rolled back insufficiently far).
+  scratch_->clear_violations();
+  scratch_->recheck_invariants();
+  ++res.stats.states;
+  for (const rt::Violation& v : scratch_->violations()) {
+    res.violations.push_back({v, Trail{}, 0});
+  }
+  scratch_->clear_violations();
+  if (res.violations.size() >= opts_.max_violations) return res;
+
+  Node root;
+  root.snap = scratch_->snapshot(/*cow=*/true);
+  root.meta = 0;
+  root.depth = 0;
+  if (opts_.dedup) visited.insert(scratch_->mc_digest());
+
+  if (opts_.order == SearchOrder::kPriority) {
+    if (opts_.priority) root.priority = opts_.priority(*scratch_);
+    pq.push(std::move(root));
+  } else {
+    fifo.push_back(std::move(root));
+  }
+
+  while (true) {
+    Node cur;
+    if (opts_.order == SearchOrder::kPriority) {
+      if (pq.empty()) break;
+      cur = pq.top();
+      pq.pop();
+    } else if (opts_.order == SearchOrder::kBfs) {
+      if (fifo.empty()) break;
+      cur = std::move(fifo.front());
+      fifo.pop_front();
+    } else {
+      if (fifo.empty()) break;
+      cur = std::move(fifo.back());
+      fifo.pop_back();
+    }
+
+    if (cur.depth >= opts_.max_depth) {
+      res.stats.truncated = true;
+      continue;
+    }
+
+    scratch_->restore(cur.snap);
+    std::vector<SysAction> actions = enabled_actions(*scratch_);
+
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const SysAction& a = actions[i];
+      const std::uint64_t akey = action_key(a);
+      const std::uint32_t afp = fingerprint(a);
+
+      if (opts_.sleep_sets) {
+        bool slept = false;
+        for (const SleepEntry& e : cur.sleep) {
+          if (e.key == akey) {
+            slept = true;
+            break;
+          }
+        }
+        if (slept) continue;
+      }
+
+      scratch_->restore(cur.snap);
+      scratch_->clear_violations();
+      apply_action(*scratch_, a);
+      ++res.stats.transitions;
+
+      meta_.push_back({cur.meta, a});
+      std::size_t mi = meta_.size() - 1;
+      std::size_t depth = cur.depth + 1;
+
+      if (!scratch_->violations().empty()) {
+        for (const rt::Violation& v : scratch_->violations()) {
+          res.violations.push_back({v, trail_of(mi), depth});
+          if (res.violations.size() >= opts_.max_violations) return res;
+        }
+      }
+
+      if (opts_.dedup) {
+        std::uint64_t h = scratch_->mc_digest();
+        if (!visited.insert(h).second) {
+          ++res.stats.duplicates;
+          meta_.pop_back();
+          continue;
+        }
+      }
+      ++res.stats.states;
+      res.stats.max_depth =
+          std::max<std::uint64_t>(res.stats.max_depth, depth);
+      if (res.stats.states >= opts_.max_states) {
+        res.stats.truncated = true;
+        return res;
+      }
+
+      Node child;
+      child.snap = scratch_->snapshot(/*cow=*/true);
+      child.meta = mi;
+      child.depth = depth;
+      if (opts_.sleep_sets) {
+        for (const SleepEntry& e : cur.sleep) {
+          if (independent(e.fp, afp)) child.sleep.push_back(e);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          std::uint32_t fpj = fingerprint(actions[j]);
+          if (independent(fpj, afp)) {
+            child.sleep.push_back({action_key(actions[j]), fpj});
+          }
+        }
+      }
+      if (opts_.order == SearchOrder::kPriority) {
+        if (opts_.priority) child.priority = opts_.priority(*scratch_);
+        pq.push(std::move(child));
+      } else {
+        fifo.push_back(std::move(child));
+      }
+    }
+  }
+  return res;
+}
+
+SysExploreResult SystemExplorer::random_walk() {
+  SysExploreResult res;
+  Rng rng(opts_.seed);
+  meta_.clear();
+  meta_.push_back({kNpos, SysAction{}});
+
+  rt::WorldSnapshot root = scratch_->snapshot(/*cow=*/true);
+  for (std::size_t walk = 0; walk < opts_.walk_restarts; ++walk) {
+    scratch_->restore(root);
+    scratch_->clear_violations();
+    std::size_t cur_meta = 0;
+    for (std::size_t d = 0; d < opts_.max_depth; ++d) {
+      auto actions = enabled_actions(*scratch_);
+      if (actions.empty()) break;
+      const SysAction& a = actions[rng.next_below(actions.size())];
+      apply_action(*scratch_, a);
+      ++res.stats.transitions;
+      ++res.stats.states;
+      meta_.push_back({cur_meta, a});
+      cur_meta = meta_.size() - 1;
+      res.stats.max_depth =
+          std::max<std::uint64_t>(res.stats.max_depth, d + 1);
+      if (!scratch_->violations().empty()) {
+        for (const rt::Violation& v : scratch_->violations()) {
+          res.violations.push_back({v, trail_of(cur_meta), d + 1});
+        }
+        break;
+      }
+    }
+    if (res.violations.size() >= opts_.max_violations) break;
+  }
+  return res;
+}
+
+std::vector<rt::Violation> SystemExplorer::replay_trail(
+    rt::World& base, const Trail& trail,
+    const std::function<void(rt::World&)>& install_invariants) {
+  auto w = base.clone();
+  w->set_abstract_time(true);
+  w->set_check_global_invariants(true);
+  w->set_stop_on_violation(false);
+  if (install_invariants) install_invariants(*w);
+  w->clear_violations();
+  try {
+    for (const SysAction& a : trail.steps) {
+      apply_action(*w, a);
+    }
+  } catch (const FixdError&) {
+    return {};  // trail not executable => did not reproduce
+  }
+  return w->violations();
+}
+
+}  // namespace fixd::mc

@@ -1,0 +1,123 @@
+// The SystemExplorer: model checking *real implementations* (§4.3).
+//
+// "The main difference is that we want to be able to exhaustively analyze
+// the behavior of real programs rather than that of abstract models."
+//
+// The explorer clones a world (the state restored by the Time Machine) and
+// exhaustively explores the interleavings of its enabled events:
+// every pending message delivery, every armed timer, every pending start is
+// a transition. States are deduplicated by the world's canonical digest.
+//
+// Environment modeling (Fig. 4: "certain parts of the environment ... must
+// be modeled internally"; §4.3: "swap out the real communication actions,
+// replace those with models"): with model_message_loss / _duplication, each
+// pending message additionally yields drop / duplicate transitions — the
+// lossy network model replaces the seeded live policy.
+//
+// Invariants are functions, not state, so they cannot be cloned with the
+// world; the caller supplies an installer that registers them on any world
+// (the example apps export exactly such installers).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mc/engine.hpp"
+#include "mc/trail.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::mc {
+
+struct SysExploreOptions {
+  SearchOrder order = SearchOrder::kBfs;
+  std::size_t max_states = 200000;
+  std::size_t max_depth = 10000;
+  std::size_t max_violations = 1;
+  std::uint64_t seed = 42;
+  std::size_t walk_restarts = 64;
+
+  /// Environment models (swapping real network actions for modelled ones).
+  bool model_message_loss = false;
+  bool model_message_duplication = false;
+
+  /// State deduplication via canonical digests (on = reachability graph;
+  /// off = full tree — the ablation in bench/ablation_por).
+  bool dedup = true;
+
+  /// Sleep-set partial-order reduction: prunes redundant orderings of
+  /// commuting events (events at different processes commute in this
+  /// runtime). Sound for state-local invariants; see DESIGN.md.
+  bool sleep_sets = false;
+
+  /// Heuristic for kPriority order (higher first).
+  std::function<double(const rt::World&)> priority;
+
+  /// Registers invariants (and anything else detection needs) on a world.
+  std::function<void(rt::World&)> install_invariants;
+};
+
+struct SysExploreResult {
+  ExploreStats stats;
+  std::vector<SysViolation> violations;
+  bool found_violation() const { return !violations.empty(); }
+};
+
+class SystemExplorer {
+ public:
+  /// `base` is the state to investigate (typically just rolled back by the
+  /// Time Machine). It is cloned; the original world is not modified.
+  SystemExplorer(rt::World& base, SysExploreOptions opts);
+  ~SystemExplorer();
+
+  SysExploreResult explore();
+
+  /// Re-execute a trail on a fresh clone of `base`; returns the violations
+  /// observed at the end (empty = the trail did not reproduce).
+  static std::vector<rt::Violation> replay_trail(
+      rt::World& base, const Trail& trail,
+      const std::function<void(rt::World&)>& install_invariants);
+
+ private:
+  /// A slept action: identity key plus the commutation fingerprint needed
+  /// to decide whether it survives into a child's sleep set.
+  struct SleepEntry {
+    std::uint64_t key;
+    std::uint32_t fp;
+  };
+
+  struct Node {
+    rt::WorldSnapshot snap;
+    std::size_t meta;
+    std::size_t depth;
+    double priority = 0.0;
+    std::vector<SleepEntry> sleep;
+  };
+  struct Meta {
+    std::size_t parent;
+    SysAction action;
+  };
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::vector<SysAction> enabled_actions(rt::World& w) const;
+  static void apply_action(rt::World& w, const SysAction& a);
+  /// Process-touched fingerprint; actions with different fingerprints
+  /// (different target processes) commute in this runtime.
+  static std::uint32_t fingerprint(const SysAction& a);
+  /// Stable identity of an action within a subtree (msg/timer ids persist
+  /// until consumed).
+  static std::uint64_t action_key(const SysAction& a);
+  static bool independent(std::uint32_t fa, std::uint32_t fb) {
+    return fa != fb;
+  }
+
+  Trail trail_of(std::size_t meta_idx) const;
+  SysExploreResult graph_search();
+  SysExploreResult random_walk();
+
+  rt::World& base_;
+  SysExploreOptions opts_;
+  std::unique_ptr<rt::World> scratch_;
+  std::vector<Meta> meta_;
+};
+
+}  // namespace fixd::mc

@@ -1,0 +1,67 @@
+// Trails and bug reports: the Investigator's output.
+//
+// §3.3: the Investigator "returns a set of trails that lead to invariant
+// violations". A Trail is the exact action sequence from the investigated
+// state to the violation; it re-executes deterministically (tested), which
+// is what makes it a *bug report* rather than a guess.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/event.hpp"
+#include "rt/invariant.hpp"
+
+namespace fixd::mc {
+
+/// One transition label in a system-level trail.
+struct SysAction {
+  enum class Kind : std::uint8_t {
+    kRuntime = 0,    ///< a runtime event (start / deliver / timer)
+    kDropMessage,    ///< environment model: the network loses a message
+    kDupMessage,     ///< environment model: the network duplicates a message
+  };
+
+  Kind kind = Kind::kRuntime;
+  rt::EventDesc event;  ///< kRuntime
+  MsgId msg = 0;        ///< kDropMessage / kDupMessage
+
+  std::string describe() const {
+    switch (kind) {
+      case Kind::kRuntime:
+        return event.to_string();
+      case Kind::kDropMessage:
+        return "env:drop(msg#" + std::to_string(msg) + ")";
+      case Kind::kDupMessage:
+        return "env:dup(msg#" + std::to_string(msg) + ")";
+    }
+    return "?";
+  }
+};
+
+struct Trail {
+  std::vector<SysAction> steps;
+
+  std::size_t length() const { return steps.size(); }
+
+  std::string render() const {
+    std::string out;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      out += "  " + std::to_string(i + 1) + ". " + steps[i].describe() + "\n";
+    }
+    return out;
+  }
+};
+
+/// A violation found by the system explorer, with its trail.
+struct SysViolation {
+  rt::Violation violation;
+  Trail trail;
+  std::size_t depth = 0;
+
+  std::string render() const {
+    return violation.to_string() + "\n" + trail.render();
+  }
+};
+
+}  // namespace fixd::mc

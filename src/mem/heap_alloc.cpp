@@ -1,0 +1,86 @@
+#include "mem/heap_alloc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fixd::mem {
+
+HeapAlloc HeapAlloc::format(PagedHeap& heap) {
+  if (heap.size() < kHeaderSize) heap.resize(heap.page_size());
+  HeapAlloc a(heap);
+  a.write_u64(0x00, kMagic);
+  a.write_u64(0x08, kHeaderSize);  // bump
+  a.write_u64(0x10, kNull);        // free list
+  a.write_u64(0x18, 0);            // live blocks
+  return a;
+}
+
+HeapAlloc HeapAlloc::attach(PagedHeap& heap) {
+  HeapAlloc a(heap);
+  FIXD_CHECK_MSG(heap.size() >= kHeaderSize && a.read_u64(0x00) == kMagic,
+                 "heap is not formatted for HeapAlloc");
+  return a;
+}
+
+void HeapAlloc::ensure_capacity(std::uint64_t needed_end) {
+  if (needed_end <= heap_->size()) return;
+  std::uint64_t target = std::max<std::uint64_t>(heap_->size() * 2,
+                                                 heap_->page_size());
+  while (target < needed_end) target *= 2;
+  heap_->resize(target);
+}
+
+std::uint64_t HeapAlloc::allocate(std::uint64_t n) {
+  const std::uint64_t size = std::max<std::uint64_t>((n + 7) & ~7ull, 8);
+
+  // First-fit over the free list.
+  std::uint64_t prev = kNull;
+  std::uint64_t cur = read_u64(0x10);
+  while (cur != kNull) {
+    std::uint64_t cur_size = read_u64(cur - 8);
+    std::uint64_t next = read_u64(cur);
+    if (cur_size >= size) {
+      if (prev == kNull) {
+        write_u64(0x10, next);
+      } else {
+        write_u64(prev, next);
+      }
+      heap_->fill_zero(cur, cur_size);
+      write_u64(0x18, read_u64(0x18) + 1);
+      return cur;
+    }
+    prev = cur;
+    cur = next;
+  }
+
+  // Bump allocation.
+  std::uint64_t bump = read_u64(0x08);
+  std::uint64_t payload = bump + 8;
+  ensure_capacity(payload + size);
+  write_u64(bump, size);  // header: payload size
+  // Fresh space is already zero (heap zero-fills growth).
+  write_u64(0x08, payload + size);
+  write_u64(0x18, read_u64(0x18) + 1);
+  return payload;
+}
+
+void HeapAlloc::release(std::uint64_t payload_offset) {
+  FIXD_CHECK_MSG(payload_offset >= kHeaderSize + 8 &&
+                     payload_offset < heap_->size(),
+                 "release: bad offset");
+  std::uint64_t head = read_u64(0x10);
+  write_u64(payload_offset, head);
+  write_u64(0x10, payload_offset);
+  std::uint64_t live = read_u64(0x18);
+  FIXD_CHECK_MSG(live > 0, "release with zero live blocks");
+  write_u64(0x18, live - 1);
+}
+
+std::uint64_t HeapAlloc::block_size(std::uint64_t payload_offset) const {
+  return read_u64(payload_offset - 8);
+}
+
+std::uint64_t HeapAlloc::live_blocks() const { return read_u64(0x18); }
+std::uint64_t HeapAlloc::bump() const { return read_u64(0x08); }
+
+}  // namespace fixd::mem

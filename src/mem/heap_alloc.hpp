@@ -1,0 +1,70 @@
+// A simple allocator whose metadata lives *inside* a PagedHeap.
+//
+// Checkpoint correctness requires that restoring a heap snapshot restores the
+// allocator too; keeping the bump pointer and free list in heap memory makes
+// that automatic — the allocator object itself is stateless apart from the
+// heap reference.
+//
+// Design: 8-byte aligned blocks, a first-fit singly-linked free list, and a
+// bump pointer for fresh space. No coalescing (workloads here are
+// steady-state hash tables; fragmentation is bounded by block-size reuse,
+// and the tests check the free-list reuse path).
+//
+// Layout:
+//   [0x00] magic            (u64)
+//   [0x08] bump pointer     (u64)  next never-allocated offset
+//   [0x10] free list head   (u64)  0 == empty
+//   [0x18] live block count (u64)
+//   [0x20...] blocks: payload-size header (u64) followed by the payload.
+//             Free blocks store the next-free offset in payload[0..8).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/paged_heap.hpp"
+
+namespace fixd::mem {
+
+class HeapAlloc {
+ public:
+  static constexpr std::uint64_t kMagic = 0x4658444d454d3031ull;  // "FXDMEM01"
+  static constexpr std::uint64_t kHeaderSize = 0x20;
+  static constexpr std::uint64_t kNull = 0;
+
+  /// Initialize allocator metadata in a (fresh or reused) heap.
+  static HeapAlloc format(PagedHeap& heap);
+
+  /// Attach to a heap previously formatted (e.g. after restore or load).
+  static HeapAlloc attach(PagedHeap& heap);
+
+  /// Allocate `n` payload bytes (rounded up to 8); returns payload offset.
+  /// The payload is zero-filled.
+  std::uint64_t allocate(std::uint64_t n);
+
+  /// Release a block previously returned by allocate().
+  void release(std::uint64_t payload_offset);
+
+  /// Payload size of a live or free block.
+  std::uint64_t block_size(std::uint64_t payload_offset) const;
+
+  std::uint64_t live_blocks() const;
+  std::uint64_t bump() const;
+
+  PagedHeap& heap() { return *heap_; }
+  const PagedHeap& heap() const { return *heap_; }
+
+ private:
+  explicit HeapAlloc(PagedHeap& heap) : heap_(&heap) {}
+
+  std::uint64_t read_u64(std::uint64_t off) const {
+    return heap_->load<std::uint64_t>(off);
+  }
+  void write_u64(std::uint64_t off, std::uint64_t v) {
+    heap_->store<std::uint64_t>(off, v);
+  }
+  void ensure_capacity(std::uint64_t needed_end);
+
+  PagedHeap* heap_;
+};
+
+}  // namespace fixd::mem

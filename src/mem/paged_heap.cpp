@@ -1,0 +1,227 @@
+#include "mem/paged_heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace fixd::mem {
+
+std::size_t HeapSnapshot::resident_pages() const {
+  std::size_t n = 0;
+  for (const auto& p : pages_)
+    if (p) ++n;
+  return n;
+}
+
+std::uint64_t HeapSnapshot::digest() const {
+  Hasher h;
+  h.update_u64(logical_size_);
+  std::vector<std::byte> zeros(page_size_, std::byte{0});
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    // Hash exactly the logical bytes covered by this page.
+    std::uint64_t start = static_cast<std::uint64_t>(i) * page_size_;
+    if (start >= logical_size_) break;
+    std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_, logical_size_ - start));
+    const std::byte* src = pages_[i] ? pages_[i]->data() : zeros.data();
+    h.update({src, len});
+  }
+  return h.digest();
+}
+
+void HeapSnapshot::save(BinaryWriter& w) const {
+  w.write_varint(page_size_);
+  w.write_varint(logical_size_);
+  w.write_varint(pages_.size());
+  for (const auto& p : pages_) {
+    if (p) {
+      w.write_bool(true);
+      w.write_raw({p->data(), p->size()});
+    } else {
+      w.write_bool(false);
+    }
+  }
+}
+
+PagedHeap::PagedHeap(std::size_t page_size) : page_size_(page_size) {
+  FIXD_CHECK_MSG(page_size_ >= 16, "page size too small");
+}
+
+void PagedHeap::resize(std::uint64_t new_size) {
+  std::size_t new_pages =
+      static_cast<std::size_t>((new_size + page_size_ - 1) / page_size_);
+  if (new_size < logical_size_) {
+    // Zero the now-dead tail of the last surviving page so that content
+    // digests are a function of logical content only.
+    if (new_pages > 0 && new_size % page_size_ != 0) {
+      std::size_t last = new_pages - 1;
+      if (last < pages_.size() && pages_[last]) {
+        Page& p = own_page(last);
+        std::size_t keep = static_cast<std::size_t>(new_size % page_size_);
+        std::fill(p.begin() + keep, p.end(), std::byte{0});
+      }
+    }
+  }
+  pages_.resize(new_pages);
+  logical_size_ = new_size;
+}
+
+void PagedHeap::read(std::uint64_t offset, std::span<std::byte> out) const {
+  FIXD_CHECK_MSG(offset + out.size() <= logical_size_,
+                 "heap read out of bounds");
+  std::size_t done = 0;
+  while (done < out.size()) {
+    std::size_t idx = static_cast<std::size_t>((offset + done) / page_size_);
+    std::size_t in_page = static_cast<std::size_t>((offset + done) % page_size_);
+    std::size_t n = std::min(out.size() - done, page_size_ - in_page);
+    if (pages_[idx]) {
+      std::memcpy(out.data() + done, pages_[idx]->data() + in_page, n);
+    } else {
+      std::memset(out.data() + done, 0, n);
+    }
+    done += n;
+  }
+}
+
+Page& PagedHeap::own_page(std::size_t idx) {
+  PagePtr& slot = pages_.at(idx);
+  if (!slot) {
+    slot = std::make_shared<Page>(page_size_, std::byte{0});
+    ++stats_.pages_materialized;
+    ++dirty_since_snapshot_;
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<Page>(*slot);  // the copy-on-write copy
+    ++stats_.pages_cowed;
+    stats_.bytes_cowed += page_size_;
+    ++dirty_since_snapshot_;
+  }
+  return *slot;
+}
+
+void PagedHeap::write(std::uint64_t offset, std::span<const std::byte> in) {
+  FIXD_CHECK_MSG(offset + in.size() <= logical_size_,
+                 "heap write out of bounds");
+  std::size_t done = 0;
+  while (done < in.size()) {
+    std::size_t idx = static_cast<std::size_t>((offset + done) / page_size_);
+    std::size_t in_page = static_cast<std::size_t>((offset + done) % page_size_);
+    std::size_t n = std::min(in.size() - done, page_size_ - in_page);
+    Page& p = own_page(idx);
+    std::memcpy(p.data() + in_page, in.data() + done, n);
+    done += n;
+  }
+}
+
+void PagedHeap::fill_zero(std::uint64_t offset, std::uint64_t len) {
+  FIXD_CHECK_MSG(offset + len <= logical_size_, "heap fill out of bounds");
+  std::uint64_t done = 0;
+  while (done < len) {
+    std::size_t idx = static_cast<std::size_t>((offset + done) / page_size_);
+    std::size_t in_page = static_cast<std::size_t>((offset + done) % page_size_);
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(len - done, page_size_ - in_page));
+    if (in_page == 0 && n == page_size_) {
+      // Whole-page zero: drop back to the implicit zero page.
+      if (pages_[idx]) {
+        pages_[idx].reset();
+        ++dirty_since_snapshot_;
+      }
+    } else if (pages_[idx]) {
+      Page& p = own_page(idx);
+      std::memset(p.data() + in_page, 0, n);
+    }
+    done += n;
+  }
+}
+
+HeapSnapshot PagedHeap::snapshot() {
+  HeapSnapshot s;
+  s.page_size_ = page_size_;
+  s.logical_size_ = logical_size_;
+  s.pages_ = pages_;  // shares every page; future writes will COW
+  ++stats_.snapshots;
+  dirty_since_snapshot_ = 0;
+  return s;
+}
+
+void PagedHeap::restore(const HeapSnapshot& snap) {
+  FIXD_CHECK_MSG(snap.page_size_ == page_size_,
+                 "snapshot page size mismatch");
+  pages_ = snap.pages_;
+  logical_size_ = snap.logical_size_;
+  ++stats_.restores;
+  dirty_since_snapshot_ = 0;
+}
+
+PagedHeap PagedHeap::deep_copy() const {
+  PagedHeap out(page_size_);
+  out.logical_size_ = logical_size_;
+  out.pages_.resize(pages_.size());
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i]) out.pages_[i] = std::make_shared<Page>(*pages_[i]);
+  }
+  return out;
+}
+
+std::uint64_t PagedHeap::digest() const {
+  Hasher h;
+  h.update_u64(logical_size_);
+  std::vector<std::byte> zeros(page_size_, std::byte{0});
+  for (std::size_t i = 0; i < pages_.size(); ++i) {
+    std::uint64_t start = static_cast<std::uint64_t>(i) * page_size_;
+    if (start >= logical_size_) break;
+    std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_, logical_size_ - start));
+    const std::byte* src = pages_[i] ? pages_[i]->data() : zeros.data();
+    h.update({src, len});
+  }
+  return h.digest();
+}
+
+bool PagedHeap::content_equals(const PagedHeap& other) const {
+  if (logical_size_ != other.logical_size_) return false;
+  std::vector<std::byte> a(page_size_), b(other.page_size_);
+  std::uint64_t off = 0;
+  while (off < logical_size_) {
+    std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+        std::min(a.size(), b.size()), logical_size_ - off));
+    read(off, {a.data(), n});
+    other.read(off, {b.data(), n});
+    if (std::memcmp(a.data(), b.data(), n) != 0) return false;
+    off += n;
+  }
+  return true;
+}
+
+void PagedHeap::save(BinaryWriter& w) const {
+  w.write_varint(page_size_);
+  w.write_varint(logical_size_);
+  w.write_varint(pages_.size());
+  for (const auto& p : pages_) {
+    if (p) {
+      w.write_bool(true);
+      w.write_raw({p->data(), p->size()});
+    } else {
+      w.write_bool(false);
+    }
+  }
+}
+
+void PagedHeap::load(BinaryReader& r) {
+  std::size_t ps = static_cast<std::size_t>(r.read_varint());
+  FIXD_CHECK_MSG(ps >= 16, "bad serialized page size");
+  page_size_ = ps;
+  logical_size_ = r.read_varint();
+  std::size_t n = static_cast<std::size_t>(r.read_varint());
+  pages_.assign(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.read_bool()) {
+      auto span = r.read_raw(page_size_);
+      pages_[i] = std::make_shared<Page>(span.begin(), span.end());
+    }
+  }
+  dirty_since_snapshot_ = 0;
+}
+
+}  // namespace fixd::mem

@@ -1,0 +1,153 @@
+// Paged copy-on-write heap: the substrate for lightweight checkpoints.
+//
+// The paper's Time Machine relies on "lightweight, incremental checkpoints of
+// processes" built with "a copy-on-write mechanism" (§4.2). This class is
+// that mechanism, in user space: a byte-addressable heap split into fixed
+// pages, where a snapshot copies only the page *table* (shared_ptr per page)
+// and writes after a snapshot clone only the touched pages.
+//
+//   PagedHeap h(4096);
+//   h.resize(1 << 20);
+//   h.store<std::uint64_t>(0, 42);
+//   HeapSnapshot snap = h.snapshot();   // O(#pages) pointer copies
+//   h.store<std::uint64_t>(0, 43);      // copies exactly one page
+//   h.restore(snap);                    // h.load<std::uint64_t>(0) == 42
+//
+// Pages may be null, meaning all-zero: sparse heaps snapshot for free.
+// A process that keeps its state here gets incremental checkpoints without
+// any serialization; processes with out-of-heap state use the full
+// serializing checkpointer (ckpt/full.hpp) — Fig. 2's bench compares both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace fixd::mem {
+
+/// One fixed-size page. Immutable once shared (copy-on-write discipline is
+/// enforced by PagedHeap: it only mutates pages with use_count()==1).
+using Page = std::vector<std::byte>;
+using PagePtr = std::shared_ptr<Page>;
+
+/// Cheap, immutable snapshot of a heap: shares pages with the live heap.
+class HeapSnapshot {
+ public:
+  HeapSnapshot() = default;
+
+  std::uint64_t logical_size() const { return logical_size_; }
+  std::size_t page_size() const { return page_size_; }
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Number of pages actually materialized (non-zero).
+  std::size_t resident_pages() const;
+
+  /// Content digest (zero pages hash as zeros).
+  std::uint64_t digest() const;
+
+  /// Serialize the snapshot's content. The format is identical to
+  /// PagedHeap::save, so PagedHeap::load can restore from it — used when a
+  /// checkpoint must be materialized for transmission (Fig. 4 protocol).
+  void save(BinaryWriter& w) const;
+
+ private:
+  friend class PagedHeap;
+  std::size_t page_size_ = 0;
+  std::uint64_t logical_size_ = 0;
+  std::vector<PagePtr> pages_;
+};
+
+/// Counters describing checkpoint work; reset never happens implicitly.
+struct HeapStats {
+  std::uint64_t pages_cowed = 0;       ///< pages cloned due to copy-on-write
+  std::uint64_t bytes_cowed = 0;       ///< bytes copied by those clones
+  std::uint64_t pages_materialized = 0;///< zero pages turned into real pages
+  std::uint64_t snapshots = 0;         ///< snapshots taken
+  std::uint64_t restores = 0;          ///< restores performed
+};
+
+/// Byte-addressable heap with page-granular copy-on-write snapshots.
+class PagedHeap {
+ public:
+  static constexpr std::size_t kDefaultPageSize = 4096;
+
+  explicit PagedHeap(std::size_t page_size = kDefaultPageSize);
+
+  std::size_t page_size() const { return page_size_; }
+  std::uint64_t size() const { return logical_size_; }
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Grow or shrink the logical size. Growth zero-fills; shrink drops pages.
+  void resize(std::uint64_t new_size);
+
+  /// Read `out.size()` bytes starting at `offset`. Bounds checked.
+  void read(std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Write bytes starting at `offset`, cloning shared pages (COW).
+  void write(std::uint64_t offset, std::span<const std::byte> in);
+
+  /// Typed load/store of trivially copyable values.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T load(std::uint64_t offset) const {
+    T v;
+    read(offset, {reinterpret_cast<std::byte*>(&v), sizeof(T)});
+    return v;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void store(std::uint64_t offset, const T& v) {
+    write(offset, {reinterpret_cast<const std::byte*>(&v), sizeof(T)});
+  }
+
+  /// Zero a byte range (may drop whole pages back to the implicit zero page).
+  void fill_zero(std::uint64_t offset, std::uint64_t len);
+
+  /// Take an O(#pages) snapshot sharing all current pages.
+  HeapSnapshot snapshot();
+
+  /// Restore the heap to a snapshot's exact content (O(#pages) pointer copies).
+  void restore(const HeapSnapshot& snap);
+
+  /// Pages mutated (cowed or materialized) since the last snapshot() call.
+  std::uint64_t dirty_pages_since_snapshot() const {
+    return dirty_since_snapshot_;
+  }
+
+  /// Deep copy: every resident page duplicated. This is the "traditional
+  /// full checkpoint" baseline against which COW is benchmarked.
+  PagedHeap deep_copy() const;
+
+  /// Content digest over logical bytes (zero pages included as zeros).
+  std::uint64_t digest() const;
+
+  /// True iff both heaps have identical logical content.
+  bool content_equals(const PagedHeap& other) const;
+
+  const HeapStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Full serialization (used by the full-checkpoint baseline and the
+  /// world snapshot). Zero pages are encoded as absent.
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
+ private:
+  /// Ensure pages_[idx] exists and is uniquely owned; returns mutable page.
+  Page& own_page(std::size_t idx);
+
+  std::size_t page_size_;
+  std::uint64_t logical_size_ = 0;
+  std::vector<PagePtr> pages_;
+  std::uint64_t dirty_since_snapshot_ = 0;
+  HeapStats stats_;
+};
+
+}  // namespace fixd::mem

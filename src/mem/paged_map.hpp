@@ -1,0 +1,228 @@
+// Open-addressing hash map stored entirely inside a PagedHeap.
+//
+// Why this exists: for copy-on-write checkpoints to pay off, the application
+// state must live in COW-snapshottable memory. PagedMap gives the example
+// applications (notably the replicated KV store) a realistic mutable data
+// structure whose every byte is captured by HeapSnapshot — so a checkpoint
+// of a 16 MB store costs page-table copies, not 16 MB of serialization.
+//
+// K and V must be trivially copyable. Linear probing with tombstones;
+// resize at 70% occupancy. All metadata lives in the heap, so the map object
+// holds only {allocator, header offset} and survives heap restore untouched.
+//
+// Header block layout (allocated via HeapAlloc):
+//   [0x00] capacity   (u64, power of two)
+//   [0x08] live count (u64)
+//   [0x10] tombstones (u64)
+//   [0x18] slots off  (u64)
+// Slot layout (stride = 1 + sizeof(K) + sizeof(V)):
+//   [0]            state: 0 empty, 1 full, 2 tombstone
+//   [1]            key bytes
+//   [1+sizeof(K)]  value bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "common/hash.hpp"
+#include "mem/heap_alloc.hpp"
+
+namespace fixd::mem {
+
+template <typename K, typename V>
+  requires std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>
+class PagedMap {
+ public:
+  static constexpr std::uint64_t kHeaderBytes = 0x20;
+  static constexpr std::uint64_t kStride = 1 + sizeof(K) + sizeof(V);
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTomb = 2;
+
+  /// Create a fresh map with the given initial capacity (rounded to pow2).
+  /// The allocator is held by value (it is a stateless view over the heap).
+  static PagedMap create(HeapAlloc alloc, std::uint64_t initial_capacity = 16) {
+    std::uint64_t cap = 16;
+    while (cap < initial_capacity) cap *= 2;
+    std::uint64_t header = alloc.allocate(kHeaderBytes);
+    std::uint64_t slots = alloc.allocate(cap * kStride);
+    PagedHeap& h = alloc.heap();
+    h.store<std::uint64_t>(header + 0x00, cap);
+    h.store<std::uint64_t>(header + 0x08, 0);
+    h.store<std::uint64_t>(header + 0x10, 0);
+    h.store<std::uint64_t>(header + 0x18, slots);
+    return PagedMap(alloc, header);
+  }
+
+  /// Re-open a map created earlier in this heap (offsets are stable across
+  /// snapshot/restore, so callers typically persist `header_offset`).
+  static PagedMap open(HeapAlloc alloc, std::uint64_t header_offset) {
+    return PagedMap(alloc, header_offset);
+  }
+
+  std::uint64_t header_offset() const { return header_; }
+  std::uint64_t size() const { return heap().template load<std::uint64_t>(header_ + 0x08); }
+  std::uint64_t capacity() const { return heap().template load<std::uint64_t>(header_); }
+
+  /// Insert or overwrite. Returns true if the key was new.
+  bool put(const K& key, const V& value) {
+    maybe_grow();
+    std::uint64_t cap = capacity();
+    std::uint64_t slots = slots_off();
+    std::uint64_t idx = probe_start(key, cap);
+    std::uint64_t first_tomb = kNoSlot;
+    for (std::uint64_t step = 0; step < cap; ++step) {
+      std::uint64_t off = slots + ((idx + step) & (cap - 1)) * kStride;
+      std::uint8_t state = heap().template load<std::uint8_t>(off);
+      if (state == kEmpty) {
+        std::uint64_t target = (first_tomb != kNoSlot) ? first_tomb : off;
+        write_slot(target, key, value, first_tomb != kNoSlot);
+        bump_count(+1);
+        return true;
+      }
+      if (state == kTomb) {
+        if (first_tomb == kNoSlot) first_tomb = off;
+        continue;
+      }
+      if (key_at(off) == key) {
+        heap().store(off + 1 + sizeof(K), value);
+        return false;
+      }
+    }
+    // Table full of tombstones; reuse one (guaranteed present here).
+    FIXD_CHECK_MSG(first_tomb != kNoSlot, "PagedMap probe exhausted");
+    write_slot(first_tomb, key, value, true);
+    bump_count(+1);
+    return true;
+  }
+
+  std::optional<V> get(const K& key) const {
+    std::uint64_t cap = capacity();
+    std::uint64_t slots = slots_off();
+    std::uint64_t idx = probe_start(key, cap);
+    for (std::uint64_t step = 0; step < cap; ++step) {
+      std::uint64_t off = slots + ((idx + step) & (cap - 1)) * kStride;
+      std::uint8_t state = heap().template load<std::uint8_t>(off);
+      if (state == kEmpty) return std::nullopt;
+      if (state == kFull && key_at(off) == key)
+        return heap().template load<V>(off + 1 + sizeof(K));
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const K& key) const { return get(key).has_value(); }
+
+  /// Remove; returns true if present.
+  bool erase(const K& key) {
+    std::uint64_t cap = capacity();
+    std::uint64_t slots = slots_off();
+    std::uint64_t idx = probe_start(key, cap);
+    for (std::uint64_t step = 0; step < cap; ++step) {
+      std::uint64_t off = slots + ((idx + step) & (cap - 1)) * kStride;
+      std::uint8_t state = heap().template load<std::uint8_t>(off);
+      if (state == kEmpty) return false;
+      if (state == kFull && key_at(off) == key) {
+        heap().template store<std::uint8_t>(off, kTomb);
+        bump_count(-1);
+        bump_tombs(+1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Visit every live entry. `fn(const K&, const V&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t cap = capacity();
+    std::uint64_t slots = slots_off();
+    for (std::uint64_t i = 0; i < cap; ++i) {
+      std::uint64_t off = slots + i * kStride;
+      if (heap().template load<std::uint8_t>(off) == kFull) {
+        fn(key_at(off), heap().template load<V>(off + 1 + sizeof(K)));
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kNoSlot = ~0ull;
+
+  PagedMap(HeapAlloc alloc, std::uint64_t header)
+      : alloc_(alloc), header_(header) {}
+
+  PagedHeap& heap() const { return const_cast<HeapAlloc&>(alloc_).heap(); }
+  std::uint64_t slots_off() const {
+    return heap().template load<std::uint64_t>(header_ + 0x18);
+  }
+  std::uint64_t tombstones() const {
+    return heap().template load<std::uint64_t>(header_ + 0x10);
+  }
+
+  static std::uint64_t probe_start(const K& key, std::uint64_t cap) {
+    const auto* p = reinterpret_cast<const std::byte*>(&key);
+    return hash_bytes({p, sizeof(K)}) & (cap - 1);
+  }
+
+  K key_at(std::uint64_t slot_off) const {
+    return heap().template load<K>(slot_off + 1);
+  }
+
+  void write_slot(std::uint64_t off, const K& key, const V& value,
+                  bool was_tomb) {
+    heap().template store<std::uint8_t>(off, kFull);
+    heap().store(off + 1, key);
+    heap().store(off + 1 + sizeof(K), value);
+    if (was_tomb) bump_tombs(-1);
+  }
+
+  void bump_count(std::int64_t d) {
+    heap().template store<std::uint64_t>(header_ + 0x08, size() + d);
+  }
+  void bump_tombs(std::int64_t d) {
+    heap().template store<std::uint64_t>(header_ + 0x10, tombstones() + d);
+  }
+
+  void maybe_grow() {
+    std::uint64_t cap = capacity();
+    if ((size() + tombstones()) * 10 < cap * 7) return;
+    std::uint64_t new_cap = cap * 2;
+    std::uint64_t old_slots = slots_off();
+    std::uint64_t new_slots = alloc_.allocate(new_cap * kStride);
+    // Write new geometry, then reinsert from the old slot array.
+    heap().template store<std::uint64_t>(header_ + 0x00, new_cap);
+    heap().template store<std::uint64_t>(header_ + 0x08, 0);
+    heap().template store<std::uint64_t>(header_ + 0x10, 0);
+    heap().template store<std::uint64_t>(header_ + 0x18, new_slots);
+    for (std::uint64_t i = 0; i < cap; ++i) {
+      std::uint64_t off = old_slots + i * kStride;
+      if (heap().template load<std::uint8_t>(off) == kFull) {
+        K k = key_at(off);
+        V v = heap().template load<V>(off + 1 + sizeof(K));
+        put_fresh(k, v);
+      }
+    }
+    alloc_.release(old_slots);
+  }
+
+  /// Insert into a table known to have free space and no duplicate.
+  void put_fresh(const K& key, const V& value) {
+    std::uint64_t cap = capacity();
+    std::uint64_t slots = slots_off();
+    std::uint64_t idx = probe_start(key, cap);
+    for (std::uint64_t step = 0; step < cap; ++step) {
+      std::uint64_t off = slots + ((idx + step) & (cap - 1)) * kStride;
+      if (heap().template load<std::uint8_t>(off) == kEmpty) {
+        write_slot(off, key, value, false);
+        bump_count(+1);
+        return;
+      }
+    }
+    FIXD_CHECK_MSG(false, "put_fresh: no free slot");
+  }
+
+  HeapAlloc alloc_;
+  std::uint64_t header_;
+};
+
+}  // namespace fixd::mem

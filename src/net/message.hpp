@@ -1,0 +1,73 @@
+// Messages exchanged by processes in the simulated distributed world.
+//
+// A message carries, besides its payload:
+//  - a Lamport stamp and the sender's vector clock (piggybacked, as real
+//    causal-logging systems do) — the Scroll and the recovery-line solver
+//    depend on them;
+//  - the set of speculation ids the sender was executing under when it sent
+//    the message ("speculative data", §4.2): receivers are absorbed into
+//    those speculations;
+//  - a control flag distinguishing FixD's own fault-response protocol
+//    messages (Fig. 4) from application traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace fixd::net {
+
+/// Application-defined message kind; apps use small enums cast to u32.
+using Tag = std::uint32_t;
+
+struct Message {
+  MsgId id = 0;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Virtual time at which the message was submitted.
+  VirtualTime sent_at = 0;
+  /// Delivery latency assigned by the network (seeded jitter makes timed
+  /// runs genuinely reorder across channels).
+  VirtualTime latency = 1;
+  /// Sender's Lamport clock after the send event.
+  LamportTime lamport = 0;
+  /// Sender's vector clock after the send event.
+  VectorClock vclock;
+  /// Speculations this message is tainted by (sorted, unique).
+  std::vector<SpecId> spec_taints;
+  /// True for FixD control-plane traffic (fault notify / checkpoint reply).
+  bool control = false;
+
+  /// Payload helpers -----------------------------------------------------
+  template <typename T>
+  static std::vector<std::byte> encode(const T& body) {
+    BinaryWriter w;
+    body.save(w);
+    return w.take();
+  }
+
+  template <typename T>
+  T decode() const {
+    BinaryReader r(payload);
+    T body;
+    body.load(r);
+    return body;
+  }
+
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
+  /// Stable content digest (excludes id so retransmissions compare equal).
+  std::uint64_t content_digest() const;
+
+  std::string brief() const;
+};
+
+}  // namespace fixd::net

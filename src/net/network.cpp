@@ -1,0 +1,241 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace fixd::net {
+
+SimNetwork::SimNetwork(NetworkOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void SimNetwork::enqueue(Message msg) {
+  MsgId id = msg.id;
+  channels_[{msg.src, msg.dst}].push_back(id);
+  messages_.emplace(id, std::move(msg));
+}
+
+std::optional<MsgId> SimNetwork::submit(Message msg) {
+  ++stats_.submitted;
+  stats_.bytes_submitted += msg.payload.size();
+
+  // Control-plane traffic bypasses the loss policy: the fault-response
+  // protocol must be reliable for FixD itself to function.
+  const bool lossy_eligible = !msg.control;
+
+  if (lossy_eligible && options_.drop_prob > 0.0 &&
+      rng_.next_bool(options_.drop_prob)) {
+    ++stats_.dropped_policy;
+    return std::nullopt;
+  }
+
+  msg.id = next_id_++;
+  msg.latency = draw_latency();
+  MsgId id = msg.id;
+
+  bool dup = lossy_eligible && options_.dup_prob > 0.0 &&
+             rng_.next_bool(options_.dup_prob);
+  if (dup) {
+    Message copy = msg;
+    copy.id = next_id_++;
+    copy.latency = draw_latency();
+    ++stats_.duplicated;
+    enqueue(std::move(copy));
+  }
+  enqueue(std::move(msg));
+  return id;
+}
+
+VirtualTime SimNetwork::draw_latency() {
+  if (options_.latency_max <= options_.latency_min)
+    return options_.latency_min;
+  return options_.latency_min +
+         rng_.next_below(options_.latency_max - options_.latency_min + 1);
+}
+
+bool SimNetwork::is_deliverable(MsgId id) const {
+  auto it = messages_.find(id);
+  if (it == messages_.end()) return false;
+  if (!options_.fifo) return true;
+  const auto& q = channels_.at({it->second.src, it->second.dst});
+  return !q.empty() && q.front() == id;
+}
+
+std::vector<MsgId> SimNetwork::deliverable() const {
+  std::vector<MsgId> out;
+  if (options_.fifo) {
+    for (const auto& [key, q] : channels_) {
+      if (!q.empty()) out.push_back(q.front());
+    }
+    std::sort(out.begin(), out.end());
+  } else {
+    out.reserve(messages_.size());
+    for (const auto& [id, m] : messages_) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<const Message*> SimNetwork::pending() const {
+  std::vector<const Message*> out;
+  out.reserve(messages_.size());
+  for (const auto& [id, m] : messages_) out.push_back(&m);
+  return out;
+}
+
+const Message* SimNetwork::peek(MsgId id) const {
+  auto it = messages_.find(id);
+  return it == messages_.end() ? nullptr : &it->second;
+}
+
+Message SimNetwork::take(MsgId id) {
+  FIXD_CHECK_MSG(is_deliverable(id),
+                 "take: message not deliverable: " + std::to_string(id));
+  auto it = messages_.find(id);
+  Message msg = std::move(it->second);
+  messages_.erase(it);
+  auto& q = channels_[{msg.src, msg.dst}];
+  auto qit = std::find(q.begin(), q.end(), id);
+  FIXD_CHECK(qit != q.end());
+  q.erase(qit);
+  ++stats_.delivered;
+  stats_.bytes_delivered += msg.payload.size();
+  return msg;
+}
+
+bool SimNetwork::drop(MsgId id, bool forced) {
+  auto it = messages_.find(id);
+  if (it == messages_.end()) return false;
+  auto& q = channels_[{it->second.src, it->second.dst}];
+  auto qit = std::find(q.begin(), q.end(), id);
+  if (qit != q.end()) q.erase(qit);
+  messages_.erase(it);
+  if (forced) {
+    ++stats_.dropped_forced;
+  } else {
+    ++stats_.dropped_policy;
+  }
+  return true;
+}
+
+std::optional<MsgId> SimNetwork::duplicate(MsgId id) {
+  auto it = messages_.find(id);
+  if (it == messages_.end()) return std::nullopt;
+  Message copy = it->second;
+  copy.id = next_id_++;
+  ++stats_.duplicated;
+  MsgId nid = copy.id;
+  enqueue(std::move(copy));
+  return nid;
+}
+
+std::size_t SimNetwork::drop_tainted(SpecId spec) {
+  std::vector<MsgId> victims;
+  for (const auto& [id, m] : messages_) {
+    if (std::find(m.spec_taints.begin(), m.spec_taints.end(), spec) !=
+        m.spec_taints.end()) {
+      victims.push_back(id);
+    }
+  }
+  for (MsgId id : victims) drop(id, /*forced=*/true);
+  return victims.size();
+}
+
+std::size_t SimNetwork::scrub_taint(SpecId spec) {
+  std::size_t n = 0;
+  for (auto& [id, m] : messages_) {
+    auto it = std::find(m.spec_taints.begin(), m.spec_taints.end(), spec);
+    if (it != m.spec_taints.end()) {
+      m.spec_taints.erase(it);
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
+  auto it = messages_.find(id);
+  if (it == messages_.end()) return false;
+  fn(it->second);
+  return true;
+}
+
+MsgId SimNetwork::reinject(Message msg) {
+  msg.id = next_id_++;
+  MsgId id = msg.id;
+  ++stats_.submitted;
+  stats_.bytes_submitted += msg.payload.size();
+  enqueue(std::move(msg));
+  return id;
+}
+
+void SimNetwork::save(BinaryWriter& w) const {
+  w.write_bool(options_.fifo);
+  w.write_f64(options_.drop_prob);
+  w.write_f64(options_.dup_prob);
+  w.write_u64(options_.latency_min);
+  w.write_u64(options_.latency_max);
+  w.write_u64(options_.seed);
+  rng_.save(w);
+  w.write_u64(next_id_);
+  w.write_varint(messages_.size());
+  for (const auto& [id, m] : messages_) m.save(w);
+  w.write_varint(channels_.size());
+  for (const auto& [key, q] : channels_) {
+    w.write_u32(key.first);
+    w.write_u32(key.second);
+    w.write_varint(q.size());
+    for (MsgId id : q) w.write_u64(id);
+  }
+  // Stats are part of the observable run and must restore with the state
+  // so that rolled-back executions do not double-count.
+  w.write_u64(stats_.submitted);
+  w.write_u64(stats_.delivered);
+  w.write_u64(stats_.dropped_policy);
+  w.write_u64(stats_.dropped_forced);
+  w.write_u64(stats_.duplicated);
+  w.write_u64(stats_.bytes_submitted);
+  w.write_u64(stats_.bytes_delivered);
+}
+
+void SimNetwork::load(BinaryReader& r) {
+  options_.fifo = r.read_bool();
+  options_.drop_prob = r.read_f64();
+  options_.dup_prob = r.read_f64();
+  options_.latency_min = r.read_u64();
+  options_.latency_max = r.read_u64();
+  options_.seed = r.read_u64();
+  rng_.load(r);
+  next_id_ = r.read_u64();
+  messages_.clear();
+  std::size_t n = static_cast<std::size_t>(r.read_varint());
+  for (std::size_t i = 0; i < n; ++i) {
+    Message m;
+    m.load(r);
+    MsgId id = m.id;
+    messages_.emplace(id, std::move(m));
+  }
+  channels_.clear();
+  std::size_t nc = static_cast<std::size_t>(r.read_varint());
+  for (std::size_t i = 0; i < nc; ++i) {
+    ProcessId a = r.read_u32();
+    ProcessId b = r.read_u32();
+    std::size_t qn = static_cast<std::size_t>(r.read_varint());
+    auto& q = channels_[{a, b}];
+    for (std::size_t j = 0; j < qn; ++j) q.push_back(r.read_u64());
+  }
+  stats_.submitted = r.read_u64();
+  stats_.delivered = r.read_u64();
+  stats_.dropped_policy = r.read_u64();
+  stats_.dropped_forced = r.read_u64();
+  stats_.duplicated = r.read_u64();
+  stats_.bytes_submitted = r.read_u64();
+  stats_.bytes_delivered = r.read_u64();
+}
+
+std::uint64_t SimNetwork::digest() const {
+  BinaryWriter w;
+  save(w);
+  return hash_bytes(w.bytes());
+}
+
+}  // namespace fixd::net

@@ -1,0 +1,142 @@
+// The simulated network connecting processes.
+//
+// The network is the system's central source of nondeterminism: *which*
+// pending message is delivered next is the scheduler's choice, and the set
+// of choices the network exposes is its delivery discipline:
+//
+//  - reliable FIFO:  per (src,dst) channel order is preserved; the
+//    deliverable set is the head of each nonempty channel (MPI-like).
+//  - reordering:     any pending message may be delivered (fully async).
+//  - lossy:          seeded drop/duplicate applied at submit time, on top of
+//    either discipline — deterministic given the seed, so runs replay.
+//
+// The Investigator model-checks over exactly this deliverable set, and can
+// additionally install *environment models* (mc/sysmodel.hpp) that turn each
+// pending message into deliver/drop/duplicate actions — the paper's "swap
+// the real communication actions for models" (§4.3).
+//
+// All state (pending messages, channel queues, loss RNG) is serializable so
+// world snapshots capture in-flight traffic.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace fixd::net {
+
+struct NetStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_policy = 0;   ///< dropped by loss policy
+  std::uint64_t dropped_forced = 0;   ///< dropped by fault injection / aborts
+  std::uint64_t duplicated = 0;
+  std::uint64_t bytes_submitted = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// Configuration for a simulated network.
+struct NetworkOptions {
+  bool fifo = true;        ///< per-channel FIFO vs arbitrary reorder
+  double drop_prob = 0.0;  ///< iid drop probability at submit
+  double dup_prob = 0.0;   ///< iid duplicate probability at submit
+  /// Per-message delivery latency drawn uniformly from [min, max] (virtual
+  /// time). Jitter makes timed-mode runs reorder across channels.
+  VirtualTime latency_min = 1;
+  VirtualTime latency_max = 1;
+  std::uint64_t seed = 0x5eedf00dull;
+
+  static NetworkOptions reliable_fifo() { return {}; }
+  static NetworkOptions reordering(VirtualTime lat_min = 1,
+                                   VirtualTime lat_max = 4) {
+    NetworkOptions o;
+    o.fifo = false;
+    o.latency_min = lat_min;
+    o.latency_max = lat_max;
+    return o;
+  }
+  static NetworkOptions lossy(double drop, double dup, std::uint64_t seed,
+                              bool fifo = true) {
+    NetworkOptions o;
+    o.fifo = fifo;
+    o.drop_prob = drop;
+    o.dup_prob = dup;
+    o.seed = seed;
+    return o;
+  }
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkOptions options = {});
+
+  const NetworkOptions& options() const { return options_; }
+
+  /// Submit a message; assigns Message::id. Loss policy may drop or
+  /// duplicate it (duplicates get fresh ids). Returns the assigned id, or
+  /// nullopt if the policy dropped the message.
+  std::optional<MsgId> submit(Message msg);
+
+  /// Ids currently eligible for delivery, in deterministic (ascending id
+  /// within channel-order) sequence. FIFO mode: one per nonempty channel.
+  std::vector<MsgId> deliverable() const;
+
+  /// All in-flight messages (deliverable or queued behind channel heads).
+  std::vector<const Message*> pending() const;
+
+  std::size_t pending_count() const { return messages_.size(); }
+
+  const Message* peek(MsgId id) const;
+
+  /// Remove and return a deliverable message. Throws if not deliverable.
+  Message take(MsgId id);
+
+  /// Force-drop a pending message (fault injection / speculation abort).
+  bool drop(MsgId id, bool forced = true);
+
+  /// Duplicate a pending message in place (fault injection); returns new id.
+  std::optional<MsgId> duplicate(MsgId id);
+
+  /// Drop every pending message tainted by `spec` (speculation abort path).
+  std::size_t drop_tainted(SpecId spec);
+
+  /// Remove `spec` from the taint sets of all pending messages (commit path).
+  std::size_t scrub_taint(SpecId spec);
+
+  /// Re-inject a logged message after a rollback (message-logging recovery).
+  /// Bypasses the loss policy; assigns a fresh id which is returned.
+  MsgId reinject(Message msg);
+
+  /// Mutate a pending message in place (fault injection: corruption).
+  /// Returns false if the message is gone.
+  bool mutate(MsgId id, const std::function<void(Message&)>& fn);
+
+  const NetStats& stats() const { return stats_; }
+
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
+  /// Digest of in-flight state (part of the world digest).
+  std::uint64_t digest() const;
+
+ private:
+  using ChannelKey = std::pair<ProcessId, ProcessId>;
+
+  bool is_deliverable(MsgId id) const;
+  void enqueue(Message msg);
+  VirtualTime draw_latency();
+
+  NetworkOptions options_;
+  Rng rng_;
+  MsgId next_id_ = 1;
+  std::map<MsgId, Message> messages_;
+  std::map<ChannelKey, std::deque<MsgId>> channels_;  // fifo order per channel
+  NetStats stats_;
+};
+
+}  // namespace fixd::net

@@ -1,0 +1,70 @@
+// Event descriptors: the unit of scheduling, recording, and exploration.
+//
+// A run of the distributed world is a sequence of events; the *only*
+// nondeterminism in the system is which enabled event executes next. That
+// makes an EventDesc simultaneously:
+//   - the scheduler's choice (rt/scheduler.hpp),
+//   - the Scroll's schedule record (scroll/record.hpp), and
+//   - the Investigator's transition label (mc/sysmodel.hpp).
+#pragma once
+
+#include <string>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace fixd::rt {
+
+enum class EventKind : std::uint8_t {
+  kStart = 0,    ///< process bootstrap (on_start)
+  kDeliver = 1,  ///< message delivery (on_message)
+  kTimer = 2,    ///< timer expiry (on_timer)
+};
+
+struct EventDesc {
+  EventKind kind = EventKind::kStart;
+  ProcessId pid = kNoProcess;  ///< the process that executes the handler
+  MsgId msg = 0;               ///< for kDeliver
+  TimerId timer = 0;           ///< for kTimer
+  VirtualTime at = 0;          ///< time the event becomes ready
+
+  /// Identity comparison ignoring readiness time: replay matches events by
+  /// identity because ready-times can shift when the environment is modeled.
+  bool same_identity(const EventDesc& o) const {
+    return kind == o.kind && pid == o.pid && msg == o.msg && timer == o.timer;
+  }
+
+  bool operator==(const EventDesc& o) const = default;
+
+  void save(BinaryWriter& w) const {
+    w.write_u8(static_cast<std::uint8_t>(kind));
+    w.write_u32(pid);
+    w.write_u64(msg);
+    w.write_u64(timer);
+    w.write_u64(at);
+  }
+
+  void load(BinaryReader& r) {
+    kind = static_cast<EventKind>(r.read_u8());
+    pid = r.read_u32();
+    msg = r.read_u64();
+    timer = r.read_u64();
+    at = r.read_u64();
+  }
+
+  std::string to_string() const {
+    switch (kind) {
+      case EventKind::kStart:
+        return "start(p" + std::to_string(pid) + ")";
+      case EventKind::kDeliver:
+        return "deliver(p" + std::to_string(pid) + ", msg#" +
+               std::to_string(msg) + ")";
+      case EventKind::kTimer:
+        return "timer(p" + std::to_string(pid) + ", t" +
+               std::to_string(timer) + ")";
+    }
+    return "?";
+  }
+};
+
+}  // namespace fixd::rt

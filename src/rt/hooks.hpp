@@ -1,0 +1,127 @@
+// Extension interfaces the runtime exposes to the other FixD components.
+//
+// The runtime (rt) must not depend on the Scroll, Time Machine, or fault
+// injector — they depend on it. These interfaces invert the dependency:
+//  - RuntimeObserver:   passive taps (the Scroll, statistics, tracing)
+//  - StepInterceptor:   active pre/post hooks (fault injection, CIC policy)
+//  - SpecHooks:         speculation lifecycle (implemented by ckpt)
+//  - EnvSource:         environment-read values (replay feeds recordings)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "rt/event.hpp"
+
+namespace fixd::rt {
+
+class World;
+
+/// Passive observation of everything nondeterministic that happens.
+/// Callbacks fire in deterministic order within a deterministic run.
+class RuntimeObserver {
+ public:
+  virtual ~RuntimeObserver() = default;
+
+  /// An event was chosen for execution (before any handler runs).
+  virtual void on_event(const World& w, const EventDesc& ev) {
+    (void)w;
+    (void)ev;
+  }
+  virtual void on_send(const World& w, const net::Message& msg) {
+    (void)w;
+    (void)msg;
+  }
+  virtual void on_deliver(const World& w, const net::Message& msg) {
+    (void)w;
+    (void)msg;
+  }
+  virtual void on_rng(const World& w, ProcessId pid, std::uint64_t value) {
+    (void)w;
+    (void)pid;
+    (void)value;
+  }
+  virtual void on_time_read(const World& w, ProcessId pid, VirtualTime t) {
+    (void)w;
+    (void)pid;
+    (void)t;
+  }
+  virtual void on_env_read(const World& w, ProcessId pid,
+                           const std::string& key, std::uint64_t value) {
+    (void)w;
+    (void)pid;
+    (void)key;
+    (void)value;
+  }
+  virtual void on_annotation(const World& w, ProcessId pid,
+                             const std::string& note) {
+    (void)w;
+    (void)pid;
+    (void)note;
+  }
+  enum class SpecOp : std::uint8_t { kBegin, kCommit, kAbort, kAbsorb };
+  virtual void on_spec(const World& w, ProcessId pid, SpecId spec, SpecOp op) {
+    (void)w;
+    (void)pid;
+    (void)spec;
+    (void)op;
+  }
+};
+
+/// Active interception of the step pipeline.
+class StepInterceptor {
+ public:
+  virtual ~StepInterceptor() = default;
+
+  /// Called before the event's handler. Return false to suppress the event
+  /// (it is consumed but the handler does not run) — crash/hang injection.
+  virtual bool before_event(World& w, const EventDesc& ev) {
+    (void)w;
+    (void)ev;
+    return true;
+  }
+
+  /// Called after the handler and deferred speculation ops.
+  virtual void after_event(World& w, const EventDesc& ev) {
+    (void)w;
+    (void)ev;
+  }
+};
+
+/// Speculation lifecycle, implemented by ckpt::SpeculationManager.
+class SpecHooks {
+ public:
+  virtual ~SpecHooks() = default;
+
+  /// Speculations `pid` currently executes under (taints for its sends).
+  virtual std::vector<SpecId> taints_of(ProcessId pid) const = 0;
+
+  /// Called before the receive handler runs; performs absorption and any
+  /// communication-induced checkpointing.
+  virtual void before_deliver(World& w, const net::Message& msg) = 0;
+
+  virtual SpecId begin(World& w, ProcessId pid, std::string assumption) = 0;
+  virtual void commit(World& w, ProcessId pid, SpecId id) = 0;
+  /// Request an abort; the world applies it after the current handler.
+  virtual void abort(World& w, ProcessId pid, SpecId id) = 0;
+  /// Apply deferred aborts (called by the world post-handler).
+  virtual void apply_deferred(World& w) = 0;
+};
+
+/// Source of environment-read values. The default is a deterministic
+/// seeded model owned by the world; replay installs a recorded source.
+class EnvSource {
+ public:
+  virtual ~EnvSource() = default;
+  /// Return the value for this read, or nullopt to fall back to the
+  /// world's default model.
+  virtual std::optional<std::uint64_t> next_env(ProcessId pid,
+                                                std::string_view key) = 0;
+};
+
+}  // namespace fixd::rt

@@ -1,0 +1,7 @@
+// process.hpp is header-only (interfaces); this TU anchors the vtables so
+// every consumer does not emit its own copy.
+#include "rt/process.hpp"
+
+namespace fixd::rt {
+// Intentionally empty: Context and Process are pure interfaces.
+}  // namespace fixd::rt

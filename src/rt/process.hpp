@@ -1,0 +1,147 @@
+// The Process abstraction: what a distributed application implements.
+//
+// A process is an event-driven state machine. All interaction with the
+// world — sending, timers, time, randomness, environment reads, speculation
+// control, fault reporting — goes through the Context passed into every
+// handler. This narrow surface is deliberate: it is the system's "libc
+// boundary". Everything nondeterministic crosses it, which is what lets the
+// Scroll record it (§3.1), the Time Machine checkpoint around it (§3.2), and
+// the Investigator enumerate it (§3.3).
+//
+// State contract:
+//  - save_root/load_root must (de)serialize ALL process state that is not
+//    stored in the optional COW heap. A process whose bulk state lives in
+//    cow_heap() gets page-granular incremental checkpoints; root state is
+//    assumed small.
+//  - clone_behavior() returns a fresh process of the same type+version; it
+//    is the "model of its behavior" a process ships to the Investigator
+//    (Fig. 4: "this model does not have to be abstract; it could simply be
+//    the implementation of the process itself").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+#include "mem/paged_heap.hpp"
+#include "net/message.hpp"
+#include "rt/timer.hpp"
+
+namespace fixd::rt {
+
+/// The syscall surface available inside process handlers.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual std::size_t world_size() const = 0;
+
+  /// Current virtual time. Recorded by the Scroll (nondeterministic read).
+  virtual VirtualTime now() = 0;
+
+  /// Deterministic per-process RNG draw. Recorded by the Scroll.
+  virtual std::uint64_t random_u64() = 0;
+
+  /// Modeled environment read (disk/sensor/config — the parts "not under
+  /// the direct control of the FixD environment", Fig. 4). Recorded.
+  virtual std::uint64_t env_read(std::string_view key) = 0;
+
+  /// Send a message. Speculative taints are attached automatically.
+  virtual void send(ProcessId dst, net::Tag tag,
+                    std::vector<std::byte> payload) = 0;
+
+  /// Typed send helper for payload structs with save(BinaryWriter&).
+  template <typename T>
+  void send_body(ProcessId dst, net::Tag tag, const T& body) {
+    send(dst, tag, net::Message::encode(body));
+  }
+
+  /// Arm a timer firing `delay` virtual ns from now.
+  virtual TimerId set_timer(VirtualTime delay, std::uint32_t kind = 0) = 0;
+  virtual bool cancel_timer(TimerId id) = 0;
+  /// Cancel all of this process's timers of `kind`. Prefer kind-based timer
+  /// management in application state (ids are path-dependent; storing them
+  /// defeats model-checker state dedup).
+  virtual std::size_t cancel_timers(std::uint32_t kind) = 0;
+
+  /// Begin a speculation based on `assumption`; takes a lightweight
+  /// checkpoint (§4.2). No-op id if no speculation manager is attached.
+  virtual SpecId spec_begin(std::string_view assumption) = 0;
+  /// Validate the assumption: discard the checkpoint, clear taints.
+  virtual void spec_commit(SpecId id) = 0;
+  /// Invalidate: after this handler returns, every absorbed process rolls
+  /// back and on_spec_aborted runs (the "different execution path").
+  virtual void spec_abort(SpecId id) = 0;
+
+  /// Free-form note recorded in the Scroll.
+  virtual void annotate(std::string note) = 0;
+
+  /// Local fault detection: records a violation and (by default) stops the
+  /// run so the FixD pipeline can take over.
+  virtual void report_fault(std::string reason) = 0;
+
+  /// Declare this process finished (no more timers/starts expected).
+  virtual void halt() = 0;
+};
+
+/// Base class for application processes.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  ProcessId id() const { return id_; }
+
+  // --- handlers ----------------------------------------------------------
+  virtual void on_start(Context& ctx) { (void)ctx; }
+  virtual void on_message(Context& ctx, const net::Message& msg) = 0;
+  virtual void on_timer(Context& ctx, const Timer& timer) {
+    (void)ctx;
+    (void)timer;
+  }
+  /// Alternate execution path after a speculation this process was absorbed
+  /// in (or initiated) aborted and state was rolled back.
+  virtual void on_spec_aborted(Context& ctx, SpecId spec,
+                               const std::string& assumption) {
+    (void)ctx;
+    (void)spec;
+    (void)assumption;
+  }
+
+  // --- state -------------------------------------------------------------
+  virtual void save_root(BinaryWriter& w) const = 0;
+  virtual void load_root(BinaryReader& r) = 0;
+
+  /// Non-null if bulk state lives in a COW heap (mem/paged_heap.hpp).
+  virtual mem::PagedHeap* cow_heap() { return nullptr; }
+  const mem::PagedHeap* cow_heap() const {
+    return const_cast<Process*>(this)->cow_heap();
+  }
+
+  // --- identity ----------------------------------------------------------
+  virtual std::string type_name() const = 0;
+  /// Behaviour version; bumped by dynamic updates (heal/).
+  virtual std::uint32_t version() const { return 1; }
+
+  /// Fresh instance of the same behaviour (see file comment).
+  virtual std::unique_ptr<Process> clone_behavior() const = 0;
+
+ private:
+  friend class World;
+  ProcessId id_ = kNoProcess;
+};
+
+/// CRTP helper providing clone_behavior via the copy constructor.
+template <typename Derived>
+class ProcessBase : public Process {
+ public:
+  std::unique_ptr<Process> clone_behavior() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace fixd::rt

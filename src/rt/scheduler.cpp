@@ -1,0 +1,48 @@
+#include "rt/scheduler.hpp"
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace fixd::rt {
+
+namespace {
+auto order_key(const EventDesc& e) {
+  return std::make_tuple(e.at, static_cast<int>(e.kind), e.pid, e.msg,
+                         e.timer);
+}
+}  // namespace
+
+std::size_t FifoScheduler::choose(const std::vector<EventDesc>& enabled,
+                                  const World&) {
+  FIXD_CHECK(!enabled.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < enabled.size(); ++i) {
+    if (order_key(enabled[i]) < order_key(enabled[best])) best = i;
+  }
+  return best;
+}
+
+std::size_t RandomScheduler::choose(const std::vector<EventDesc>& enabled,
+                                    const World&) {
+  FIXD_CHECK(!enabled.empty());
+  return static_cast<std::size_t>(rng_.next_below(enabled.size()));
+}
+
+std::size_t ReplayScheduler::choose(const std::vector<EventDesc>& enabled,
+                                    const World&) {
+  FIXD_CHECK(!enabled.empty());
+  if (script_.empty())
+    throw ReplayDivergence("replay script exhausted but events remain");
+  const EventDesc want = script_.front();
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (enabled[i].same_identity(want)) {
+      script_.pop_front();
+      return i;
+    }
+  }
+  throw ReplayDivergence("recorded event " + want.to_string() +
+                         " is not enabled at this point of the replay");
+}
+
+}  // namespace fixd::rt

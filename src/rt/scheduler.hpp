@@ -1,0 +1,76 @@
+// Schedulers: the policy choosing which enabled event executes next.
+//
+// Given the enabled-event set computed by the world, a scheduler picks one.
+// Everything else in the run is deterministic, so the scheduler choice
+// sequence *is* the schedule — the Scroll records it, replay feeds it back,
+// and adversarial schedules are just different policies:
+//
+//   FifoScheduler    earliest-ready-first; the "natural" schedule a real
+//                    deployment would most likely take.
+//   RandomScheduler  uniform seeded choice; schedule fuzzing.
+//   ReplayScheduler  follows a recorded identity sequence; throws
+//                    ReplayDivergence when the run stops matching.
+//   ScriptScheduler  follows an explicit index script (used by tests and by
+//                    Investigator trail re-execution).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rt/event.hpp"
+
+namespace fixd::rt {
+
+class World;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Choose an index into `enabled` (non-empty).
+  virtual std::size_t choose(const std::vector<EventDesc>& enabled,
+                             const World& world) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic earliest-first schedule: min (at, kind, pid, msg, timer).
+class FifoScheduler final : public Scheduler {
+ public:
+  std::size_t choose(const std::vector<EventDesc>& enabled,
+                     const World& world) override;
+  std::string name() const override { return "fifo"; }
+};
+
+/// Uniform random choice from a seeded generator.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::size_t choose(const std::vector<EventDesc>& enabled,
+                     const World& world) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Follows a recorded sequence of event identities.
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(std::vector<EventDesc> script)
+      : script_(script.begin(), script.end()) {}
+
+  std::size_t choose(const std::vector<EventDesc>& enabled,
+                     const World& world) override;
+  std::string name() const override { return "replay"; }
+
+  bool exhausted() const { return script_.empty(); }
+  std::size_t remaining() const { return script_.size(); }
+
+ private:
+  std::deque<EventDesc> script_;
+};
+
+}  // namespace fixd::rt

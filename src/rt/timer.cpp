@@ -1,0 +1,84 @@
+#include "rt/timer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fixd::rt {
+
+namespace {
+bool timer_less(const Timer& a, const Timer& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.id < b.id;
+}
+}  // namespace
+
+TimerId TimerQueue::arm(VirtualTime now, VirtualTime delay,
+                        std::uint32_t kind) {
+  Timer t{next_id_++, now + delay, kind};
+  auto it = std::lower_bound(timers_.begin(), timers_.end(), t, timer_less);
+  timers_.insert(it, t);
+  return t.id;
+}
+
+bool TimerQueue::cancel(TimerId id) {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [&](const Timer& t) { return t.id == id; });
+  if (it == timers_.end()) return false;
+  timers_.erase(it);
+  return true;
+}
+
+std::size_t TimerQueue::cancel_by_kind(std::uint32_t kind) {
+  std::size_t before = timers_.size();
+  std::erase_if(timers_, [&](const Timer& t) { return t.kind == kind; });
+  return before - timers_.size();
+}
+
+Timer TimerQueue::take(TimerId id) {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [&](const Timer& t) { return t.id == id; });
+  FIXD_CHECK_MSG(it != timers_.end(), "take: timer not armed");
+  Timer t = *it;
+  timers_.erase(it);
+  return t;
+}
+
+const Timer* TimerQueue::find(TimerId id) const {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [&](const Timer& t) { return t.id == id; });
+  return it == timers_.end() ? nullptr : &*it;
+}
+
+std::vector<Timer> TimerQueue::armed() const { return timers_; }
+
+std::optional<VirtualTime> TimerQueue::earliest_deadline() const {
+  if (timers_.empty()) return std::nullopt;
+  return timers_.front().deadline;
+}
+
+void TimerQueue::save(BinaryWriter& w) const {
+  w.write_u64(next_id_);
+  w.write_varint(timers_.size());
+  for (const Timer& t : timers_) {
+    w.write_u64(t.id);
+    w.write_u64(t.deadline);
+    w.write_u32(t.kind);
+  }
+}
+
+void TimerQueue::load(BinaryReader& r) {
+  next_id_ = r.read_u64();
+  std::size_t n = static_cast<std::size_t>(r.read_varint());
+  timers_.clear();
+  timers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Timer t;
+    t.id = r.read_u64();
+    t.deadline = r.read_u64();
+    t.kind = r.read_u32();
+    timers_.push_back(t);
+  }
+}
+
+}  // namespace fixd::rt

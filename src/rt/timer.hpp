@@ -1,0 +1,62 @@
+// Per-process virtual-time timers.
+//
+// Timers model timeouts — the classic source of distributed races (a timeout
+// firing concurrently with the message it was waiting for). In timed mode a
+// timer becomes ready when virtual time reaches its deadline; in the
+// Investigator's abstract-time mode every armed timer is an enabled action,
+// which is precisely how timeout races enter the explored state space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace fixd::rt {
+
+struct Timer {
+  TimerId id = 0;
+  VirtualTime deadline = 0;
+  /// Application-chosen label so handlers can distinguish timers.
+  std::uint32_t kind = 0;
+};
+
+/// Ordered collection of armed timers for one process.
+class TimerQueue {
+ public:
+  /// Arm a timer `delay` after `now`; returns its id.
+  TimerId arm(VirtualTime now, VirtualTime delay, std::uint32_t kind = 0);
+
+  /// Disarm; returns false if the timer was not armed.
+  bool cancel(TimerId id);
+
+  /// Disarm all timers with the given kind; returns how many were removed.
+  /// Kind-based timers let applications avoid storing raw TimerIds in their
+  /// state, which keeps model-checker state canonicalization effective
+  /// (ids are path-dependent counters; kinds are not).
+  std::size_t cancel_by_kind(std::uint32_t kind);
+
+  /// Remove a fired timer (must be armed).
+  Timer take(TimerId id);
+
+  const Timer* find(TimerId id) const;
+
+  /// All armed timers, sorted by (deadline, id).
+  std::vector<Timer> armed() const;
+
+  std::optional<VirtualTime> earliest_deadline() const;
+
+  std::size_t size() const { return timers_.size(); }
+  void clear() { timers_.clear(); }
+
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
+ private:
+  std::vector<Timer> timers_;  // kept sorted by (deadline, id)
+  TimerId next_id_ = 1;
+};
+
+}  // namespace fixd::rt

@@ -1,0 +1,722 @@
+#include "rt/world.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace fixd::rt {
+
+// ---------------------------------------------------------------------------
+// ProcessCheckpoint
+// ---------------------------------------------------------------------------
+
+std::uint64_t ProcessCheckpoint::size_bytes() const {
+  std::uint64_t n = root.size() + info.size();
+  if (heap_snap) {
+    // COW cost: the page table (one pointer per page), not the content.
+    n += heap_snap->page_count() * sizeof(void*);
+  }
+  n += heap_bytes.size();
+  return n;
+}
+
+void ProcessCheckpoint::save(BinaryWriter& w) const {
+  w.write_bytes(root);
+  w.write_bytes(info);
+  vclock.save(w);
+  w.write_u64(lamport);
+  w.write_u64(at);
+  w.write_u64(step);
+  w.write_u64(capture_serial);
+  if (heap_snap) {
+    w.write_bool(true);
+    BinaryWriter hw;
+    heap_snap->save(hw);
+    w.write_bytes(hw.bytes());
+  } else if (!heap_bytes.empty()) {
+    w.write_bool(true);
+    w.write_bytes(heap_bytes);
+  } else {
+    w.write_bool(false);
+  }
+}
+
+void ProcessCheckpoint::load(BinaryReader& r) {
+  root = r.read_bytes();
+  info = r.read_bytes();
+  vclock.load(r);
+  lamport = r.read_u64();
+  at = r.read_u64();
+  step = r.read_u64();
+  capture_serial = r.read_u64();
+  heap_snap.reset();
+  heap_bytes.clear();
+  if (r.read_bool()) heap_bytes = r.read_bytes();
+}
+
+// ---------------------------------------------------------------------------
+// World::ProcInfo
+// ---------------------------------------------------------------------------
+
+void World::ProcInfo::save(BinaryWriter& w) const {
+  lamport.save(w);
+  vclock.save(w);
+  rng.save(w);
+  timers.save(w);
+  w.write_u64(env_count);
+  w.write_u64(handled);
+  w.write_bool(started);
+  w.write_bool(crashed);
+  w.write_bool(halted);
+}
+
+void World::ProcInfo::load(BinaryReader& r) {
+  lamport.load(r);
+  vclock.load(r);
+  rng.load(r);
+  timers.load(r);
+  env_count = r.read_u64();
+  handled = r.read_u64();
+  started = r.read_bool();
+  crashed = r.read_bool();
+  halted = r.read_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Context implementation
+// ---------------------------------------------------------------------------
+
+class World::Ctx final : public Context {
+ public:
+  Ctx(World& w, ProcessId pid) : w_(w), pid_(pid) {}
+
+  ProcessId self() const override { return pid_; }
+  std::size_t world_size() const override { return w_.size(); }
+
+  VirtualTime now() override {
+    for (auto* o : w_.observers_) o->on_time_read(w_, pid_, w_.now_);
+    return w_.now_;
+  }
+
+  std::uint64_t random_u64() override {
+    std::uint64_t v = w_.infos_[pid_].rng.next_u64();
+    for (auto* o : w_.observers_) o->on_rng(w_, pid_, v);
+    return v;
+  }
+
+  std::uint64_t env_read(std::string_view key) override {
+    auto& pi = w_.infos_[pid_];
+    std::optional<std::uint64_t> fed;
+    if (w_.env_source_) fed = w_.env_source_->next_env(pid_, key);
+    std::uint64_t val =
+        fed ? *fed : w_.default_env_value(pid_, key, pi.env_count);
+    ++pi.env_count;
+    std::string k(key);
+    for (auto* o : w_.observers_) o->on_env_read(w_, pid_, k, val);
+    return val;
+  }
+
+  void send(ProcessId dst, net::Tag tag,
+            std::vector<std::byte> payload) override {
+    FIXD_CHECK_MSG(dst < w_.size(), "send: destination out of range");
+    auto& pi = w_.infos_[pid_];
+    net::Message m;
+    m.src = pid_;
+    m.dst = dst;
+    m.tag = tag;
+    m.payload = std::move(payload);
+    m.sent_at = w_.now_;
+    pi.lamport.tick();
+    m.lamport = pi.lamport.now();
+    pi.vclock.tick(pid_);
+    m.vclock = pi.vclock;
+    if (w_.spec_hooks_) m.spec_taints = w_.spec_hooks_->taints_of(pid_);
+
+    if (w_.observers_.empty()) {
+      w_.net_.submit(std::move(m));
+    } else {
+      net::Message copy = m;
+      auto id = w_.net_.submit(std::move(m));
+      copy.id = id.value_or(0);  // 0: dropped by the loss policy at submit
+      for (auto* o : w_.observers_) o->on_send(w_, copy);
+    }
+  }
+
+  TimerId set_timer(VirtualTime delay, std::uint32_t kind) override {
+    return w_.infos_[pid_].timers.arm(w_.now_, delay, kind);
+  }
+
+  bool cancel_timer(TimerId id) override {
+    return w_.infos_[pid_].timers.cancel(id);
+  }
+
+  std::size_t cancel_timers(std::uint32_t kind) override {
+    return w_.infos_[pid_].timers.cancel_by_kind(kind);
+  }
+
+  SpecId spec_begin(std::string_view assumption) override {
+    if (!w_.spec_hooks_) return kNoSpec;
+    return w_.spec_hooks_->begin(w_, pid_, std::string(assumption));
+  }
+
+  void spec_commit(SpecId id) override {
+    if (w_.spec_hooks_) w_.spec_hooks_->commit(w_, pid_, id);
+  }
+
+  void spec_abort(SpecId id) override {
+    if (w_.spec_hooks_) w_.spec_hooks_->abort(w_, pid_, id);
+  }
+
+  void annotate(std::string note) override {
+    for (auto* o : w_.observers_) o->on_annotation(w_, pid_, note);
+  }
+
+  void report_fault(std::string reason) override {
+    Violation v;
+    v.invariant = "local";
+    v.pid = pid_;
+    v.detail = std::move(reason);
+    v.at = w_.now_;
+    v.lamport = w_.infos_[pid_].lamport.now();
+    v.step = w_.step_;
+    w_.record_violation(std::move(v));
+  }
+
+  void halt() override {
+    auto& pi = w_.infos_[pid_];
+    pi.halted = true;
+    pi.timers.clear();
+  }
+
+ private:
+  World& w_;
+  ProcessId pid_;
+};
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(WorldOptions opts)
+    : opts_(opts),
+      net_(opts.net),
+      scheduler_(std::make_unique<FifoScheduler>()) {}
+
+World::~World() = default;
+
+ProcessId World::add_process(std::unique_ptr<Process> p) {
+  FIXD_CHECK_MSG(!sealed_, "add_process after seal");
+  FIXD_CHECK_MSG(p != nullptr, "add_process: null");
+  ProcessId pid = static_cast<ProcessId>(procs_.size());
+  p->id_ = pid;
+  procs_.push_back(std::move(p));
+  ProcInfo pi;
+  pi.rng = Rng(hash_combine(opts_.seed, pid));
+  infos_.push_back(std::move(pi));
+  return pid;
+}
+
+void World::seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  for (auto& pi : infos_) pi.vclock = VectorClock(procs_.size());
+}
+
+Process& World::process(ProcessId pid) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "bad process id");
+  return *procs_[pid];
+}
+
+const Process& World::process(ProcessId pid) const {
+  FIXD_CHECK_MSG(pid < procs_.size(), "bad process id");
+  return *procs_[pid];
+}
+
+std::unique_ptr<Process> World::swap_process(ProcessId pid,
+                                             std::unique_ptr<Process> fresh) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "swap_process: bad id");
+  FIXD_CHECK_MSG(fresh != nullptr, "swap_process: null");
+  FIXD_CHECK_MSG(!in_handler_, "swap_process during a handler");
+  fresh->id_ = pid;
+  std::swap(procs_[pid], fresh);
+  return fresh;  // now holds the old process
+}
+
+World::ProcInfo& World::info(ProcessId pid) {
+  FIXD_CHECK_MSG(pid < infos_.size(), "bad process id");
+  return infos_[pid];
+}
+
+const World::ProcInfo& World::info(ProcessId pid) const {
+  FIXD_CHECK_MSG(pid < infos_.size(), "bad process id");
+  return infos_[pid];
+}
+
+const VectorClock& World::vclock_of(ProcessId pid) const {
+  return info(pid).vclock;
+}
+
+LamportTime World::lamport_of(ProcessId pid) const {
+  return info(pid).lamport.now();
+}
+
+const TimerQueue& World::timers_of(ProcessId pid) const {
+  return info(pid).timers;
+}
+
+void World::set_crashed(ProcessId pid, bool crashed) {
+  info(pid).crashed = crashed;
+}
+
+void World::add_observer(RuntimeObserver* obs) {
+  FIXD_CHECK(obs != nullptr);
+  observers_.push_back(obs);
+}
+
+void World::remove_observer(RuntimeObserver* obs) {
+  std::erase(observers_, obs);
+}
+
+void World::add_interceptor(StepInterceptor* ic) {
+  FIXD_CHECK(ic != nullptr);
+  interceptors_.push_back(ic);
+}
+
+void World::remove_interceptor(StepInterceptor* ic) {
+  std::erase(interceptors_, ic);
+}
+
+void World::set_scheduler(std::unique_ptr<Scheduler> s) {
+  FIXD_CHECK(s != nullptr);
+  scheduler_ = std::move(s);
+}
+
+void World::record_violation(Violation v) {
+  violations_.push_back(std::move(v));
+}
+
+std::vector<EventDesc> World::enabled_events() const {
+  FIXD_CHECK_MSG(sealed_, "world not sealed");
+  std::vector<EventDesc> cand;
+
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    const ProcInfo& pi = infos_[pid];
+    if (pi.crashed || pi.halted) continue;
+    if (!pi.started) {
+      EventDesc e;
+      e.kind = EventKind::kStart;
+      e.pid = pid;
+      e.at = 0;
+      cand.push_back(e);
+    }
+  }
+
+  for (MsgId id : net_.deliverable()) {
+    const net::Message* m = net_.peek(id);
+    const ProcInfo& pi = infos_[m->dst];
+    if (pi.crashed || !pi.started) continue;  // waits until dst can receive
+    EventDesc e;
+    e.kind = EventKind::kDeliver;
+    e.pid = m->dst;
+    e.msg = id;
+    e.at = m->sent_at + m->latency;
+    cand.push_back(e);
+  }
+
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    const ProcInfo& pi = infos_[pid];
+    if (pi.crashed || pi.halted || !pi.started) continue;
+    for (const Timer& t : pi.timers.armed()) {
+      EventDesc e;
+      e.kind = EventKind::kTimer;
+      e.pid = pid;
+      e.timer = t.id;
+      e.at = t.deadline;
+      cand.push_back(e);
+    }
+  }
+
+  if (opts_.abstract_time || cand.empty()) return cand;
+
+  // Timed mode: only events ready at the current time are enabled; if none
+  // is, virtual time warps to the earliest upcoming event group.
+  std::vector<EventDesc> ready;
+  for (const EventDesc& e : cand) {
+    if (e.at <= now_) ready.push_back(e);
+  }
+  if (!ready.empty()) return ready;
+  VirtualTime tmin = cand.front().at;
+  for (const EventDesc& e : cand) tmin = std::min(tmin, e.at);
+  for (const EventDesc& e : cand) {
+    if (e.at == tmin) ready.push_back(e);
+  }
+  return ready;
+}
+
+bool World::step() {
+  auto enabled = enabled_events();
+  if (enabled.empty()) return false;
+  std::size_t idx = scheduler_->choose(enabled, *this);
+  FIXD_CHECK_MSG(idx < enabled.size(), "scheduler chose out of range");
+  dispatch(enabled[idx]);
+  return true;
+}
+
+RunResult World::run(std::uint64_t max_steps) {
+  // Note: a world where every process has halted but deliveries are still
+  // pending keeps draining them (halted processes handle messages; they
+  // just initiate nothing) — stopping early would hide faults that manifest
+  // in the last in-flight messages.
+  RunResult res;
+  while (true) {
+    if (opts_.stop_on_violation && has_violation()) {
+      res.reason = StopReason::kViolation;
+      return res;
+    }
+    if (res.steps >= max_steps) {
+      res.reason = StopReason::kMaxSteps;
+      return res;
+    }
+    if (!step()) {
+      res.reason = all_halted() ? StopReason::kAllHalted
+                                : StopReason::kQuiescent;
+      return res;
+    }
+    ++res.steps;
+  }
+}
+
+void World::execute_event(const EventDesc& ev) {
+  switch (ev.kind) {
+    case EventKind::kStart:
+      FIXD_CHECK_MSG(!info(ev.pid).started, "execute: already started");
+      break;
+    case EventKind::kDeliver:
+      FIXD_CHECK_MSG(net_.peek(ev.msg) != nullptr, "execute: no such message");
+      break;
+    case EventKind::kTimer:
+      FIXD_CHECK_MSG(info(ev.pid).timers.find(ev.timer) != nullptr,
+                     "execute: timer not armed");
+      break;
+  }
+  dispatch(ev);
+}
+
+bool World::all_halted() const {
+  for (const auto& pi : infos_) {
+    if (!pi.halted && !pi.crashed) return false;
+  }
+  return !infos_.empty();
+}
+
+void World::run_handler(ProcessId pid,
+                        const std::function<void(Context&)>& body) {
+  Ctx ctx(*this, pid);
+  in_handler_ = true;
+  try {
+    body(ctx);
+  } catch (...) {
+    in_handler_ = false;
+    throw;
+  }
+  in_handler_ = false;
+}
+
+void World::dispatch(const EventDesc& ev) {
+  FIXD_CHECK_MSG(!in_handler_, "reentrant dispatch");
+  now_ = std::max(now_, ev.at);
+
+  bool suppressed = false;
+  for (auto* ic : interceptors_) {
+    if (!ic->before_event(*this, ev)) {
+      suppressed = true;
+      break;
+    }
+  }
+  if (suppressed) {
+    // Consume the event without running its handler (crash/loss injection).
+    switch (ev.kind) {
+      case EventKind::kStart:
+        infos_[ev.pid].started = true;
+        break;
+      case EventKind::kDeliver:
+        net_.drop(ev.msg, /*forced=*/true);
+        break;
+      case EventKind::kTimer:
+        infos_[ev.pid].timers.cancel(ev.timer);
+        break;
+    }
+    ++step_;
+    for (auto* ic : interceptors_) ic->after_event(*this, ev);
+    return;
+  }
+
+  for (auto* o : observers_) o->on_event(*this, ev);
+
+  ProcInfo& pi = infos_[ev.pid];
+  switch (ev.kind) {
+    case EventKind::kStart: {
+      pi.started = true;
+      pi.lamport.tick();
+      pi.vclock.tick(ev.pid);
+      run_handler(ev.pid,
+                  [&](Context& c) { procs_[ev.pid]->on_start(c); });
+      break;
+    }
+    case EventKind::kDeliver: {
+      if (spec_hooks_) spec_hooks_->before_deliver(*this, *net_.peek(ev.msg));
+      net::Message msg = net_.take(ev.msg);
+      pi.lamport.merge(msg.lamport);
+      pi.vclock.merge(msg.vclock, ev.pid);
+      for (auto* o : observers_) o->on_deliver(*this, msg);
+      run_handler(ev.pid,
+                  [&](Context& c) { procs_[ev.pid]->on_message(c, msg); });
+      break;
+    }
+    case EventKind::kTimer: {
+      Timer t = pi.timers.take(ev.timer);
+      pi.lamport.tick();
+      pi.vclock.tick(ev.pid);
+      run_handler(ev.pid,
+                  [&](Context& c) { procs_[ev.pid]->on_timer(c, t); });
+      break;
+    }
+  }
+  ++pi.handled;
+  ++step_;
+
+  if (spec_hooks_) spec_hooks_->apply_deferred(*this);
+  check_invariants(ev.pid, ev);
+  for (auto* ic : interceptors_) ic->after_event(*this, ev);
+}
+
+void World::recheck_invariants() {
+  for (const auto& li : invariants_.locals()) {
+    std::vector<ProcessId> targets;
+    if (li.pid == kNoProcess) {
+      for (ProcessId p = 0; p < procs_.size(); ++p) targets.push_back(p);
+    } else {
+      targets.push_back(li.pid);
+    }
+    for (ProcessId target : targets) {
+      auto r = li.fn(*procs_[target]);
+      if (r) {
+        Violation v;
+        v.invariant = li.name;
+        v.pid = target;
+        v.detail = *r;
+        v.at = now_;
+        v.lamport = infos_[target].lamport.now();
+        v.step = step_;
+        record_violation(std::move(v));
+      }
+    }
+  }
+  for (const auto& gi : invariants_.globals()) {
+    auto r = gi.fn(*this);
+    if (r) {
+      Violation v;
+      v.invariant = gi.name;
+      v.pid = kNoProcess;
+      v.detail = *r;
+      v.at = now_;
+      v.step = step_;
+      record_violation(std::move(v));
+    }
+  }
+}
+
+void World::check_invariants(ProcessId pid, const EventDesc& ev) {
+  (void)ev;
+  for (const auto& li : invariants_.locals()) {
+    ProcessId target = li.pid == kNoProcess ? pid : li.pid;
+    if (li.pid != kNoProcess && li.pid != pid) continue;
+    auto r = li.fn(*procs_[target]);
+    if (r) {
+      Violation v;
+      v.invariant = li.name;
+      v.pid = target;
+      v.detail = *r;
+      v.at = now_;
+      v.lamport = infos_[target].lamport.now();
+      v.step = step_;
+      record_violation(std::move(v));
+    }
+  }
+  if (opts_.check_global_invariants) {
+    for (const auto& gi : invariants_.globals()) {
+      auto r = gi.fn(*this);
+      if (r) {
+        Violation v;
+        v.invariant = gi.name;
+        v.pid = kNoProcess;
+        v.detail = *r;
+        v.at = now_;
+        v.step = step_;
+        record_violation(std::move(v));
+      }
+    }
+  }
+}
+
+std::uint64_t default_env_value(std::uint64_t env_seed, ProcessId pid,
+                                std::string_view key, std::uint64_t count) {
+  Hasher h(env_seed);
+  h.update_u64(pid);
+  h.update_string(key);
+  h.update_u64(count);
+  return h.digest();
+}
+
+std::uint64_t World::default_env_value(ProcessId pid, std::string_view key,
+                                       std::uint64_t count) const {
+  return rt::default_env_value(opts_.env_seed, pid, key, count);
+}
+
+void World::notify_spec_event(ProcessId pid, SpecId spec,
+                              RuntimeObserver::SpecOp op) {
+  for (auto* o : observers_) o->on_spec(*this, pid, spec, op);
+}
+
+void World::notify_spec_aborted(ProcessId pid, SpecId spec,
+                                const std::string& assumption) {
+  ProcInfo& pi = infos_[pid];
+  pi.lamport.tick();
+  pi.vclock.tick(pid);
+  run_handler(pid, [&](Context& c) {
+    procs_[pid]->on_spec_aborted(c, spec, assumption);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// State capture
+// ---------------------------------------------------------------------------
+
+ProcessCheckpoint World::capture_process(ProcessId pid, bool cow) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "capture: bad id");
+  ProcessCheckpoint c;
+  BinaryWriter rw;
+  procs_[pid]->save_root(rw);
+  c.root = rw.take();
+  if (mem::PagedHeap* h = procs_[pid]->cow_heap()) {
+    if (cow) {
+      c.heap_snap = h->snapshot();
+    } else {
+      BinaryWriter hw;
+      h->save(hw);
+      c.heap_bytes = hw.take();
+    }
+  }
+  BinaryWriter iw;
+  infos_[pid].save(iw);
+  c.info = iw.take();
+  c.vclock = infos_[pid].vclock;
+  c.lamport = infos_[pid].lamport.now();
+  c.at = now_;
+  c.step = step_;
+  c.capture_serial = ++capture_seq_;
+  return c;
+}
+
+void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "restore: bad id");
+  BinaryReader rr(ckpt.root);
+  procs_[pid]->load_root(rr);
+  mem::PagedHeap* h = procs_[pid]->cow_heap();
+  if (ckpt.heap_snap) {
+    FIXD_CHECK_MSG(h != nullptr, "restore: checkpoint has heap, process not");
+    h->restore(*ckpt.heap_snap);
+  } else if (!ckpt.heap_bytes.empty()) {
+    FIXD_CHECK_MSG(h != nullptr, "restore: checkpoint has heap, process not");
+    BinaryReader hr(ckpt.heap_bytes);
+    h->load(hr);
+  }
+  BinaryReader ir(ckpt.info);
+  infos_[pid].load(ir);
+}
+
+WorldSnapshot World::snapshot(bool cow) {
+  WorldSnapshot s;
+  s.procs.reserve(procs_.size());
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    s.procs.push_back(capture_process(pid, cow));
+  }
+  BinaryWriter nw;
+  net_.save(nw);
+  s.net = nw.take();
+  s.now = now_;
+  s.step = step_;
+  return s;
+}
+
+void World::restore(const WorldSnapshot& snap) {
+  FIXD_CHECK_MSG(snap.procs.size() == procs_.size(),
+                 "snapshot process count mismatch");
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    restore_process(pid, snap.procs[pid]);
+  }
+  BinaryReader nr(snap.net);
+  net_.load(nr);
+  now_ = snap.now;
+  step_ = snap.step;
+}
+
+std::unique_ptr<World> World::clone() {
+  auto w = std::make_unique<World>(opts_);
+  for (const auto& p : procs_) w->add_process(p->clone_behavior());
+  w->seal();
+  WorldSnapshot snap = snapshot(/*cow=*/true);
+  w->restore(snap);
+  return w;
+}
+
+std::uint64_t World::digest() const {
+  Hasher h;
+  h.update_u64(now_);
+  h.update_u64(step_);
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    BinaryWriter rw;
+    procs_[pid]->save_root(rw);
+    h.update(rw.bytes());
+    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
+      h.update_u64(heap->digest());
+    }
+    BinaryWriter iw;
+    infos_[pid].save(iw);
+    h.update(iw.bytes());
+  }
+  h.update_u64(net_.digest());
+  return h.digest();
+}
+
+std::uint64_t World::mc_digest() const {
+  Hasher h;
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    BinaryWriter rw;
+    procs_[pid]->save_root(rw);
+    h.update(rw.bytes());
+    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
+      h.update_u64(heap->digest());
+    }
+    const ProcInfo& pi = infos_[pid];
+    h.update_u64((pi.started ? 1 : 0) | (pi.crashed ? 2 : 0) |
+                 (pi.halted ? 4 : 0));
+    BinaryWriter rngw;
+    pi.rng.save(rngw);
+    h.update(rngw.bytes());
+    h.update_u64(pi.env_count);
+    // Armed timers: kinds in armed order (ids/deadlines are path noise).
+    for (const Timer& t : pi.timers.armed()) h.update_u64(t.kind);
+    h.update_u64(0x7133);  // separator
+  }
+  // In-flight messages as a sorted multiset of content digests.
+  std::vector<std::uint64_t> digs;
+  for (const net::Message* m : net_.pending()) {
+    digs.push_back(m->content_digest());
+  }
+  std::sort(digs.begin(), digs.end());
+  for (std::uint64_t d : digs) h.update_u64(d);
+  return h.digest();
+}
+
+}  // namespace fixd::rt

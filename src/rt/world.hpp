@@ -1,0 +1,296 @@
+// The World: a deterministic discrete-event simulation of a distributed
+// system.
+//
+// A world owns N processes, the network between them, per-process logical
+// clocks / RNGs / timers, and a scheduler. One call to step() executes one
+// event (start, message delivery, or timer expiry) through a fixed pipeline:
+//
+//   interceptors.before_event       (fault injection, CIC checkpointing)
+//   observers.on_event              (the Scroll's schedule record)
+//   spec_hooks.before_deliver       (speculation absorption, §4.2)
+//   clock merges -> handler runs    (the application code)
+//   spec_hooks.apply_deferred       (speculation aborts -> rollbacks)
+//   invariant checks                (fault detection)
+//   interceptors.after_event
+//
+// Determinism contract: given the same processes, options, scheduler and
+// hooks, two runs produce bit-identical state (tested by digest equality).
+// The only nondeterminism is the scheduler's choice among enabled events —
+// which is exactly what the Scroll records and the Investigator explores.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "rt/event.hpp"
+#include "rt/hooks.hpp"
+#include "rt/invariant.hpp"
+#include "rt/process.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/timer.hpp"
+
+namespace fixd::rt {
+
+struct WorldOptions {
+  net::NetworkOptions net;
+  /// Root seed; per-process RNG seeds are derived from it.
+  std::uint64_t seed = 1;
+  /// Seed of the default environment model (ctx.env_read values).
+  std::uint64_t env_seed = 7;
+  /// Abstract-time mode: every pending message and armed timer is enabled
+  /// (the Investigator's view). Timed mode: events gate on virtual time.
+  bool abstract_time = false;
+  /// run() stops as soon as a violation is recorded.
+  bool stop_on_violation = true;
+  /// Evaluate global invariants after every event (omniscient testing mode).
+  bool check_global_invariants = true;
+};
+
+/// A captured process state; cheap when `heap_snap` is used (COW pages).
+struct ProcessCheckpoint {
+  std::vector<std::byte> root;                  ///< Process::save_root bytes
+  std::optional<mem::HeapSnapshot> heap_snap;   ///< COW capture (in-memory)
+  std::vector<std::byte> heap_bytes;            ///< full capture (serialized)
+  std::vector<std::byte> info;                  ///< clocks, rng, timers, flags
+  VectorClock vclock;
+  LamportTime lamport = 0;
+  VirtualTime at = 0;
+  std::uint64_t step = 0;
+  /// World-unique, monotonically increasing capture id. Distinguishes
+  /// captures taken within the same event (where clocks tie); the
+  /// speculation cascade logic orders entry checkpoints by it.
+  std::uint64_t capture_serial = 0;
+
+  /// Approximate retained size: serialized bytes plus COW page-table cost.
+  std::uint64_t size_bytes() const;
+
+  /// Wire format (materializes COW heap content; used by the Fig. 4
+  /// checkpoint-collection protocol).
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+};
+
+/// A captured global state: every process plus in-flight network traffic.
+struct WorldSnapshot {
+  std::vector<ProcessCheckpoint> procs;
+  std::vector<std::byte> net;
+  VirtualTime now = 0;
+  std::uint64_t step = 0;
+};
+
+/// The deterministic default environment model: the value a process reads
+/// for (key, nth-read). Exposed so tests and workload builders can predict
+/// environment inputs for a given seed.
+std::uint64_t default_env_value(std::uint64_t env_seed, ProcessId pid,
+                                std::string_view key, std::uint64_t count);
+
+enum class StopReason { kQuiescent, kAllHalted, kMaxSteps, kViolation };
+
+struct RunResult {
+  StopReason reason = StopReason::kQuiescent;
+  std::uint64_t steps = 0;
+};
+
+class World {
+ public:
+  explicit World(WorldOptions opts = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- construction -------------------------------------------------------
+  /// Add a process before seal(); returns its id (dense, in add order).
+  ProcessId add_process(std::unique_ptr<Process> p);
+
+  /// Freeze membership; initializes vector clocks. Idempotent.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  // --- accessors ----------------------------------------------------------
+  const WorldOptions& options() const { return opts_; }
+
+  /// Switch between timed and abstract-time enabled-event semantics (the
+  /// Investigator explores in abstract time so timeout races are visible).
+  void set_abstract_time(bool on) { opts_.abstract_time = on; }
+
+  /// Toggle omniscient global-invariant checking after every event.
+  void set_check_global_invariants(bool on) {
+    opts_.check_global_invariants = on;
+  }
+
+  /// Toggle stop-on-violation for run().
+  void set_stop_on_violation(bool on) { opts_.stop_on_violation = on; }
+  std::size_t size() const { return procs_.size(); }
+  Process& process(ProcessId pid);
+  const Process& process(ProcessId pid) const;
+
+  /// Typed access; throws ConfigError on type mismatch.
+  template <typename T>
+  T& process_as(ProcessId pid) {
+    auto* p = dynamic_cast<T*>(&process(pid));
+    if (!p) throw ConfigError("process_as: type mismatch for p" +
+                              std::to_string(pid));
+    return *p;
+  }
+  template <typename T>
+  const T& process_as(ProcessId pid) const {
+    return const_cast<World*>(this)->process_as<T>(pid);
+  }
+
+  /// Replace a process object in place (the Healer's dynamic update).
+  /// The new process keeps the same pid; runtime info (clocks, timers)
+  /// is preserved. Returns the old process.
+  std::unique_ptr<Process> swap_process(ProcessId pid,
+                                        std::unique_ptr<Process> fresh);
+
+  net::SimNetwork& network() { return net_; }
+  const net::SimNetwork& network() const { return net_; }
+
+  VirtualTime now() const { return now_; }
+  std::uint64_t step_count() const { return step_; }
+  const VectorClock& vclock_of(ProcessId pid) const;
+  LamportTime lamport_of(ProcessId pid) const;
+  const TimerQueue& timers_of(ProcessId pid) const;
+
+  bool is_started(ProcessId pid) const { return info(pid).started; }
+  bool is_crashed(ProcessId pid) const { return info(pid).crashed; }
+  bool is_halted(ProcessId pid) const { return info(pid).halted; }
+  void set_crashed(ProcessId pid, bool crashed);
+  std::uint64_t events_handled(ProcessId pid) const {
+    return info(pid).handled;
+  }
+
+  // --- hooks ----------------------------------------------------------------
+  void add_observer(RuntimeObserver* obs);
+  void remove_observer(RuntimeObserver* obs);
+  void add_interceptor(StepInterceptor* ic);
+  void remove_interceptor(StepInterceptor* ic);
+  void set_spec_hooks(SpecHooks* hooks) { spec_hooks_ = hooks; }
+  SpecHooks* spec_hooks() const { return spec_hooks_; }
+  void set_env_source(EnvSource* src) { env_source_ = src; }
+  void set_scheduler(std::unique_ptr<Scheduler> s);
+  Scheduler& scheduler() { return *scheduler_; }
+
+  // --- invariants & violations ---------------------------------------------
+  InvariantRegistry& invariants() { return invariants_; }
+  const InvariantRegistry& invariants() const { return invariants_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool has_violation() const { return !violations_.empty(); }
+  void clear_violations() { violations_.clear(); }
+  void record_violation(Violation v);
+
+  /// Evaluate every registered invariant against the current state and
+  /// record any violations (used to probe a freshly restored state).
+  void recheck_invariants();
+
+  // --- execution --------------------------------------------------------------
+  /// Events currently eligible to run (deterministic order).
+  std::vector<EventDesc> enabled_events() const;
+
+  /// Execute one scheduler-chosen event. False iff no event is enabled.
+  bool step();
+
+  /// Run until quiescent / all halted / a violation (if configured) /
+  /// max_steps executed.
+  RunResult run(std::uint64_t max_steps = ~0ull);
+
+  /// Execute a specific enabled event (the Investigator's transition).
+  void execute_event(const EventDesc& ev);
+
+  bool quiescent() const { return enabled_events().empty(); }
+  bool all_halted() const;
+
+  // --- state capture ------------------------------------------------------------
+  /// Capture one process. `cow=true` uses the heap page-table snapshot
+  /// (cheap); `cow=false` fully serializes (transmissible).
+  ProcessCheckpoint capture_process(ProcessId pid, bool cow = true);
+
+  /// Restore one process (state + clocks + timers). The network is NOT
+  /// touched: reconciling channels is the Time Machine's job.
+  void restore_process(ProcessId pid, const ProcessCheckpoint& ckpt);
+
+  WorldSnapshot snapshot(bool cow = true);
+  void restore(const WorldSnapshot& snap);
+
+  /// Clone the entire world (processes, network, clocks). Hooks, observers
+  /// and invariants are NOT cloned; the clone gets a FIFO scheduler.
+  std::unique_ptr<World> clone();
+
+  /// Exact state digest: changes iff any state byte changes. Includes
+  /// clocks, ids and stats — two runs match iff they are bit-identical.
+  std::uint64_t digest() const;
+
+  /// Canonical digest for model-checker deduplication: abstracts away
+  /// path-dependent bookkeeping (virtual time, Lamport/vector clocks,
+  /// message ids, network statistics) while covering all decision-relevant
+  /// state (process roots, heaps, flags, RNGs, armed timer kinds, the
+  /// multiset of in-flight message contents).
+  std::uint64_t mc_digest() const;
+
+  /// Invoked by ckpt::SpeculationManager after rolling a process back, to
+  /// run its alternate-path handler.
+  void notify_spec_aborted(ProcessId pid, SpecId spec,
+                           const std::string& assumption);
+
+  /// Forward a speculation lifecycle event to the observers (the Scroll).
+  void notify_spec_event(ProcessId pid, SpecId spec,
+                         RuntimeObserver::SpecOp op);
+
+  /// Total sends/deliveries executed (convenience for benches).
+  const net::NetStats& net_stats() const { return net_.stats(); }
+
+ private:
+  struct ProcInfo {
+    LamportClock lamport;
+    VectorClock vclock;
+    Rng rng;
+    TimerQueue timers;
+    std::uint64_t env_count = 0;
+    std::uint64_t handled = 0;
+    bool started = false;
+    bool crashed = false;
+    bool halted = false;
+
+    void save(BinaryWriter& w) const;
+    void load(BinaryReader& r);
+  };
+
+  class Ctx;
+  friend class Ctx;
+
+  ProcInfo& info(ProcessId pid);
+  const ProcInfo& info(ProcessId pid) const;
+
+  void dispatch(const EventDesc& ev);
+  void run_handler(ProcessId pid, const std::function<void(Context&)>& body);
+  void check_invariants(ProcessId pid, const EventDesc& ev);
+  std::uint64_t default_env_value(ProcessId pid, std::string_view key,
+                                  std::uint64_t count) const;
+
+  WorldOptions opts_;
+  bool sealed_ = false;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<ProcInfo> infos_;
+  net::SimNetwork net_;
+  std::unique_ptr<Scheduler> scheduler_;
+  InvariantRegistry invariants_;
+  std::vector<Violation> violations_;
+  std::vector<RuntimeObserver*> observers_;
+  std::vector<StepInterceptor*> interceptors_;
+  SpecHooks* spec_hooks_ = nullptr;
+  EnvSource* env_source_ = nullptr;
+  VirtualTime now_ = 0;
+  std::uint64_t step_ = 0;
+  std::uint64_t capture_seq_ = 0;  // never restored: stays world-unique
+  bool in_handler_ = false;
+};
+
+}  // namespace fixd::rt

@@ -1,0 +1,95 @@
+// Black-box modeling of remote components.
+//
+// §2.2: "An alternative to requiring the logs of all entities in the system
+// is to record the interaction between the local component and a remote one
+// and treat the remote entity as a black box defined only by the interaction
+// with the local component."
+//
+// BlackBoxTranscript extracts, from a digest-or-richer scroll, the
+// interaction a given remote process had with the rest of the system: the
+// sequence of messages it emitted and absorbed. ScriptedProcess then *plays*
+// that transcript as a stand-in process — the Investigator uses it when a
+// component's implementation is unavailable (Fig. 4's "models for some of
+// the external components").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/process.hpp"
+#include "scroll/scroll.hpp"
+
+namespace fixd::scroll {
+
+/// One observed interaction at the black box boundary.
+struct Interaction {
+  bool outbound = false;  ///< true: remote sent this; false: remote received
+  ProcessId peer = kNoProcess;
+  net::Tag tag = 0;
+  std::vector<std::byte> payload;  ///< empty if only digests were recorded
+  std::uint64_t digest = 0;
+
+  void save(BinaryWriter& w) const {
+    w.write_bool(outbound);
+    w.write_u32(peer);
+    w.write_u32(tag);
+    w.write_bytes(payload);
+    w.write_u64(digest);
+  }
+  void load(BinaryReader& r) {
+    outbound = r.read_bool();
+    peer = r.read_u32();
+    tag = r.read_u32();
+    payload = r.read_bytes();
+    digest = r.read_u64();
+  }
+};
+
+class BlackBoxTranscript {
+ public:
+  /// Extract the interactions of `remote` from a scroll recorded with at
+  /// least the digests() preset (payloads preset enables full replay).
+  static BlackBoxTranscript extract(const Scroll& scroll, ProcessId remote);
+
+  const std::vector<Interaction>& interactions() const { return log_; }
+  ProcessId remote() const { return remote_; }
+  bool has_payloads() const;
+
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
+ private:
+  ProcessId remote_ = kNoProcess;
+  std::vector<Interaction> log_;
+};
+
+/// A stand-in process that plays a transcript: it re-emits the remote's
+/// recorded sends in order, advancing past recorded receives as matching
+/// messages arrive. Requires a transcript with payloads.
+class ScriptedProcess final : public rt::ProcessBase<ScriptedProcess> {
+ public:
+  ScriptedProcess() = default;
+  explicit ScriptedProcess(BlackBoxTranscript transcript);
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "scripted"; }
+
+  /// True when every recorded interaction has been played.
+  bool exhausted() const { return cursor_ >= transcript_.interactions().size(); }
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  /// Emit all outbound interactions at the cursor.
+  void pump(rt::Context& ctx);
+
+  BlackBoxTranscript transcript_;
+  std::size_t cursor_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace fixd::scroll

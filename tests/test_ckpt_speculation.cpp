@@ -1,0 +1,276 @@
+// Distributed speculations: absorption, commit/abort, cascades, alternate
+// execution paths.
+#include <gtest/gtest.h>
+
+#include "ckpt/speculation.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::ckpt {
+namespace {
+
+enum SpecTestTag : net::Tag { kDataTag = 1, kPlainTag = 2 };
+
+// A process that begins a speculation on start (pid 0), sends speculative
+// data to its right neighbour, and commits/aborts on command.
+class SpecProc final : public rt::ProcessBase<SpecProc> {
+ public:
+  SpecProc() = default;
+
+  void on_start(rt::Context& ctx) override {
+    if (ctx.self() == 0 && do_speculate) {
+      spec = ctx.spec_begin("value will be accepted");
+      counter = 100;  // speculative state
+      ctx.send(1, kDataTag, {std::byte{1}});
+    }
+  }
+
+  void on_message(rt::Context& ctx, const net::Message& msg) override {
+    ++received;
+    if (msg.tag == kDataTag) {
+      counter += 10;
+      if (ctx.self() + 1 < ctx.world_size()) {
+        ctx.send(static_cast<ProcessId>(ctx.self() + 1), kDataTag,
+                 {std::byte{1}});
+      }
+    }
+  }
+
+  void on_spec_aborted(rt::Context& ctx, SpecId,
+                       const std::string& assumption) override {
+    (void)ctx;
+    aborted_assumption = assumption;
+    ++abort_paths_taken;
+  }
+
+  void save_root(BinaryWriter& w) const override {
+    w.write_u64(counter);
+    w.write_u64(received);
+    w.write_u64(abort_paths_taken);
+    w.write_bool(do_speculate);
+    w.write_string(aborted_assumption);
+  }
+  void load_root(BinaryReader& r) override {
+    counter = r.read_u64();
+    received = r.read_u64();
+    abort_paths_taken = r.read_u64();
+    do_speculate = r.read_bool();
+    aborted_assumption = r.read_string();
+  }
+
+  std::string type_name() const override { return "spec-proc"; }
+
+  std::uint64_t counter = 0;
+  std::uint64_t received = 0;
+  std::uint64_t abort_paths_taken = 0;
+  bool do_speculate = true;
+  std::string aborted_assumption;
+  SpecId spec = kNoSpec;
+};
+
+struct SpecFixture {
+  std::unique_ptr<rt::World> w;
+  SpeculationManager specs;
+
+  explicit SpecFixture(std::size_t n) {
+    w = std::make_unique<rt::World>();
+    for (std::size_t i = 0; i < n; ++i)
+      w->add_process(std::make_unique<SpecProc>());
+    w->seal();
+    specs.attach(*w);
+  }
+  SpecProc& p(ProcessId pid) { return w->process_as<SpecProc>(pid); }
+};
+
+TEST(Speculation, BeginTaintsOwnerAndMessages) {
+  SpecFixture f(3);
+  f.w->run(1);  // p0 starts, begins spec, sends
+  SpecId s = f.p(0).spec;
+  ASSERT_NE(s, kNoSpec);
+  EXPECT_TRUE(f.specs.active(s));
+  EXPECT_EQ(f.specs.taints_of(0), (std::vector<SpecId>{s}));
+  bool found_tainted = false;
+  for (const net::Message* m : f.w->network().pending()) {
+    if (!m->spec_taints.empty()) found_tainted = true;
+  }
+  EXPECT_TRUE(found_tainted);
+}
+
+TEST(Speculation, ReceiverIsAbsorbed) {
+  SpecFixture f(3);
+  f.w->run(10);  // let the speculative data propagate 0 -> 1 -> 2
+  SpecId s = f.p(0).spec;
+  auto members = f.specs.members_of(s);
+  EXPECT_EQ(members, (std::vector<ProcessId>{0, 1, 2}));
+  EXPECT_EQ(f.specs.stats().absorptions, 2u);
+}
+
+TEST(Speculation, CommitClearsTaintsEverywhere) {
+  SpecFixture f(3);
+  f.w->run(10);
+  SpecId s = f.p(0).spec;
+  // Owner validates the assumption.
+  f.w->network();  // (no pending tainted messages by now)
+  // commit via hooks directly (owner's handler would normally do this)
+  f.w->spec_hooks()->commit(*f.w, 0, s);
+  EXPECT_FALSE(f.specs.active(s));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(f.specs.taints_of(p).empty());
+  }
+  EXPECT_EQ(f.specs.stats().committed, 1u);
+  // State survives the commit (speculative work kept).
+  EXPECT_EQ(f.p(0).counter, 100u);
+  EXPECT_EQ(f.p(1).counter, 10u);
+}
+
+TEST(Speculation, AbortRollsBackAllMembers) {
+  SpecFixture f(3);
+  f.w->run(10);
+  SpecId s = f.p(0).spec;
+  EXPECT_EQ(f.p(1).counter, 10u);
+  f.w->spec_hooks()->abort(*f.w, 0, s);
+  f.w->spec_hooks()->apply_deferred(*f.w);
+
+  EXPECT_FALSE(f.specs.active(s));
+  // p0 rolled back to pre-speculation (counter 0), p1/p2 to pre-absorption.
+  EXPECT_EQ(f.p(0).counter, 0u);
+  EXPECT_EQ(f.p(1).counter, 0u);
+  EXPECT_EQ(f.p(2).counter, 0u);
+  // Every member took the alternate path.
+  EXPECT_EQ(f.p(0).abort_paths_taken, 1u);
+  EXPECT_EQ(f.p(1).abort_paths_taken, 1u);
+  EXPECT_EQ(f.p(2).abort_paths_taken, 1u);
+  EXPECT_EQ(f.p(0).aborted_assumption, "value will be accepted");
+  EXPECT_EQ(f.specs.stats().rollbacks, 3u);
+}
+
+TEST(Speculation, AbortDiscardsTaintedInFlight) {
+  SpecFixture f(4);
+  f.w->run(3);  // 0 begins + sends; 1 absorbs + forwards; msg to 2 in flight
+  SpecId s = f.p(0).spec;
+  std::size_t pending_before = f.w->network().pending_count();
+  ASSERT_GT(pending_before, 0u);
+  f.w->spec_hooks()->abort(*f.w, 0, s);
+  f.w->spec_hooks()->apply_deferred(*f.w);
+  EXPECT_GT(f.specs.stats().messages_discarded, 0u);
+  for (const net::Message* m : f.w->network().pending()) {
+    EXPECT_TRUE(m->spec_taints.empty());
+  }
+}
+
+TEST(Speculation, AbortDuringHandlerIsDeferred) {
+  // A process that aborts its own speculation inside a handler: the
+  // rollback must happen after the handler returns (world applies it).
+  class SelfAbort final : public rt::ProcessBase<SelfAbort> {
+   public:
+    void on_start(rt::Context& ctx) override {
+      if (ctx.self() == 0) {
+        spec = ctx.spec_begin("assume ok");
+        state = 7;
+        ctx.send(0, kPlainTag, {});  // to self: triggers the abort handler
+      }
+    }
+    void on_message(rt::Context& ctx, const net::Message&) override {
+      state = 99;
+      ctx.spec_abort(spec);
+      state = 100;  // still runs: abort is deferred
+      post_abort_state = state;
+    }
+    void on_spec_aborted(rt::Context&, SpecId,
+                         const std::string&) override {
+      ++alternate_path;
+    }
+    void save_root(BinaryWriter& w) const override {
+      w.write_u64(state);
+      w.write_u64(post_abort_state);
+      w.write_u64(alternate_path);
+      w.write_u64(spec);
+    }
+    void load_root(BinaryReader& r) override {
+      state = r.read_u64();
+      post_abort_state = r.read_u64();
+      alternate_path = r.read_u64();
+      spec = r.read_u64();
+    }
+    std::string type_name() const override { return "self-abort"; }
+
+    std::uint64_t state = 0;
+    std::uint64_t post_abort_state = 0;
+    std::uint64_t alternate_path = 0;
+    SpecId spec = kNoSpec;
+  };
+
+  rt::World w;
+  w.add_process(std::make_unique<SelfAbort>());
+  w.seal();
+  SpeculationManager specs;
+  specs.attach(w);
+  w.run(10);
+
+  auto& p = w.process_as<SelfAbort>(0);
+  // State rolled back to the pre-speculation value (0), then the alternate
+  // path ran exactly once.
+  EXPECT_EQ(p.state, 0u);
+  EXPECT_EQ(p.alternate_path, 1u);
+}
+
+TEST(Speculation, CascadeAbort) {
+  // p1 is absorbed into spec A (from p0), then begins its own spec B.
+  // Aborting A rewinds p1 past B's creation => B must abort too.
+  class Cascade final : public rt::ProcessBase<Cascade> {
+   public:
+    void on_start(rt::Context& ctx) override {
+      if (ctx.self() == 0) {
+        spec_a = ctx.spec_begin("A");
+        ctx.send(1, kDataTag, {});
+      }
+    }
+    void on_message(rt::Context& ctx, const net::Message&) override {
+      if (ctx.self() == 1 && spec_b == kNoSpec) {
+        spec_b = ctx.spec_begin("B");
+        value = 55;
+      }
+    }
+    void save_root(BinaryWriter& w) const override {
+      w.write_u64(spec_a);
+      w.write_u64(spec_b);
+      w.write_u64(value);
+    }
+    void load_root(BinaryReader& r) override {
+      spec_a = r.read_u64();
+      spec_b = r.read_u64();
+      value = r.read_u64();
+    }
+    std::string type_name() const override { return "cascade"; }
+    SpecId spec_a = kNoSpec;
+    SpecId spec_b = kNoSpec;
+    std::uint64_t value = 0;
+  };
+
+  rt::World w;
+  w.add_process(std::make_unique<Cascade>());
+  w.add_process(std::make_unique<Cascade>());
+  w.seal();
+  SpeculationManager specs;
+  specs.attach(w);
+  w.run(10);
+
+  EXPECT_EQ(specs.active_count(), 2u);
+  SpecId a = w.process_as<Cascade>(0).spec_a;
+  w.spec_hooks()->abort(w, 0, a);
+  w.spec_hooks()->apply_deferred(w);
+
+  // Both speculations are gone and p1's speculative value is rolled back.
+  EXPECT_EQ(specs.active_count(), 0u);
+  EXPECT_EQ(specs.stats().cascade_aborts, 1u);
+  EXPECT_EQ(w.process_as<Cascade>(1).value, 0u);
+}
+
+TEST(Speculation, CommitRequiresOwner) {
+  SpecFixture f(2);
+  f.w->run(2);
+  SpecId s = f.p(0).spec;
+  EXPECT_THROW(f.w->spec_hooks()->commit(*f.w, 1, s), FixdError);
+}
+
+}  // namespace
+}  // namespace fixd::ckpt

@@ -1,0 +1,161 @@
+// Serialization: round trips, bounds checking, and encoding invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/serialize.hpp"
+
+namespace fixd {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0xbeef);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefull);
+  w.write_i32(-12345);
+  w.write_i64(-9876543210123ll);
+  w.write_bool(true);
+  w.write_bool(false);
+  w.write_f64(3.14159265358979);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0xbeef);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.read_i32(), -12345);
+  EXPECT_EQ(r.read_i64(), -9876543210123ll);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159265358979);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  BinaryWriter w;
+  w.write_u32(0x04030201);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(w.bytes()[3]), 4);
+}
+
+class VarintParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintParam, RoundTrip) {
+  BinaryWriter w;
+  w.write_varint(GetParam());
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintParam,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           16383ull, 16384ull, 0xffffffffull,
+                                           (1ull << 56) - 1, ~0ull));
+
+TEST(Serialize, VarintCompactness) {
+  BinaryWriter w;
+  w.write_varint(100);
+  EXPECT_EQ(w.size(), 1u);
+  w.clear();
+  w.write_varint(~0ull);
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(Serialize, StringsAndBytes) {
+  BinaryWriter w;
+  w.write_string("");
+  w.write_string("hello \0 world");  // embedded NUL truncated by literal
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.write_bytes(blob);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello ");
+  EXPECT_EQ(r.read_bytes(), blob);
+}
+
+TEST(Serialize, PodVector) {
+  std::vector<std::uint32_t> v = {1, 2, 3, 0xffffffff};
+  BinaryWriter w;
+  w.write_pod_vector(v);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_pod_vector<std::uint32_t>(), v);
+}
+
+TEST(Serialize, MapAndOptional) {
+  std::map<std::uint32_t, std::string> m = {{1, "one"}, {2, "two"}};
+  BinaryWriter w;
+  w.write_map(m, [](BinaryWriter& w2, std::uint32_t k) { w2.write_u32(k); },
+              [](BinaryWriter& w2, const std::string& v) {
+                w2.write_string(v);
+              });
+  w.write_optional(std::optional<std::uint64_t>{42},
+                   [](BinaryWriter& w2, std::uint64_t v) { w2.write_u64(v); });
+  w.write_optional(std::optional<std::uint64_t>{},
+                   [](BinaryWriter& w2, std::uint64_t v) { w2.write_u64(v); });
+
+  BinaryReader r(w.bytes());
+  auto m2 = r.read_map<std::uint32_t, std::string>(
+      [](BinaryReader& r2) { return r2.read_u32(); },
+      [](BinaryReader& r2) { return r2.read_string(); });
+  EXPECT_EQ(m2, m);
+  auto o1 = r.read_optional<std::uint64_t>(
+      [](BinaryReader& r2) { return r2.read_u64(); });
+  auto o2 = r.read_optional<std::uint64_t>(
+      [](BinaryReader& r2) { return r2.read_u64(); });
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_EQ(*o1, 42u);
+  EXPECT_FALSE(o2.has_value());
+}
+
+TEST(Serialize, UnderrunThrows) {
+  BinaryWriter w;
+  w.write_u32(7);
+  BinaryReader r(w.bytes());
+  (void)r.read_u16();
+  (void)r.read_u16();
+  EXPECT_THROW(r.read_u8(), SerializationError);
+}
+
+TEST(Serialize, DeclaredLengthBeyondBufferThrows) {
+  BinaryWriter w;
+  w.write_varint(1000);  // declares a 1000-byte string...
+  w.write_u8('x');       // ...but only one byte follows
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.read_string(), SerializationError);
+}
+
+TEST(Serialize, TruncatedVarintThrows) {
+  std::vector<std::byte> bad(3, std::byte{0x80});  // continuation forever
+  BinaryReader r(bad);
+  EXPECT_THROW(r.read_varint(), SerializationError);
+}
+
+TEST(Serialize, VectorWithElementFns) {
+  std::vector<std::string> v = {"a", "bb", "ccc"};
+  BinaryWriter w;
+  w.write_vector(v, [](BinaryWriter& w2, const std::string& s) {
+    w2.write_string(s);
+  });
+  BinaryReader r(w.bytes());
+  auto v2 = r.read_vector<std::string>(
+      [](BinaryReader& r2) { return r2.read_string(); });
+  EXPECT_EQ(v2, v);
+}
+
+TEST(Serialize, DeterministicEncoding) {
+  auto encode = [] {
+    BinaryWriter w;
+    w.write_u64(99);
+    w.write_string("state");
+    w.write_varint(12345);
+    return w.take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+}  // namespace
+}  // namespace fixd

@@ -1,0 +1,195 @@
+// The Healer: dynamic updates, state transforms, safety checks.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "apps/rep_counter.hpp"
+#include "apps/token_ring.hpp"
+#include "ckpt/speculation.hpp"
+#include "heal/healer.hpp"
+
+namespace fixd::heal {
+namespace {
+
+using apps::CounterConfig;
+using apps::make_counter_world;
+
+TEST(Healer, UpdatesTypeAndVersionInPlace) {
+  auto w = make_counter_world(3, 1, CounterConfig{2});
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, apps::counter_fix_patch(CounterConfig{2}));
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(w->process(0).version(), 2u);
+  EXPECT_EQ(w->process(1).version(), 1u);  // others untouched
+  EXPECT_EQ(w->process(0).type_name(), "rep-counter");
+}
+
+TEST(Healer, StatePreservedAcrossUpdate) {
+  auto w = make_counter_world(3, 1, CounterConfig{2});
+  w->set_stop_on_violation(false);
+  w->run();  // quiesce: no in-flight traffic, update point trivially safe
+  const auto& before = dynamic_cast<const apps::ICounter&>(w->process(1));
+  std::uint64_t total = before.total();
+  std::uint64_t handled = w->events_handled(1);
+
+  Healer healer(*w);
+  HealReport rep = healer.apply(1, apps::counter_fix_patch(CounterConfig{2}));
+  ASSERT_TRUE(rep.ok) << rep.error;
+  const auto& after = dynamic_cast<const apps::ICounter&>(w->process(1));
+  EXPECT_EQ(after.total(), total);
+  EXPECT_EQ(w->events_handled(1), handled);  // runtime info preserved
+}
+
+TEST(Healer, RefusesNonQuiescentInbound) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  w->run(2);  // starts executed: INC messages in flight to both
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, apps::counter_fix_patch(CounterConfig{1}));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("in flight"), std::string::npos);
+}
+
+TEST(Healer, QuiescenceCheckCanBeWaived) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  w->run(2);
+  HealOptions o;
+  o.require_quiescent_inbound = false;
+  Healer healer(*w, o);
+  HealReport rep = healer.apply(0, apps::counter_fix_patch(CounterConfig{1}));
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(Healer, RefusesProcessInsideSpeculation) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  ckpt::SpeculationManager specs;
+  specs.attach(*w);
+  // Put p0 into a speculation manually via the hooks.
+  w->spec_hooks()->begin(*w, 0, "test");
+  HealOptions o;
+  o.require_quiescent_inbound = false;
+  Healer healer(*w, o);
+  HealReport rep =
+      healer.apply(0, apps::counter_fix_patch(CounterConfig{1}), &specs);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("speculation"), std::string::npos);
+}
+
+TEST(Healer, VersionMismatchRefused) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});  // already v2
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, apps::counter_fix_patch(CounterConfig{1}));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("v2"), std::string::npos);
+}
+
+TEST(Healer, ApplyAllIsAtomic) {
+  auto w = make_counter_world(3, 1, CounterConfig{2});
+  Healer healer(*w);
+  HealReport rep =
+      healer.apply_all(apps::counter_fix_patch(CounterConfig{2}));
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.updated.size(), 3u);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(w->process(p).version(), 2u);
+}
+
+TEST(Healer, ApplyAllNoMatchFails) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  Healer healer(*w);
+  HealReport rep =
+      healer.apply_all(apps::counter_fix_patch(CounterConfig{1}));
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Healer, TransformRejectionBlocksUpdate) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  UpdatePatch p = apps::counter_fix_patch(CounterConfig{1});
+  p.transform = [](BinaryReader&, BinaryWriter&) { return false; };
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, p);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("transform"), std::string::npos);
+  EXPECT_EQ(w->process(0).version(), 1u);  // unchanged
+}
+
+TEST(Healer, ValidatorRejectionBlocksUpdate) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  UpdatePatch p = apps::counter_fix_patch(CounterConfig{1});
+  p.validate = [](const rt::Process&) -> std::optional<std::string> {
+    return "nope";
+  };
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, p);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("nope"), std::string::npos);
+}
+
+TEST(Healer, PostUpdateInvariantFailureRollsSwapBack) {
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  // An invariant that rejects any v2 process: the update must be undone.
+  w->invariants().add_global(
+      "no-v2", [](const rt::World& world) -> std::optional<std::string> {
+        for (ProcessId p = 0; p < world.size(); ++p) {
+          if (world.process(p).version() == 2) return "v2 found";
+        }
+        return std::nullopt;
+      });
+  Healer healer(*w);
+  HealReport rep = healer.apply(0, apps::counter_fix_patch(CounterConfig{1}));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(w->process(0).version(), 1u);
+  EXPECT_FALSE(w->has_violation());  // probe violations cleaned up
+}
+
+TEST(Healer, HealedWorldRunsToCorrectCompletion) {
+  auto w = make_counter_world(3, 1, CounterConfig{4});
+  Healer healer(*w);
+  ASSERT_TRUE(healer.apply_all(apps::counter_fix_patch(CounterConfig{4})).ok);
+  rt::RunResult res = w->run();
+  EXPECT_EQ(res.reason, rt::StopReason::kAllHalted);
+  EXPECT_FALSE(w->has_violation());
+}
+
+TEST(Healer, HeapCarriedAcrossKvUpdate) {
+  apps::KvConfig cfg;
+  cfg.total_ops = 10;
+  cfg.key_space = 4;
+  auto w = apps::make_kv_world(2, 1, cfg);
+  w->run();  // FIFO: v1 completes fine, store populated
+  const auto& rep_before =
+      dynamic_cast<const apps::IKvReplica&>(w->process(1));
+  std::uint64_t digest = rep_before.content_digest();
+  std::uint64_t keys = rep_before.keys_stored();
+  ASSERT_GT(keys, 0u);
+
+  Healer healer(*w);
+  HealReport hr = healer.apply(1, apps::kv_fix_patch(cfg));
+  ASSERT_TRUE(hr.ok) << hr.error;
+  const auto& rep_after =
+      dynamic_cast<const apps::IKvReplica&>(w->process(1));
+  EXPECT_EQ(rep_after.content_digest(), digest);
+  EXPECT_EQ(rep_after.keys_stored(), keys);
+  EXPECT_EQ(w->process(1).version(), 2u);
+}
+
+TEST(PatchRegistry, FindsByTypeAndVersion) {
+  PatchRegistry reg;
+  reg.add(apps::counter_fix_patch(CounterConfig{1}));
+  reg.add(apps::token_ring_fix_patch());
+  auto w = make_counter_world(2, 1, CounterConfig{1});
+  EXPECT_NE(reg.find(w->process(0)), nullptr);
+  auto w2 = make_counter_world(2, 2, CounterConfig{1});
+  EXPECT_EQ(reg.find(w2->process(0)), nullptr);  // no patch from v2
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(IdentityTransform, CopiesBytesVerbatim) {
+  BinaryWriter in;
+  in.write_u64(42);
+  in.write_string("state");
+  BinaryReader r(in.bytes());
+  BinaryWriter out;
+  ASSERT_TRUE(identity_transform(r, out));
+  EXPECT_EQ(out.bytes(), in.bytes());
+}
+
+}  // namespace
+}  // namespace fixd::heal

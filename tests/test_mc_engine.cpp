@@ -1,0 +1,216 @@
+// ModelD engine: guarded models, search orders, dynamic action sets.
+#include <gtest/gtest.h>
+
+#include "mc/modeld.hpp"
+
+namespace fixd::mc {
+namespace {
+
+// A tiny mutex model: two contenders, a flag each, a naive (buggy)
+// lock acquisition that admits both into the critical section.
+struct MutexState {
+  std::uint8_t flag0 = 0, flag1 = 0;
+  std::uint8_t in_cs0 = 0, in_cs1 = 0;
+  void save(BinaryWriter& w) const {
+    w.write_u8(flag0);
+    w.write_u8(flag1);
+    w.write_u8(in_cs0);
+    w.write_u8(in_cs1);
+  }
+};
+
+ModelD<MutexState> naive_mutex() {
+  return ModelD<MutexState>::build(MutexState{})
+      .action("p0.set", [](const MutexState& s) { return !s.flag0; },
+              [](MutexState& s) { s.flag0 = 1; })
+      .action("p0.enter",
+              [](const MutexState& s) { return s.flag0 && !s.in_cs0; },
+              [](MutexState& s) { s.in_cs0 = 1; })
+      .action("p1.set", [](const MutexState& s) { return !s.flag1; },
+              [](MutexState& s) { s.flag1 = 1; })
+      .action("p1.enter",
+              [](const MutexState& s) { return s.flag1 && !s.in_cs1; },
+              [](MutexState& s) { s.in_cs1 = 1; })
+      .always("mutual-exclusion",
+              [](const MutexState& s) { return !(s.in_cs0 && s.in_cs1); })
+      .done();
+}
+
+TEST(ModelD, FindsMutualExclusionViolation) {
+  auto m = naive_mutex();
+  auto res = m.check({.order = SearchOrder::kBfs});
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].invariant, "mutual-exclusion");
+  EXPECT_EQ(res.violations[0].depth, 4u);  // BFS: shortest counterexample
+}
+
+TEST(ModelD, DfsFindsSameViolationPossiblyDeeper) {
+  auto m = naive_mutex();
+  auto res = m.check({.order = SearchOrder::kDfs});
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_GE(res.violations[0].depth, 4u);
+}
+
+TEST(ModelD, RandomWalkFindsViolation) {
+  auto m = naive_mutex();
+  ExploreOptions o;
+  o.order = SearchOrder::kRandomWalk;
+  o.max_depth = 16;
+  o.walk_restarts = 64;
+  o.seed = 5;
+  auto res = m.check(o);
+  EXPECT_TRUE(res.found_violation());
+}
+
+TEST(ModelD, PriorityOrderRespectsHeuristic) {
+  auto m = naive_mutex();
+  // Heuristic: prefer states with more processes in the CS => goal-directed.
+  auto res = m.check({.order = SearchOrder::kPriority},
+                     [](const MutexState& s) {
+                       return static_cast<double>(s.in_cs0 + s.in_cs1);
+                     });
+  ASSERT_TRUE(res.found_violation());
+}
+
+TEST(ModelD, ExhaustiveCountsOnBoundedCounter) {
+  // One counter, one increment action with guard < 5: exactly 6 states.
+  struct S {
+    std::uint32_t x = 0;
+    void save(BinaryWriter& w) const { w.write_u32(x); }
+  };
+  auto m = ModelD<S>::build(S{})
+               .action("inc", [](const S& s) { return s.x < 5; },
+                       [](S& s) { ++s.x; })
+               .done();
+  ExploreOptions o;
+  o.max_violations = 1;
+  auto res = m.check(o);
+  EXPECT_FALSE(res.found_violation());
+  EXPECT_EQ(res.stats.states, 6u);
+  EXPECT_EQ(res.stats.transitions, 5u);
+  EXPECT_FALSE(res.stats.truncated);
+}
+
+TEST(ModelD, DedupCollapsesDiamond) {
+  // Two commuting increments: 4 paths, 4 distinct states (diamond).
+  struct S {
+    std::uint32_t a = 0, b = 0;
+    void save(BinaryWriter& w) const {
+      w.write_u32(a);
+      w.write_u32(b);
+    }
+  };
+  auto m = ModelD<S>::build(S{})
+               .action("a", [](const S& s) { return s.a < 1; },
+                       [](S& s) { ++s.a; })
+               .action("b", [](const S& s) { return s.b < 1; },
+                       [](S& s) { ++s.b; })
+               .done();
+  auto res = m.check({});
+  EXPECT_EQ(res.stats.states, 4u);       // 00, 10, 01, 11
+  EXPECT_EQ(res.stats.duplicates, 1u);   // 11 reached twice
+}
+
+TEST(ModelD, StateBudgetTruncates) {
+  struct S {
+    std::uint64_t x = 0;
+    void save(BinaryWriter& w) const { w.write_u64(x); }
+  };
+  auto m = ModelD<S>::build(S{})
+               .action("inc", [](S& s) { ++s.x; })
+               .done();
+  ExploreOptions o;
+  o.max_states = 100;
+  auto res = m.check(o);
+  EXPECT_TRUE(res.stats.truncated);
+  EXPECT_EQ(res.stats.states, 100u);
+}
+
+TEST(ModelD, DepthBoundTruncates) {
+  struct S {
+    std::uint64_t x = 0;
+    void save(BinaryWriter& w) const { w.write_u64(x); }
+  };
+  auto m = ModelD<S>::build(S{})
+               .action("inc", [](S& s) { ++s.x; })
+               .done();
+  ExploreOptions o;
+  o.max_depth = 10;
+  auto res = m.check(o);
+  EXPECT_TRUE(res.stats.truncated);
+  EXPECT_LE(res.stats.max_depth, 10u);
+}
+
+TEST(ModelD, TrailReconstructionReExecutes) {
+  auto m = naive_mutex();
+  auto res = m.check({.order = SearchOrder::kBfs});
+  ASSERT_TRUE(res.found_violation());
+  // Re-execute the trail by name and confirm the violation reproduces.
+  MutexState s;
+  for (const std::string& name : res.violations[0].trail) {
+    bool applied = false;
+    for (const auto& a : m.model().actions()) {
+      if (a.name == name) {
+        ASSERT_TRUE(a.guard(s)) << "trail action not enabled: " << name;
+        a.effect(s);
+        applied = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(applied) << name;
+  }
+  EXPECT_TRUE(s.in_cs0 && s.in_cs1);
+}
+
+TEST(ModelD, InjectedActionChangesOutcome) {
+  // The Healer's ModelD path (§4.4): retire the buggy action, inject the
+  // fixed one, re-check => violation gone.
+  auto m = naive_mutex();
+  ASSERT_TRUE(m.check({}).found_violation());
+
+  // Retire the unguarded entries (actions 1 and 3) and inject versions that
+  // respect the other contender's flag (a correct-enough lock for this
+  // model's reachable space).
+  m.retire_action(1);
+  m.retire_action(3);
+  m.inject_action("p0.enter.fixed",
+                  [](const MutexState& s) {
+                    return s.flag0 && !s.flag1 && !s.in_cs0;
+                  },
+                  [](MutexState& s) { s.in_cs0 = 1; });
+  m.inject_action("p1.enter.fixed",
+                  [](const MutexState& s) {
+                    return s.flag1 && !s.flag0 && !s.in_cs1;
+                  },
+                  [](MutexState& s) { s.in_cs1 = 1; });
+  auto res = m.check({.max_violations = 4});
+  EXPECT_FALSE(res.found_violation());
+
+  // Restoring the buggy actions brings the violation back.
+  m.restore_action(1);
+  m.restore_action(3);
+  EXPECT_TRUE(m.check({}).found_violation());
+}
+
+TEST(ModelD, SetInitialResumesFromCheckpoint) {
+  auto m = naive_mutex();
+  MutexState near_violation;
+  near_violation.flag0 = 1;
+  near_violation.flag1 = 1;
+  near_violation.in_cs0 = 1;
+  m.set_initial(near_violation);
+  auto res = m.check({.order = SearchOrder::kBfs});
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].depth, 1u);  // one step away
+}
+
+TEST(ModelD, MultipleViolationsCollected) {
+  auto m = naive_mutex();
+  ExploreOptions o;
+  o.max_violations = 100;
+  auto res = m.check(o);
+  EXPECT_GE(res.violations.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fixd::mc

@@ -1,0 +1,153 @@
+// The general-purpose guarded-model library (§4.5's future-work item).
+#include <gtest/gtest.h>
+
+#include "mc/engine.hpp"
+#include "mc/models.hpp"
+
+namespace fixd::mc {
+namespace {
+
+using namespace fixd::mc::models;
+
+TEST(DiningPhilosophers, DeadlockFound) {
+  for (std::uint8_t n : {2, 3, 4, 5}) {
+    auto m = dining_philosophers(n);
+    Explorer<PhilosopherState> ex(m, {.order = SearchOrder::kBfs});
+    auto res = ex.explore();
+    ASSERT_TRUE(res.found_violation()) << "n=" << int(n);
+    EXPECT_EQ(res.violations[0].invariant, "no-deadlock");
+    // BFS: the shortest deadlock is everyone grabbing the left fork once.
+    EXPECT_EQ(res.violations[0].depth, n);
+  }
+}
+
+TEST(DiningPhilosophers, DeadlockTrailIsAllTakeLefts) {
+  auto m = dining_philosophers(3);
+  Explorer<PhilosopherState> ex(m, {.order = SearchOrder::kBfs});
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  for (const auto& action : res.violations[0].trail) {
+    EXPECT_NE(action.find("take-left"), std::string::npos) << action;
+  }
+}
+
+TEST(DiningPhilosophers, AsymmetricFixVerifies) {
+  for (std::uint8_t n : {2, 3, 4}) {
+    auto m = dining_philosophers_fixed(n);
+    ExploreOptions o;
+    o.max_states = 500000;
+    Explorer<PhilosopherState> ex(m, o);
+    auto res = ex.explore();
+    EXPECT_FALSE(res.found_violation()) << "n=" << int(n);
+    EXPECT_FALSE(res.stats.truncated) << "n=" << int(n);
+  }
+}
+
+TEST(DiningPhilosophers, FixedVariantStillMakesProgress) {
+  auto m = dining_philosophers_fixed(3, /*max_meals=*/1);
+  // Some reachable state has meals == 1 (the system can eat).
+  bool progressed = false;
+  m.add_invariant("detect-progress",
+                  [&](const PhilosopherState& s) -> std::optional<std::string> {
+                    if (s.meals >= 1) progressed = true;
+                    return std::nullopt;
+                  });
+  Explorer<PhilosopherState> ex(m, {});
+  (void)ex.explore();
+  EXPECT_TRUE(progressed);
+}
+
+TEST(Peterson, AlgorithmVerifies) {
+  auto m = peterson_mutex(/*use_turn=*/true, /*max_entries=*/3);
+  ExploreOptions o;
+  o.max_states = 500000;
+  Explorer<PetersonState> ex(m, o);
+  auto res = ex.explore();
+  EXPECT_FALSE(res.found_violation())
+      << res.violations[0].invariant << ": " << res.violations[0].detail;
+  EXPECT_FALSE(res.stats.truncated);
+  EXPECT_GT(res.stats.states, 10u);
+}
+
+TEST(Peterson, FlagsOnlyVariantViolates) {
+  auto m = peterson_mutex(/*use_turn=*/false);
+  Explorer<PetersonState> ex(m, {.order = SearchOrder::kBfs});
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].invariant, "mutual-exclusion");
+}
+
+TEST(Peterson, ViolationTrailReExecutes) {
+  auto m = peterson_mutex(false);
+  Explorer<PetersonState> ex(m, {.order = SearchOrder::kBfs});
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  PetersonState s;
+  for (const auto& name : res.violations[0].trail) {
+    bool fired = false;
+    for (const auto& a : m.actions()) {
+      if (a.name == name && a.guard(s)) {
+        a.effect(s);
+        fired = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(fired) << name;
+  }
+  EXPECT_TRUE(s.in_cs0 && s.in_cs1);
+}
+
+TEST(BoundedChannel, CheckedChannelVerifies) {
+  for (std::uint8_t cap : {1, 2, 4}) {
+    auto m = bounded_channel(cap);
+    ExploreOptions o;
+    o.max_states = 200000;
+    Explorer<ChannelState> ex(m, o);
+    auto res = ex.explore();
+    EXPECT_FALSE(res.found_violation()) << "cap=" << int(cap);
+    EXPECT_FALSE(res.stats.truncated);
+  }
+}
+
+TEST(BoundedChannel, UncheckedSenderOverflows) {
+  auto m = bounded_channel(2, /*unchecked=*/true);
+  Explorer<ChannelState> ex(m, {.order = SearchOrder::kBfs});
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].invariant, "no-overflow");
+  EXPECT_EQ(res.violations[0].depth, 3u);  // send,send,send past cap=2
+}
+
+TEST(BoundedChannel, FifoOrderMaintained) {
+  // The checked channel preserves FIFO: the fifo-order invariant never
+  // fires anywhere in the space.
+  auto m = bounded_channel(3);
+  ExploreOptions o;
+  o.max_states = 200000;
+  o.max_violations = 10;
+  Explorer<ChannelState> ex(m, o);
+  auto res = ex.explore();
+  for (const auto& v : res.violations) {
+    EXPECT_NE(v.invariant, "fifo-order");
+  }
+}
+
+class ModelSizeSweep : public ::testing::TestWithParam<std::uint8_t> {};
+
+// Property: philosopher deadlock is found at depth n for every n, and the
+// state count grows monotonically with n.
+TEST_P(ModelSizeSweep, DeadlockDepthEqualsN) {
+  std::uint8_t n = GetParam();
+  auto m = dining_philosophers(n);
+  Explorer<PhilosopherState> ex(m, {.order = SearchOrder::kBfs});
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].depth, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ModelSizeSweep,
+                         ::testing::Values<std::uint8_t>(2, 3, 4, 5, 6, 7,
+                                                         8));
+
+}  // namespace
+}  // namespace fixd::mc

@@ -1,0 +1,188 @@
+// HeapAlloc and PagedMap: allocator behaviour and the map-vs-model property.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "mem/heap_alloc.hpp"
+#include "mem/paged_map.hpp"
+
+namespace fixd::mem {
+namespace {
+
+TEST(HeapAlloc, FormatAndAttach) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  EXPECT_EQ(a.live_blocks(), 0u);
+  HeapAlloc b = HeapAlloc::attach(h);
+  EXPECT_EQ(b.live_blocks(), 0u);
+}
+
+TEST(HeapAlloc, AttachUnformattedThrows) {
+  PagedHeap h;
+  h.resize(4096);
+  EXPECT_THROW(HeapAlloc::attach(h), FixdError);
+}
+
+TEST(HeapAlloc, AllocateZeroed) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  std::uint64_t off = a.allocate(64);
+  for (std::uint64_t i = 0; i < 64; i += 8)
+    EXPECT_EQ(h.load<std::uint64_t>(off + i), 0u);
+  EXPECT_EQ(a.live_blocks(), 1u);
+  EXPECT_GE(a.block_size(off), 64u);
+}
+
+TEST(HeapAlloc, FreeListReuse) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  std::uint64_t x = a.allocate(100);
+  std::uint64_t bump_after_x = a.bump();
+  a.release(x);
+  std::uint64_t y = a.allocate(80);  // fits in x's freed block
+  EXPECT_EQ(y, x);
+  EXPECT_EQ(a.bump(), bump_after_x);  // no new space consumed
+}
+
+TEST(HeapAlloc, ReusedBlockIsZeroed) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  std::uint64_t x = a.allocate(64);
+  h.store<std::uint64_t>(x, 0xdead);
+  a.release(x);
+  std::uint64_t y = a.allocate(64);
+  ASSERT_EQ(y, x);
+  EXPECT_EQ(h.load<std::uint64_t>(y), 0u);
+}
+
+TEST(HeapAlloc, GrowsHeapOnDemand) {
+  PagedHeap h(256);
+  HeapAlloc a = HeapAlloc::format(h);
+  (void)a.allocate(10000);  // far beyond one page
+  EXPECT_GE(h.size(), 10000u);
+}
+
+TEST(HeapAlloc, StateSurvivesSnapshotRestore) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  std::uint64_t x = a.allocate(32);
+  HeapSnapshot snap = h.snapshot();
+  std::uint64_t live_then = a.live_blocks();
+
+  (void)a.allocate(32);
+  a.release(x);
+  h.restore(snap);
+
+  // Allocator metadata lives in the heap: restored with it.
+  EXPECT_EQ(a.live_blocks(), live_then);
+  std::uint64_t z = a.allocate(16);
+  EXPECT_NE(z, 0u);
+}
+
+TEST(PagedMap, BasicPutGetErase) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  auto m = PagedMap<std::uint64_t, std::uint64_t>::create(a);
+  EXPECT_TRUE(m.put(1, 100));
+  EXPECT_FALSE(m.put(1, 200));  // overwrite
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(200));
+  EXPECT_FALSE(m.get(2).has_value());
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(PagedMap, GrowsPastInitialCapacity) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  auto m = PagedMap<std::uint64_t, std::uint64_t>::create(a, 16);
+  for (std::uint64_t k = 0; k < 500; ++k) m.put(k, k * 2);
+  EXPECT_EQ(m.size(), 500u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_EQ(m.get(k), std::optional<std::uint64_t>(k * 2)) << k;
+  }
+}
+
+TEST(PagedMap, ReopenAfterRestore) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  auto m = PagedMap<std::uint64_t, std::uint64_t>::create(a);
+  m.put(5, 55);
+  std::uint64_t off = m.header_offset();
+  HeapSnapshot snap = h.snapshot();
+  m.put(5, 66);
+  m.put(6, 77);
+  h.restore(snap);
+  auto m2 = PagedMap<std::uint64_t, std::uint64_t>::open(
+      HeapAlloc::attach(h), off);
+  EXPECT_EQ(m2.get(5), std::optional<std::uint64_t>(55));
+  EXPECT_FALSE(m2.get(6).has_value());
+}
+
+TEST(PagedMap, ForEachVisitsAllLiveEntries) {
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  auto m = PagedMap<std::uint64_t, std::uint64_t>::create(a);
+  for (std::uint64_t k = 0; k < 20; ++k) m.put(k, k);
+  m.erase(3);
+  m.erase(17);
+  std::size_t count = 0;
+  std::uint64_t sum = 0;
+  m.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_EQ(k, v);
+    ++count;
+    sum += k;
+  });
+  EXPECT_EQ(count, 18u);
+  EXPECT_EQ(sum, (19 * 20 / 2) - 3 - 17);
+}
+
+// Property: PagedMap behaves exactly like std::unordered_map under a random
+// op stream (put / get / erase), across seeds.
+class MapModelParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapModelParam, MatchesStdMapModel) {
+  Rng rng(GetParam());
+  PagedHeap h;
+  HeapAlloc a = HeapAlloc::format(h);
+  auto m = PagedMap<std::uint64_t, std::uint64_t>::create(a);
+  std::unordered_map<std::uint64_t, std::uint64_t> model;
+
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t key = rng.next_below(200);  // collisions guaranteed
+    switch (rng.next_below(3)) {
+      case 0: {
+        std::uint64_t v = rng.next_u64();
+        bool fresh = m.put(key, v);
+        bool model_fresh = model.find(key) == model.end();
+        model[key] = v;
+        EXPECT_EQ(fresh, model_fresh);
+        break;
+      }
+      case 1: {
+        auto got = m.get(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 2: {
+        bool erased = m.erase(key);
+        EXPECT_EQ(erased, model.erase(key) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapModelParam,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace fixd::mem

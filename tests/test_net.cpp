@@ -1,0 +1,201 @@
+// Simulated network: delivery disciplines, loss policy, taints, state.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace fixd::net {
+namespace {
+
+Message mk(ProcessId src, ProcessId dst, Tag tag, std::uint8_t body = 0) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload = {std::byte{body}};
+  m.vclock = VectorClock(4);
+  return m;
+}
+
+TEST(Network, FifoPerChannelOrder) {
+  SimNetwork net(NetworkOptions::reliable_fifo());
+  auto a = net.submit(mk(0, 1, 1, 1));
+  auto b = net.submit(mk(0, 1, 2, 2));
+  ASSERT_TRUE(a && b);
+  auto d = net.deliverable();
+  ASSERT_EQ(d.size(), 1u);  // only the channel head
+  EXPECT_EQ(d[0], *a);
+  Message first = net.take(*a);
+  EXPECT_EQ(first.tag, 1u);
+  d = net.deliverable();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], *b);
+}
+
+TEST(Network, FifoTakeOutOfOrderThrows) {
+  SimNetwork net(NetworkOptions::reliable_fifo());
+  auto a = net.submit(mk(0, 1, 1));
+  auto b = net.submit(mk(0, 1, 2));
+  ASSERT_TRUE(a && b);
+  EXPECT_THROW(net.take(*b), FixdError);
+}
+
+TEST(Network, SeparateChannelsIndependent) {
+  SimNetwork net(NetworkOptions::reliable_fifo());
+  (void)net.submit(mk(0, 1, 1));
+  (void)net.submit(mk(2, 1, 2));
+  (void)net.submit(mk(0, 3, 3));
+  EXPECT_EQ(net.deliverable().size(), 3u);  // three channel heads
+}
+
+TEST(Network, ReorderingExposesAllPending) {
+  SimNetwork net(NetworkOptions::reordering());
+  (void)net.submit(mk(0, 1, 1));
+  (void)net.submit(mk(0, 1, 2));
+  (void)net.submit(mk(0, 1, 3));
+  EXPECT_EQ(net.deliverable().size(), 3u);
+}
+
+TEST(Network, LossyDropsDeterministically) {
+  auto run = [](std::uint64_t seed) {
+    SimNetwork net(NetworkOptions::lossy(0.5, 0.0, seed));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(net.submit(mk(0, 1, 1)).has_value());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Network, LossRateRoughlyHolds) {
+  SimNetwork net(NetworkOptions::lossy(0.3, 0.0, 7));
+  for (int i = 0; i < 2000; ++i) (void)net.submit(mk(0, 1, 1));
+  double rate = static_cast<double>(net.stats().dropped_policy) / 2000.0;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(Network, DuplicationCreatesSecondCopy) {
+  SimNetwork net(NetworkOptions::lossy(0.0, 1.0, 3));
+  (void)net.submit(mk(0, 1, 9, 42));
+  EXPECT_EQ(net.pending_count(), 2u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  // Copies share content.
+  auto pending = net.pending();
+  EXPECT_EQ(pending[0]->content_digest(), pending[1]->content_digest());
+}
+
+TEST(Network, ControlTrafficBypassesLossPolicy) {
+  SimNetwork net(NetworkOptions::lossy(1.0, 0.0, 3));  // drops everything
+  Message m = mk(0, 1, 1);
+  m.control = true;
+  EXPECT_TRUE(net.submit(std::move(m)).has_value());
+  EXPECT_FALSE(net.submit(mk(0, 1, 1)).has_value());
+}
+
+TEST(Network, ForcedDropAndStats) {
+  SimNetwork net;
+  auto id = net.submit(mk(0, 1, 1));
+  ASSERT_TRUE(id);
+  EXPECT_TRUE(net.drop(*id));
+  EXPECT_FALSE(net.drop(*id));
+  EXPECT_EQ(net.stats().dropped_forced, 1u);
+  EXPECT_EQ(net.pending_count(), 0u);
+}
+
+TEST(Network, TaintDropAndScrub) {
+  SimNetwork net;
+  Message a = mk(0, 1, 1);
+  a.spec_taints = {7};
+  Message b = mk(0, 2, 1);
+  b.spec_taints = {7, 9};
+  Message c = mk(0, 3, 1);
+  (void)net.submit(std::move(a));
+  (void)net.submit(std::move(b));
+  (void)net.submit(std::move(c));
+
+  SimNetwork net2 = net;  // copy for scrub path
+  EXPECT_EQ(net.drop_tainted(7), 2u);
+  EXPECT_EQ(net.pending_count(), 1u);
+
+  EXPECT_EQ(net2.scrub_taint(7), 2u);
+  EXPECT_EQ(net2.pending_count(), 3u);
+  for (const Message* m : net2.pending()) {
+    for (SpecId s : m->spec_taints) EXPECT_NE(s, 7u);
+  }
+}
+
+TEST(Network, ReinjectBypassesPolicyAndAssignsFreshId) {
+  SimNetwork net(NetworkOptions::lossy(1.0, 0.0, 3));
+  Message m = mk(0, 1, 5, 7);
+  MsgId id = net.reinject(m);
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(net.pending_count(), 1u);
+}
+
+TEST(Network, MutatePendingMessage) {
+  SimNetwork net;
+  auto id = net.submit(mk(0, 1, 1, 5));
+  ASSERT_TRUE(id);
+  EXPECT_TRUE(net.mutate(*id, [](Message& m) {
+    m.payload[0] = std::byte{99};
+  }));
+  EXPECT_EQ(std::to_integer<int>(net.peek(*id)->payload[0]), 99);
+  EXPECT_FALSE(net.mutate(9999, [](Message&) {}));
+}
+
+TEST(Network, SerializationRoundTrip) {
+  SimNetwork net(NetworkOptions::lossy(0.1, 0.1, 77));
+  for (int i = 0; i < 20; ++i) {
+    (void)net.submit(mk(i % 3, (i + 1) % 3, i, static_cast<std::uint8_t>(i)));
+  }
+  std::uint64_t digest = net.digest();
+
+  BinaryWriter w;
+  net.save(w);
+  SimNetwork net2;
+  BinaryReader r(w.bytes());
+  net2.load(r);
+  EXPECT_EQ(net2.digest(), digest);
+  EXPECT_EQ(net2.pending_count(), net.pending_count());
+  EXPECT_EQ(net2.stats().submitted, net.stats().submitted);
+
+  // The restored RNG continues the same loss stream.
+  auto s1 = net.submit(mk(0, 1, 1));
+  auto s2 = net2.submit(mk(0, 1, 1));
+  EXPECT_EQ(s1.has_value(), s2.has_value());
+}
+
+TEST(Message, WireRoundTrip) {
+  Message m = mk(1, 2, 77, 9);
+  m.id = 123;
+  m.sent_at = 55;
+  m.lamport = 8;
+  m.spec_taints = {3, 5};
+  m.control = true;
+  BinaryWriter w;
+  m.save(w);
+  Message m2;
+  BinaryReader r(w.bytes());
+  m2.load(r);
+  EXPECT_EQ(m2.id, 123u);
+  EXPECT_EQ(m2.src, 1u);
+  EXPECT_EQ(m2.dst, 2u);
+  EXPECT_EQ(m2.tag, 77u);
+  EXPECT_EQ(m2.spec_taints, (std::vector<SpecId>{3, 5}));
+  EXPECT_TRUE(m2.control);
+  EXPECT_EQ(m2.content_digest(), m.content_digest());
+}
+
+TEST(Message, ContentDigestIgnoresId) {
+  Message a = mk(1, 2, 3, 4);
+  Message b = mk(1, 2, 3, 4);
+  a.id = 1;
+  b.id = 999;
+  EXPECT_EQ(a.content_digest(), b.content_digest());
+  b.payload[0] = std::byte{5};
+  EXPECT_NE(a.content_digest(), b.content_digest());
+}
+
+}  // namespace
+}  // namespace fixd::net

@@ -1,0 +1,251 @@
+// World: determinism, event semantics, snapshots, invariants, timers.
+#include <gtest/gtest.h>
+
+#include "apps/rep_counter.hpp"
+#include "apps/token_ring.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::rt {
+namespace {
+
+using apps::CounterConfig;
+using apps::make_counter_world;
+using apps::make_token_ring_world;
+using apps::TokenRingConfig;
+
+TEST(World, RunsCounterToCompletion) {
+  auto w = make_counter_world(3, /*version=*/2, CounterConfig{4});
+  RunResult res = w->run();
+  EXPECT_EQ(res.reason, StopReason::kAllHalted);
+  EXPECT_FALSE(w->has_violation());
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    const auto& c = dynamic_cast<const apps::ICounter&>(w->process(p));
+    EXPECT_TRUE(c.done());
+    EXPECT_EQ(c.total(), apps::counter_expected_sum(3, CounterConfig{4}));
+  }
+}
+
+TEST(World, BuggyCounterViolates) {
+  auto w = make_counter_world(3, /*version=*/1, CounterConfig{4});
+  RunResult res = w->run();
+  EXPECT_EQ(res.reason, StopReason::kViolation);
+  ASSERT_TRUE(w->has_violation());
+  EXPECT_EQ(w->violations().front().invariant, "local");
+}
+
+TEST(World, DeterministicDigestAcrossIdenticalRuns) {
+  auto run_digest = [] {
+    auto w = make_counter_world(4, 2, CounterConfig{3});
+    w->run();
+    return w->digest();
+  };
+  EXPECT_EQ(run_digest(), run_digest());
+}
+
+TEST(World, DifferentSeedsDifferentSchedules) {
+  auto run_digest = [](std::uint64_t seed) {
+    WorldOptions opts;
+    auto w = make_counter_world(4, 2, CounterConfig{3}, opts);
+    w->set_scheduler(std::make_unique<RandomScheduler>(seed));
+    w->run();
+    return w->digest();
+  };
+  // Different schedules still converge to the same final state for a
+  // correct protocol, but interleave differently; digests include clocks,
+  // so they differ (same-seed runs must not).
+  EXPECT_EQ(run_digest(9), run_digest(9));
+}
+
+TEST(World, SnapshotRestoreRoundTrip) {
+  auto w = make_counter_world(3, 2, CounterConfig{4});
+  for (int i = 0; i < 5; ++i) w->step();
+  WorldSnapshot snap = w->snapshot();
+  std::uint64_t mid_digest = w->digest();
+
+  w->run();
+  EXPECT_NE(w->digest(), mid_digest);
+
+  w->restore(snap);
+  EXPECT_EQ(w->digest(), mid_digest);
+
+  // The restored world completes identically.
+  RunResult res = w->run();
+  EXPECT_EQ(res.reason, StopReason::kAllHalted);
+  EXPECT_FALSE(w->has_violation());
+}
+
+TEST(World, CloneIsIndependentAndIdentical) {
+  auto w = make_counter_world(3, 2, CounterConfig{4});
+  for (int i = 0; i < 7; ++i) w->step();
+  auto clone = w->clone();
+  std::uint64_t before = w->digest();
+  EXPECT_EQ(clone->digest(), before);
+
+  clone->run(3);
+  EXPECT_NE(clone->digest(), before);
+  // Original unaffected by the clone's progress.
+  EXPECT_EQ(w->digest(), before);
+}
+
+TEST(World, McDigestAbstractsPathNoise) {
+  // Two different interleavings reaching "all halted, same sums" should
+  // produce the same mc_digest even though clocks/stats differ.
+  auto w1 = make_counter_world(3, 2, CounterConfig{2});
+  auto w2 = make_counter_world(3, 2, CounterConfig{2});
+  w2->set_scheduler(std::make_unique<RandomScheduler>(1234));
+  w1->run();
+  w2->run();
+  EXPECT_EQ(w1->mc_digest(), w2->mc_digest());
+  // (The exact digest may or may not coincide at quiescence: final vector
+  // clocks are schedule-independent once every message is consumed.)
+}
+
+TEST(World, ProcessAsTypeChecked) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  EXPECT_NO_THROW(w->process_as<apps::CounterV2>(0));
+  EXPECT_THROW(w->process_as<apps::CounterV1>(0), ConfigError);
+}
+
+TEST(World, AddProcessAfterSealThrows) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  EXPECT_THROW(
+      w->add_process(std::make_unique<apps::CounterV2>(CounterConfig{1})),
+      FixdError);
+}
+
+TEST(World, CrashedProcessReceivesNothing) {
+  auto w = make_counter_world(3, 2, CounterConfig{2});
+  w->set_crashed(1, true);
+  w->run(200);
+  // p1 handled nothing; others cannot finish (missing p1's contributions)
+  EXPECT_EQ(w->events_handled(1), 0u);
+  const auto& c0 = dynamic_cast<const apps::ICounter&>(w->process(0));
+  EXPECT_FALSE(c0.done());
+}
+
+TEST(World, TimedModeTimerFiresOnlyWhenIdle) {
+  TokenRingConfig cfg;
+  cfg.target_rounds = 2;
+  cfg.timeout = 10000;  // longer than the whole run
+  auto w = make_token_ring_world(3, /*version=*/1, cfg);
+  RunResult res = w->run(10000);
+  // In timed mode the timeout never beats a 1-tick message hop, so even the
+  // buggy ring finishes cleanly.
+  EXPECT_EQ(res.reason, StopReason::kAllHalted);
+  EXPECT_FALSE(w->has_violation());
+}
+
+TEST(World, AbstractTimeEnablesTimerRaces) {
+  TokenRingConfig cfg;
+  cfg.target_rounds = 2;
+  cfg.timeout = 10000;
+  WorldOptions opts;
+  opts.abstract_time = true;
+  auto w = make_token_ring_world(3, /*version=*/1, cfg, opts);
+  // With a random scheduler in abstract time, the v1 double-token race is
+  // reachable; a few seeds suffice to hit it.
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    auto trial = make_token_ring_world(3, 1, cfg, opts);
+    trial->set_scheduler(std::make_unique<RandomScheduler>(seed));
+    RunResult res = trial->run(400);
+    violated = res.reason == StopReason::kViolation;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(World, LamportAndVectorClocksAdvance) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  w->run();
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    EXPECT_GT(w->lamport_of(p), 0u);
+    EXPECT_GT(w->vclock_of(p)[p], 0u);
+  }
+  // Each process observed the other (they exchanged INC/DONE).
+  EXPECT_GT(w->vclock_of(0)[1], 0u);
+  EXPECT_GT(w->vclock_of(1)[0], 0u);
+}
+
+TEST(World, CaptureRestoreSingleProcess) {
+  auto w = make_counter_world(3, 2, CounterConfig{3});
+  for (int i = 0; i < 4; ++i) w->step();
+  ProcessCheckpoint ckpt = w->capture_process(1);
+  std::uint64_t handled = w->events_handled(1);
+
+  w->run(5);
+  w->restore_process(1, ckpt);
+  EXPECT_EQ(w->events_handled(1), handled);
+}
+
+TEST(World, CheckpointWireFormatRoundTrip) {
+  auto w = make_counter_world(2, 2, CounterConfig{2});
+  w->run(3);
+  ProcessCheckpoint ckpt = w->capture_process(0, /*cow=*/false);
+  BinaryWriter wr;
+  ckpt.save(wr);
+  ProcessCheckpoint back;
+  BinaryReader r(wr.bytes());
+  back.load(r);
+  EXPECT_EQ(back.root, ckpt.root);
+  EXPECT_EQ(back.info, ckpt.info);
+  EXPECT_EQ(back.lamport, ckpt.lamport);
+  EXPECT_EQ(back.vclock, ckpt.vclock);
+}
+
+TEST(World, ViolationRecordsContext) {
+  auto w = make_counter_world(3, 1, CounterConfig{4});
+  w->run();
+  ASSERT_TRUE(w->has_violation());
+  const Violation& v = w->violations().front();
+  EXPECT_NE(v.pid, kNoProcess);
+  EXPECT_GT(v.step, 0u);
+  EXPECT_FALSE(v.detail.empty());
+  EXPECT_NE(v.to_string().find("counter sum"), std::string::npos);
+}
+
+TEST(World, RunMaxStepsStops) {
+  auto w = make_counter_world(3, 2, CounterConfig{4});
+  RunResult res = w->run(2);
+  EXPECT_EQ(res.reason, StopReason::kMaxSteps);
+  EXPECT_EQ(res.steps, 2u);
+}
+
+class SuppressingInterceptor final : public StepInterceptor {
+ public:
+  bool before_event(World&, const EventDesc& ev) override {
+    if (ev.kind == EventKind::kDeliver && !fired_) {
+      fired_ = true;
+      return false;  // swallow the first delivery
+    }
+    return true;
+  }
+  bool fired_ = false;
+};
+
+TEST(World, InterceptorCanSuppressDelivery) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  SuppressingInterceptor sup;
+  w->add_interceptor(&sup);
+  w->run(300);
+  EXPECT_TRUE(sup.fired_);
+  EXPECT_EQ(w->network().stats().dropped_forced, 1u);
+  w->remove_interceptor(&sup);
+}
+
+TEST(World, HaltedWorldQuiesces) {
+  auto w = make_counter_world(2, 2, CounterConfig{1});
+  w->run();
+  EXPECT_TRUE(w->all_halted());
+  EXPECT_FALSE(w->step());
+}
+
+TEST(EventDesc, StringAndIdentity) {
+  EventDesc a{EventKind::kDeliver, 2, 17, 0, 5};
+  EventDesc b = a;
+  b.at = 99;
+  EXPECT_TRUE(a.same_identity(b));
+  EXPECT_NE(a.to_string().find("msg#17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fixd::rt

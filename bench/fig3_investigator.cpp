@@ -16,7 +16,6 @@
 namespace {
 
 using namespace fixd;
-using bench::WallTimer;
 
 void explore_row(const char* app, std::size_t n, const char* order_name,
                  mc::SearchOrder order, rt::World& w,
@@ -29,15 +28,14 @@ void explore_row(const char* app, std::size_t n, const char* order_name,
   o.walk_restarts = 256;
   o.install_invariants = installer;
   mc::SystemExplorer ex(w, o);
-  WallTimer t;
   auto res = ex.explore();
-  double ms = t.ms();
-  bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %10.0f", app, n,
-             order_name, (unsigned long long)res.stats.states,
+  bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %8.1f %10.0f",
+             app, n, order_name, (unsigned long long)res.stats.states,
              (unsigned long long)res.stats.transitions,
              res.found_violation() ? "YES" : "no",
-             res.found_violation() ? res.violations[0].depth : 0, ms,
-             ms > 0 ? res.stats.states / ms * 1000.0 : 0.0);
+             res.found_violation() ? res.violations[0].depth : 0,
+             res.stats.wall_ms, res.stats.digest_ms,
+             res.stats.states_per_sec());
 }
 
 }  // namespace
@@ -47,9 +45,9 @@ int main() {
               "path exploration)\n");
 
   bench::header("Buggy protocols: time-to-first-violation by search order");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
-             "order", "states", "trans", "bug?", "depth", "ms",
-             "states/s");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
+             "N", "order", "states", "trans", "bug?", "depth", "ms",
+             "dig.ms", "states/s");
   bench::rule();
 
   struct OrderCase {
@@ -77,9 +75,9 @@ int main() {
   }
 
   bench::header("State-space blowup with process count (fixed verified 2pc)");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
-             "order", "states", "trans", "bug?", "depth", "ms",
-             "states/s");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
+             "N", "order", "states", "trans", "bug?", "depth", "ms",
+             "dig.ms", "states/s");
   bench::rule();
   for (std::size_t n = 2; n <= 6; ++n) {
     apps::TwoPcConfig cfg;
@@ -90,9 +88,9 @@ int main() {
   }
 
   bench::header("Exploration from a mid-run (Time Machine restored) state");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %10s", "app", "N",
-             "order", "states", "trans", "bug?", "depth", "ms",
-             "states/s");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
+             "N", "order", "states", "trans", "bug?", "depth", "ms",
+             "dig.ms", "states/s");
   bench::rule();
   {
     apps::TokenRingConfig cfg;

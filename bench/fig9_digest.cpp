@@ -1,0 +1,237 @@
+// Figure 9 (repo-grown) — incremental state digests: the Investigator's
+// explore loop is bounded by how fast a world can be hashed after each
+// transition. This bench measures the digest pipeline end to end:
+//
+//   A. PagedHeap::digest after one sparse write per "event", cached
+//      (per-page digests + whole-heap memo) vs from-scratch recompute.
+//   B. World::mc_digest per executed event on a 16-process heap-backed
+//      world with sparse per-event writes — the explore-loop shape.
+//   C. SystemExplorer throughput (states/sec) with the time spent hashing
+//      states broken out, on a real protocol state space.
+//
+// Emits BENCH_digest.json next to the binary so the perf trajectory of the
+// digest pipeline is tracked from this PR onward.
+#include <cstdio>
+#include <memory>
+
+#include "apps/two_phase_commit.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mc/sysmodel.hpp"
+#include "mem/paged_heap.hpp"
+#include "rt/world.hpp"
+
+namespace {
+
+using namespace fixd;
+using bench::WallTimer;
+
+// A process whose bulk state lives in a COW heap: each delivery writes one
+// 64-byte record at a pseudo-random offset and forwards the token — the
+// "large state, sparse per-event writes" shape the digest cache targets.
+class HeapProc final : public rt::ProcessBase<HeapProc> {
+ public:
+  explicit HeapProc(std::uint64_t heap_bytes) : heap_bytes_(heap_bytes) {
+    heap_.resize(heap_bytes_);
+  }
+
+  void on_start(rt::Context& ctx) override {
+    // Pre-touch every page so the heap is fully resident (worst case for a
+    // non-incremental digest), then p0 launches the token.
+    for (std::uint64_t off = 0; off + 8 <= heap_bytes_; off += 4096)
+      heap_.store<std::uint64_t>(off, off ^ 0x5eedull);
+    if (ctx.self() == 0) ctx.send(1 % ctx.world_size(), 1, {});
+  }
+
+  void on_message(rt::Context& ctx, const net::Message&) override {
+    std::byte rec[64];
+    std::uint64_t r = ctx.random_u64();
+    for (std::size_t i = 0; i < sizeof(rec); ++i)
+      rec[i] = static_cast<std::byte>(r >> (8 * (i % 8)));
+    heap_.write(r % (heap_bytes_ - sizeof(rec)), rec);
+    ++writes_;
+    ctx.send((ctx.self() + 1) % ctx.world_size(), 1, {});
+  }
+
+  void save_root(BinaryWriter& w) const override {
+    w.write_u64(heap_bytes_);
+    w.write_u64(writes_);
+  }
+  void load_root(BinaryReader& r) override {
+    heap_bytes_ = r.read_u64();
+    writes_ = r.read_u64();
+  }
+  mem::PagedHeap* cow_heap() override { return &heap_; }
+  std::string type_name() const override { return "heap-proc"; }
+
+ private:
+  std::uint64_t heap_bytes_;
+  std::uint64_t writes_ = 0;
+  mem::PagedHeap heap_;
+};
+
+struct PairResult {
+  double cached_us = 0;
+  double uncached_us = 0;
+  double speedup() const {
+    return cached_us > 0 ? uncached_us / cached_us : 0;
+  }
+};
+
+// --- A: heap digest ---------------------------------------------------------
+PairResult bench_heap_digest(std::uint64_t heap_bytes, int iters) {
+  mem::PagedHeap h(4096);
+  h.resize(heap_bytes);
+  Rng rng(42);
+  for (std::uint64_t off = 0; off + 8 <= heap_bytes; off += 4096)
+    h.store<std::uint64_t>(off, rng.next_u64());
+  mem::HeapSnapshot keep = h.snapshot();  // keeps pages shared (COW live)
+
+  PairResult res;
+  std::uint64_t sink = 0;
+  WallTimer t;
+  for (int i = 0; i < iters; ++i) {
+    h.store<std::uint64_t>(rng.next_below(heap_bytes - 8), rng.next_u64());
+    sink ^= h.digest();
+  }
+  res.cached_us = t.ms() * 1000.0 / iters;
+
+  t.reset();
+  for (int i = 0; i < iters; ++i) {
+    h.store<std::uint64_t>(rng.next_below(heap_bytes - 8), rng.next_u64());
+    sink ^= h.digest_uncached();
+  }
+  res.uncached_us = t.ms() * 1000.0 / iters;
+
+  // Equality spot check (the test suite proves it exhaustively).
+  if (h.digest() != h.digest_uncached()) {
+    std::fprintf(stderr, "FATAL: cached digest diverged\n");
+    std::abort();
+  }
+  (void)sink;
+  (void)keep;
+  return res;
+}
+
+// --- B: world mc_digest per event ------------------------------------------
+PairResult bench_world_digest(std::size_t procs, std::uint64_t heap_bytes,
+                              int iters) {
+  rt::WorldOptions opts;
+  opts.abstract_time = true;
+  auto w = std::make_unique<rt::World>(opts);
+  for (std::size_t i = 0; i < procs; ++i)
+    w->add_process(std::make_unique<HeapProc>(heap_bytes));
+  w->seal();
+  w->run(procs + 4);  // everyone started, token circulating
+
+  PairResult res;
+  std::uint64_t sink = 0;
+  WallTimer t;
+  for (int i = 0; i < iters; ++i) {
+    w->step();  // one event: one 64B write at one process
+    sink ^= w->mc_digest();
+  }
+  double cached_total_ms = t.ms();
+
+  t.reset();
+  for (int i = 0; i < iters; ++i) {
+    w->step();
+    sink ^= w->mc_digest_uncached();
+  }
+  double uncached_total_ms = t.ms();
+
+  if (w->mc_digest() != w->mc_digest_uncached()) {
+    std::fprintf(stderr, "FATAL: world mc_digest diverged\n");
+    std::abort();
+  }
+  (void)sink;
+  res.cached_us = cached_total_ms * 1000.0 / iters;
+  res.uncached_us = uncached_total_ms * 1000.0 / iters;
+  return res;
+}
+
+// --- C: explorer throughput -------------------------------------------------
+mc::SysExploreResult bench_explorer(std::size_t n, std::size_t max_states) {
+  apps::TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = apps::make_two_pc_world(n, 2, cfg);
+  mc::SysExploreOptions o;
+  o.order = mc::SearchOrder::kBfs;
+  o.max_states = max_states;
+  o.max_depth = 80;
+  o.install_invariants = apps::install_two_pc_invariants;
+  mc::SystemExplorer ex(*w, o);
+  return ex.explore();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FixD reproduction — Figure 9: incremental state digests\n");
+
+  bench::header("A. PagedHeap digest after one sparse 64b write per event");
+  bench::row("%-10s %12s %14s %9s", "heap", "cached us", "uncached us",
+             "speedup");
+  bench::rule();
+  PairResult heap_small = bench_heap_digest(1 << 20, 2000);
+  PairResult heap_big = bench_heap_digest(4 << 20, 800);
+  bench::row("%-10s %12.2f %14.2f %8.1fx", "1 MiB", heap_small.cached_us,
+             heap_small.uncached_us, heap_small.speedup());
+  bench::row("%-10s %12.2f %14.2f %8.1fx", "4 MiB", heap_big.cached_us,
+             heap_big.uncached_us, heap_big.speedup());
+
+  bench::header(
+      "B. World::mc_digest per executed event (heap-backed processes)");
+  bench::row("%-10s %12s %14s %9s", "world", "cached us", "uncached us",
+             "speedup");
+  bench::rule();
+  PairResult world16 = bench_world_digest(16, 1 << 20, 400);
+  bench::row("%-10s %12.2f %14.2f %8.1fx", "16p x 1MiB", world16.cached_us,
+             world16.uncached_us, world16.speedup());
+
+  bench::header("C. SystemExplorer throughput (2pc n=4, BFS)");
+  bench::row("%-10s %10s %10s %11s %11s", "states", "wall ms", "digest ms",
+             "digest %", "states/s");
+  bench::rule();
+  mc::SysExploreResult ex = bench_explorer(4, 60000);
+  double digest_pct =
+      ex.stats.wall_ms > 0 ? ex.stats.digest_ms / ex.stats.wall_ms * 100 : 0;
+  bench::row("%-10llu %10.1f %10.1f %10.1f%% %11.0f",
+             (unsigned long long)ex.stats.states, ex.stats.wall_ms,
+             ex.stats.digest_ms, digest_pct, ex.stats.states_per_sec());
+
+  // Machine-readable trajectory record.
+  FILE* f = std::fopen("BENCH_digest.json", "w");
+  if (f) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"heap_1mib_cached_us\": %.3f,\n"
+        "  \"heap_1mib_uncached_us\": %.3f,\n"
+        "  \"heap_1mib_speedup\": %.2f,\n"
+        "  \"heap_4mib_cached_us\": %.3f,\n"
+        "  \"heap_4mib_uncached_us\": %.3f,\n"
+        "  \"heap_4mib_speedup\": %.2f,\n"
+        "  \"world16_cached_us\": %.3f,\n"
+        "  \"world16_uncached_us\": %.3f,\n"
+        "  \"world16_speedup\": %.2f,\n"
+        "  \"explorer_states\": %llu,\n"
+        "  \"explorer_wall_ms\": %.2f,\n"
+        "  \"explorer_digest_ms\": %.2f,\n"
+        "  \"explorer_states_per_sec\": %.0f\n"
+        "}\n",
+        heap_small.cached_us, heap_small.uncached_us, heap_small.speedup(),
+        heap_big.cached_us, heap_big.uncached_us, heap_big.speedup(),
+        world16.cached_us, world16.uncached_us, world16.speedup(),
+        (unsigned long long)ex.stats.states, ex.stats.wall_ms,
+        ex.stats.digest_ms, ex.stats.states_per_sec());
+    std::fclose(f);
+    std::printf("\nwrote BENCH_digest.json\n");
+  }
+
+  std::printf(
+      "\nShape check: digesting a world after one event costs O(changed\n"
+      "state), not O(total state) — the 16-process speedup is the explore\n"
+      "loop's headroom, and digest %% of explorer wall time stays small.\n");
+  return world16.speedup() >= 5.0 ? 0 : 1;
+}

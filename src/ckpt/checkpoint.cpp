@@ -1,5 +1,7 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace fixd::ckpt {
@@ -12,11 +14,14 @@ CheckpointId CheckpointStore::push(CkptReason reason,
   sc.data = std::move(data);
   if (entries_.size() >= capacity_ && capacity_ > 1) {
     // Keep the initial checkpoint pinned at slot 0; rotate the rest.
-    std::size_t victim = (entries_.front().reason == CkptReason::kInitial &&
-                          entries_.size() > 1)
-                             ? 1
-                             : 0;
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    // Both paths are O(1) on the deque: evicting slot 1 shifts only the
+    // pinned front entry, evicting slot 0 is a pop_front.
+    if (entries_.front().reason == CkptReason::kInitial &&
+        entries_.size() > 1) {
+      entries_.erase(entries_.begin() + 1);
+    } else {
+      entries_.pop_front();
+    }
   }
   entries_.push_back(std::move(sc));
   ++total_pushed_;
@@ -34,10 +39,12 @@ const StoredCheckpoint& CheckpointStore::at(std::size_t index) const {
 }
 
 const StoredCheckpoint* CheckpointStore::find(CheckpointId id) const {
-  for (const auto& e : entries_) {
-    if (e.id == id) return &e;
-  }
-  return nullptr;
+  // Ids are assigned monotonically and eviction preserves order, so the
+  // deque is always sorted by id.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const StoredCheckpoint& e, CheckpointId v) { return e.id < v; });
+  return (it != entries_.end() && it->id == id) ? &*it : nullptr;
 }
 
 std::uint64_t CheckpointStore::retained_bytes() const {

@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "rt/world.hpp"
 
@@ -49,11 +49,16 @@ class CheckpointStore {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// Entries oldest-to-newest.
-  const std::vector<StoredCheckpoint>& entries() const { return entries_; }
+  /// Entries oldest-to-newest (ascending id: ids are monotonic and
+  /// eviction only removes from the front region). A deque so that the
+  /// ring's steady-state eviction (pop the oldest rotating entry) is O(1)
+  /// instead of a middle-of-vector erase shifting every retained
+  /// checkpoint.
+  const std::deque<StoredCheckpoint>& entries() const { return entries_; }
 
   const StoredCheckpoint& latest() const;
   const StoredCheckpoint& at(std::size_t index) const;
+  /// Binary search over the id-sorted entries.
   const StoredCheckpoint* find(CheckpointId id) const;
 
   /// Cumulative storage cost of retained checkpoints.
@@ -68,7 +73,7 @@ class CheckpointStore {
 
  private:
   std::size_t capacity_;
-  std::vector<StoredCheckpoint> entries_;
+  std::deque<StoredCheckpoint> entries_;
   CheckpointId next_id_ = 0;
   std::uint64_t total_pushed_ = 0;
 };

@@ -112,8 +112,16 @@ class BinaryWriter {
   template <typename T>
   void write_le(T v) {
     static_assert(std::is_unsigned_v<T>);
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    if constexpr (std::endian::native == std::endian::little) {
+      // Bulk append: one resize + memcpy instead of a byte-at-a-time loop.
+      // Every checkpoint, scroll record, and digest funnels through here.
+      const std::size_t at = buf_.size();
+      buf_.resize(at + sizeof(T));
+      std::memcpy(buf_.data() + at, &v, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+      }
     }
   }
 
@@ -235,9 +243,13 @@ class BinaryReader {
   T read_le() {
     need(sizeof(T));
     T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i]))
-           << (8 * i);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+      }
     }
     pos_ += sizeof(T);
     return v;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <queue>
 #include <unordered_set>
@@ -44,6 +45,14 @@ struct ExploreStats {
   std::uint64_t duplicates = 0;   ///< transitions into already-seen states
   std::uint64_t max_depth = 0;
   bool truncated = false;  ///< a budget (states/depth) was exhausted
+  double wall_ms = 0.0;    ///< total explore() wall time
+  double digest_ms = 0.0;  ///< wall time spent hashing states for dedup
+
+  /// Exploration throughput (the Investigator's headline number).
+  double states_per_sec() const {
+    return wall_ms > 0.0 ? static_cast<double>(states) / wall_ms * 1000.0
+                         : 0.0;
+  }
 };
 
 struct ModelViolation {
@@ -80,8 +89,14 @@ class Explorer {
   void set_priority(PriorityFn fn) { priority_ = std::move(fn); }
 
   ExploreResult explore() {
-    if (opts_.order == SearchOrder::kRandomWalk) return random_walk();
-    return graph_search();
+    auto t0 = std::chrono::steady_clock::now();
+    ExploreResult res = opts_.order == SearchOrder::kRandomWalk
+                            ? random_walk()
+                            : graph_search();
+    res.stats.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    return res;
   }
 
  private:
@@ -96,6 +111,21 @@ class Explorer {
     std::size_t action_idx;  ///< action taken from parent
   };
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Hash a state for the visited set, charging the time to digest_ms.
+  /// Sampled 1-in-64 and scaled: abstract states hash in nanoseconds, so
+  /// per-call clock reads would dominate the thing being measured.
+  static constexpr std::uint64_t kHashSampleMask = 63;
+  std::uint64_t timed_hash(const S& s, ExploreStats& stats) const {
+    if ((hash_count_++ & kHashSampleMask) != 0) return model_.hash_state(s);
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t h = model_.hash_state(s);
+    stats.digest_ms += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count() *
+                       static_cast<double>(kHashSampleMask + 1);
+    return h;
+  }
 
   std::vector<std::string> trail_of(std::size_t meta_idx) const {
     std::vector<std::string> t;
@@ -134,7 +164,7 @@ class Explorer {
     meta_.clear();
     meta_.push_back({kNpos, kNpos});
     Node root{model_.initial(), 0, 0, 0.0};
-    visited.insert(model_.hash_state(root.state));
+    visited.insert(timed_hash(root.state, res.stats));
     ++res.stats.states;
     check_state(root.state, 0, 0, res);
     if (res.violations.size() >= opts_.max_violations) return res;
@@ -171,7 +201,7 @@ class Explorer {
         S next = cur.state;
         model_.actions()[ai].effect(next);
         ++res.stats.transitions;
-        std::uint64_t h = model_.hash_state(next);
+        std::uint64_t h = timed_hash(next, res.stats);
         if (!visited.insert(h).second) {
           ++res.stats.duplicates;
           continue;
@@ -236,6 +266,7 @@ class Explorer {
   ExploreOptions opts_;
   PriorityFn priority_;
   std::vector<Meta> meta_;
+  mutable std::uint64_t hash_count_ = 0;
 };
 
 }  // namespace fixd::mc

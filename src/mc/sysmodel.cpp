@@ -1,6 +1,7 @@
 #include "mc/sysmodel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <queue>
 #include <unordered_set>
@@ -8,6 +9,25 @@
 #include "common/hash.hpp"
 
 namespace fixd::mc {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+/// Time one state-digest call and charge it to stats.digest_ms.
+std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
+  auto t0 = SteadyClock::now();
+  std::uint64_t d = w.mc_digest();
+  stats.digest_ms += ms_since(t0);
+  return d;
+}
+
+}  // namespace
 
 SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
     : base_(base), opts_(std::move(opts)) {
@@ -102,8 +122,12 @@ Trail SystemExplorer::trail_of(std::size_t meta_idx) const {
 }
 
 SysExploreResult SystemExplorer::explore() {
-  if (opts_.order == SearchOrder::kRandomWalk) return random_walk();
-  return graph_search();
+  auto t0 = SteadyClock::now();
+  SysExploreResult res = opts_.order == SearchOrder::kRandomWalk
+                             ? random_walk()
+                             : graph_search();
+  res.stats.wall_ms = ms_since(t0);
+  return res;
 }
 
 SysExploreResult SystemExplorer::graph_search() {
@@ -134,7 +158,7 @@ SysExploreResult SystemExplorer::graph_search() {
   root.snap = scratch_->snapshot(/*cow=*/true);
   root.meta = 0;
   root.depth = 0;
-  if (opts_.dedup) visited.insert(scratch_->mc_digest());
+  if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats));
 
   if (opts_.order == SearchOrder::kPriority) {
     if (opts_.priority) root.priority = opts_.priority(*scratch_);
@@ -200,7 +224,7 @@ SysExploreResult SystemExplorer::graph_search() {
       }
 
       if (opts_.dedup) {
-        std::uint64_t h = scratch_->mc_digest();
+        std::uint64_t h = timed_mc_digest(*scratch_, res.stats);
         if (!visited.insert(h).second) {
           ++res.stats.duplicates;
           meta_.pop_back();

@@ -1,11 +1,73 @@
 #include "mem/paged_heap.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "common/hash.hpp"
 
 namespace fixd::mem {
+
+namespace {
+
+/// Digest of one page's full content, memoized on the page. Pages shared
+/// between a heap and its snapshots are immutable (COW discipline), so the
+/// cached value stays valid for every holder.
+std::uint64_t full_page_digest(const Page& p) {
+  if (!p.digest_valid) {
+    p.digest_cache = hash_bytes({p.bytes.data(), p.bytes.size()});
+    p.digest_valid = true;
+  }
+  return p.digest_cache;
+}
+
+/// Shared digest formula for heaps and snapshots: the logical size followed
+/// by one per-page digest for every page covering logical bytes. The last
+/// (possibly partial) page is hashed over its logical prefix only and is
+/// never cached, so digests stay a function of logical content alone.
+std::uint64_t content_digest_impl(std::size_t page_size,
+                                  std::uint64_t logical_size,
+                                  const std::vector<PagePtr>& pages,
+                                  std::uint64_t zero_page_digest,
+                                  bool use_cache) {
+  Hasher h;
+  h.update_u64(logical_size);
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::uint64_t start = static_cast<std::uint64_t>(i) * page_size;
+    if (start >= logical_size) break;
+    std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size, logical_size - start));
+    std::uint64_t pd;
+    if (!pages[i]) {
+      pd = (len == page_size && use_cache) ? zero_page_digest
+                                           : zeros_digest(len);
+    } else if (len == page_size) {
+      pd = use_cache ? full_page_digest(*pages[i])
+                     : hash_bytes({pages[i]->data(), len});
+    } else {
+      pd = hash_bytes({pages[i]->data(), len});
+    }
+    h.update_u64(pd);
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+std::uint64_t zeros_digest(std::size_t len) {
+  // Chunked feed of a static zero buffer. The chunk size is a multiple of
+  // the Hasher's 8-byte lane, so chunked updates equal one contiguous one.
+  static constexpr std::size_t kChunk = 4096;
+  static const std::array<std::byte, kChunk> kZeros{};
+  Hasher h;
+  std::size_t left = len;
+  while (left > 0) {
+    std::size_t n = std::min(left, kChunk);
+    h.update({kZeros.data(), n});
+    left -= n;
+  }
+  return h.digest();
+}
 
 std::size_t HeapSnapshot::resident_pages() const {
   std::size_t n = 0;
@@ -15,19 +77,12 @@ std::size_t HeapSnapshot::resident_pages() const {
 }
 
 std::uint64_t HeapSnapshot::digest() const {
-  Hasher h;
-  h.update_u64(logical_size_);
-  std::vector<std::byte> zeros(page_size_, std::byte{0});
-  for (std::size_t i = 0; i < pages_.size(); ++i) {
-    // Hash exactly the logical bytes covered by this page.
-    std::uint64_t start = static_cast<std::uint64_t>(i) * page_size_;
-    if (start >= logical_size_) break;
-    std::size_t len = static_cast<std::size_t>(
-        std::min<std::uint64_t>(page_size_, logical_size_ - start));
-    const std::byte* src = pages_[i] ? pages_[i]->data() : zeros.data();
-    h.update({src, len});
+  if (!digest_valid_) {
+    digest_cache_ = content_digest_impl(page_size_, logical_size_, pages_,
+                                        zero_page_digest_, /*use_cache=*/true);
+    digest_valid_ = true;
   }
-  return h.digest();
+  return digest_cache_;
 }
 
 void HeapSnapshot::save(BinaryWriter& w) const {
@@ -46,6 +101,7 @@ void HeapSnapshot::save(BinaryWriter& w) const {
 
 PagedHeap::PagedHeap(std::size_t page_size) : page_size_(page_size) {
   FIXD_CHECK_MSG(page_size_ >= 16, "page size too small");
+  zero_page_digest_ = zeros_digest(page_size_);
 }
 
 void PagedHeap::resize(std::uint64_t new_size) {
@@ -59,12 +115,13 @@ void PagedHeap::resize(std::uint64_t new_size) {
       if (last < pages_.size() && pages_[last]) {
         Page& p = own_page(last);
         std::size_t keep = static_cast<std::size_t>(new_size % page_size_);
-        std::fill(p.begin() + keep, p.end(), std::byte{0});
+        std::fill(p.bytes.begin() + keep, p.bytes.end(), std::byte{0});
       }
     }
   }
   pages_.resize(new_pages);
   logical_size_ = new_size;
+  digest_valid_ = false;
 }
 
 void PagedHeap::read(std::uint64_t offset, std::span<std::byte> out) const {
@@ -87,7 +144,7 @@ void PagedHeap::read(std::uint64_t offset, std::span<std::byte> out) const {
 Page& PagedHeap::own_page(std::size_t idx) {
   PagePtr& slot = pages_.at(idx);
   if (!slot) {
-    slot = std::make_shared<Page>(page_size_, std::byte{0});
+    slot = std::make_shared<Page>(page_size_);
     ++stats_.pages_materialized;
     ++dirty_since_snapshot_;
   } else if (slot.use_count() > 1) {
@@ -96,6 +153,11 @@ Page& PagedHeap::own_page(std::size_t idx) {
     stats_.bytes_cowed += page_size_;
     ++dirty_since_snapshot_;
   }
+  // The caller is about to mutate: drop both the page digest (covers the
+  // uniquely-owned in-place case; fresh/COW copies start invalid anyway)
+  // and the whole-heap memo.
+  slot->digest_valid = false;
+  digest_valid_ = false;
   return *slot;
 }
 
@@ -126,6 +188,7 @@ void PagedHeap::fill_zero(std::uint64_t offset, std::uint64_t len) {
       if (pages_[idx]) {
         pages_[idx].reset();
         ++dirty_since_snapshot_;
+        digest_valid_ = false;
       }
     } else if (pages_[idx]) {
       Page& p = own_page(idx);
@@ -140,6 +203,11 @@ HeapSnapshot PagedHeap::snapshot() {
   s.page_size_ = page_size_;
   s.logical_size_ = logical_size_;
   s.pages_ = pages_;  // shares every page; future writes will COW
+  s.zero_page_digest_ = zero_page_digest_;
+  if (digest_valid_) {
+    s.digest_cache_ = digest_cache_;
+    s.digest_valid_ = true;
+  }
   ++stats_.snapshots;
   dirty_since_snapshot_ = 0;
   return s;
@@ -150,6 +218,12 @@ void PagedHeap::restore(const HeapSnapshot& snap) {
                  "snapshot page size mismatch");
   pages_ = snap.pages_;
   logical_size_ = snap.logical_size_;
+  if (snap.digest_valid_) {
+    digest_cache_ = snap.digest_cache_;
+    digest_valid_ = true;
+  } else {
+    digest_valid_ = false;
+  }
   ++stats_.restores;
   dirty_since_snapshot_ = 0;
 }
@@ -159,24 +233,25 @@ PagedHeap PagedHeap::deep_copy() const {
   out.logical_size_ = logical_size_;
   out.pages_.resize(pages_.size());
   for (std::size_t i = 0; i < pages_.size(); ++i) {
+    // Page's copy constructor drops the digest cache: a deep copy serves as
+    // the from-scratch baseline in benches and equivalence tests.
     if (pages_[i]) out.pages_[i] = std::make_shared<Page>(*pages_[i]);
   }
   return out;
 }
 
 std::uint64_t PagedHeap::digest() const {
-  Hasher h;
-  h.update_u64(logical_size_);
-  std::vector<std::byte> zeros(page_size_, std::byte{0});
-  for (std::size_t i = 0; i < pages_.size(); ++i) {
-    std::uint64_t start = static_cast<std::uint64_t>(i) * page_size_;
-    if (start >= logical_size_) break;
-    std::size_t len = static_cast<std::size_t>(
-        std::min<std::uint64_t>(page_size_, logical_size_ - start));
-    const std::byte* src = pages_[i] ? pages_[i]->data() : zeros.data();
-    h.update({src, len});
+  if (!digest_valid_) {
+    digest_cache_ = content_digest_impl(page_size_, logical_size_, pages_,
+                                        zero_page_digest_, /*use_cache=*/true);
+    digest_valid_ = true;
   }
-  return h.digest();
+  return digest_cache_;
+}
+
+std::uint64_t PagedHeap::digest_uncached() const {
+  return content_digest_impl(page_size_, logical_size_, pages_,
+                             zero_page_digest_, /*use_cache=*/false);
 }
 
 bool PagedHeap::content_equals(const PagedHeap& other) const {
@@ -211,17 +286,23 @@ void PagedHeap::save(BinaryWriter& w) const {
 void PagedHeap::load(BinaryReader& r) {
   std::size_t ps = static_cast<std::size_t>(r.read_varint());
   FIXD_CHECK_MSG(ps >= 16, "bad serialized page size");
-  page_size_ = ps;
+  if (ps != page_size_) {
+    page_size_ = ps;
+    zero_page_digest_ = zeros_digest(page_size_);
+  }
   logical_size_ = r.read_varint();
   std::size_t n = static_cast<std::size_t>(r.read_varint());
   pages_.assign(n, nullptr);
   for (std::size_t i = 0; i < n; ++i) {
     if (r.read_bool()) {
       auto span = r.read_raw(page_size_);
-      pages_[i] = std::make_shared<Page>(span.begin(), span.end());
+      auto page = std::make_shared<Page>(page_size_);
+      std::memcpy(page->data(), span.data(), span.size());
+      pages_[i] = std::move(page);
     }
   }
   dirty_since_snapshot_ = 0;
+  digest_valid_ = false;
 }
 
 }  // namespace fixd::mem

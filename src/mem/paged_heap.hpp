@@ -33,8 +33,31 @@ namespace fixd::mem {
 
 /// One fixed-size page. Immutable once shared (copy-on-write discipline is
 /// enforced by PagedHeap: it only mutates pages with use_count()==1).
-using Page = std::vector<std::byte>;
+///
+/// Each page carries a lazily computed content digest so that whole-heap
+/// digests cost O(pages touched since the last digest), not O(total bytes).
+/// Invalidation rides the COW discipline: PagedHeap::own_page is the single
+/// funnel through which page bytes are mutated, and it drops the cache; a
+/// copied page (COW clone or deep copy) starts with no cache, because a COW
+/// clone is about to be written and a deep copy must recompute from scratch.
+struct Page {
+  explicit Page(std::size_t n, std::byte fill = std::byte{0})
+      : bytes(n, fill) {}
+  Page(const Page& other) : bytes(other.bytes) {}
+  Page& operator=(const Page&) = delete;
+
+  std::size_t size() const { return bytes.size(); }
+  std::byte* data() { return bytes.data(); }
+  const std::byte* data() const { return bytes.data(); }
+
+  std::vector<std::byte> bytes;
+  mutable std::uint64_t digest_cache = 0;
+  mutable bool digest_valid = false;
+};
 using PagePtr = std::shared_ptr<Page>;
+
+/// Digest of `len` zero bytes, computed without materializing a buffer.
+std::uint64_t zeros_digest(std::size_t len);
 
 /// Cheap, immutable snapshot of a heap: shares pages with the live heap.
 class HeapSnapshot {
@@ -48,7 +71,9 @@ class HeapSnapshot {
   /// Number of pages actually materialized (non-zero).
   std::size_t resident_pages() const;
 
-  /// Content digest (zero pages hash as zeros).
+  /// Content digest (zero pages hash as zeros). Snapshots are immutable, so
+  /// the value is computed once and memoized; the per-page digests it folds
+  /// are shared with the live heap via the Page objects themselves.
   std::uint64_t digest() const;
 
   /// Serialize the snapshot's content. The format is identical to
@@ -61,6 +86,9 @@ class HeapSnapshot {
   std::size_t page_size_ = 0;
   std::uint64_t logical_size_ = 0;
   std::vector<PagePtr> pages_;
+  std::uint64_t zero_page_digest_ = 0;  // copied from the heap at snapshot()
+  mutable std::uint64_t digest_cache_ = 0;
+  mutable bool digest_valid_ = false;
 };
 
 /// Counters describing checkpoint work; reset never happens implicitly.
@@ -126,7 +154,16 @@ class PagedHeap {
   PagedHeap deep_copy() const;
 
   /// Content digest over logical bytes (zero pages included as zeros).
+  /// Incremental: folds per-page digests that are cached on the pages and
+  /// invalidated by copy-on-write, so a call after k page mutations hashes
+  /// only those k pages. Repeated calls with no mutation are O(1) via a
+  /// whole-heap memo. Bit-identical to digest_uncached() by contract
+  /// (enforced by tests/test_digest_cache.cpp).
   std::uint64_t digest() const;
+
+  /// From-scratch recompute bypassing every cache. Verification hook for
+  /// the invalidation tests and the baseline side of bench/fig9_digest.
+  std::uint64_t digest_uncached() const;
 
   /// True iff both heaps have identical logical content.
   bool content_equals(const PagedHeap& other) const;
@@ -148,6 +185,11 @@ class PagedHeap {
   std::vector<PagePtr> pages_;
   std::uint64_t dirty_since_snapshot_ = 0;
   HeapStats stats_;
+  /// Digest of one all-zero page, precomputed at construction so sparse
+  /// heaps never hash (or allocate) a scratch zero page per digest call.
+  std::uint64_t zero_page_digest_ = 0;
+  mutable std::uint64_t digest_cache_ = 0;
+  mutable bool digest_valid_ = false;
 };
 
 }  // namespace fixd::mem

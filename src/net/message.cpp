@@ -30,9 +30,10 @@ void Message::load(BinaryReader& r) {
   vclock.load(r);
   spec_taints = r.read_pod_vector<SpecId>();
   control = r.read_bool();
+  invalidate_digest_memo();
 }
 
-std::uint64_t Message::content_digest() const {
+std::uint64_t Message::content_digest_uncached() const {
   Hasher h;
   h.update_u64(src);
   h.update_u64(dst);

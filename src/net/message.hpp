@@ -24,6 +24,32 @@ namespace fixd::net {
 /// Application-defined message kind; apps use small enums cast to u32.
 using Tag = std::uint32_t;
 
+/// Memoized content digest with copy-cold / move-warm semantics: a copied
+/// message starts with a cold memo (the copy's public fields may be
+/// mutated independently, as fault-injection copy-corrupt paths do), while
+/// a move transfers warmth (SimNetwork warms at enqueue, then moves the
+/// message into its pending map). Mirrors mem::Page's cache-dropping copy.
+struct DigestMemo {
+  DigestMemo() = default;
+  DigestMemo(const DigestMemo&) {}
+  DigestMemo& operator=(const DigestMemo&) {
+    valid = false;
+    return *this;
+  }
+  DigestMemo(DigestMemo&& o) noexcept : value(o.value), valid(o.valid) {
+    o.valid = false;
+  }
+  DigestMemo& operator=(DigestMemo&& o) noexcept {
+    value = o.value;
+    valid = o.valid;
+    o.valid = false;
+    return *this;
+  }
+
+  mutable std::uint64_t value = 0;
+  mutable bool valid = false;
+};
+
 struct Message {
   MsgId id = 0;
   ProcessId src = kNoProcess;
@@ -65,9 +91,35 @@ struct Message {
   void load(BinaryReader& r);
 
   /// Stable content digest (excludes id so retransmissions compare equal).
-  std::uint64_t content_digest() const;
+  ///
+  /// Returns the memo when one is warm, else computes from scratch — it
+  /// never self-memoizes, and copies start cold (see DigestMemo), so
+  /// mutating a free-standing or copied message (public fields) is always
+  /// reflected. SimNetwork warms the memo on enqueue and re-warms it in
+  /// mutate(), which is what makes the model checker's in-flight multiset
+  /// hash a cheap sorted merge: every *pending* message carries a valid
+  /// memo, and pending messages are only mutable through
+  /// SimNetwork::mutate.
+  std::uint64_t content_digest() const {
+    return memo_.valid ? memo_.value : content_digest_uncached();
+  }
+
+  /// From-scratch recompute bypassing the memo (verification/bench hook).
+  std::uint64_t content_digest_uncached() const;
+
+  /// Precompute and pin the content digest (SimNetwork, at enqueue).
+  void warm_digest_memo() const {
+    memo_.value = content_digest_uncached();
+    memo_.valid = true;
+  }
+
+  /// Drop the memo (deserialization, before an in-place mutation).
+  void invalidate_digest_memo() { memo_.valid = false; }
 
   std::string brief() const;
+
+  // Memo; public so Message stays an aggregate. Not serialized.
+  DigestMemo memo_;
 };
 
 }  // namespace fixd::net

@@ -11,6 +11,9 @@ SimNetwork::SimNetwork(NetworkOptions options)
 
 void SimNetwork::enqueue(Message msg) {
   MsgId id = msg.id;
+  // Every pending message carries a warm digest memo, so state hashing
+  // over the in-flight multiset never re-hashes payloads.
+  msg.warm_digest_memo();
   channels_[{msg.src, msg.dst}].push_back(id);
   messages_.emplace(id, std::move(msg));
 }
@@ -156,6 +159,7 @@ bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
   fn(it->second);
+  it->second.warm_digest_memo();  // re-pin after the in-place mutation
   return true;
 }
 
@@ -211,6 +215,7 @@ void SimNetwork::load(BinaryReader& r) {
   for (std::size_t i = 0; i < n; ++i) {
     Message m;
     m.load(r);
+    m.warm_digest_memo();  // restore the pending-message memo invariant
     MsgId id = m.id;
     messages_.emplace(id, std::move(m));
   }

@@ -49,6 +49,7 @@ void ProcessCheckpoint::load(BinaryReader& r) {
   at = r.read_u64();
   step = r.read_u64();
   capture_serial = r.read_u64();
+  digest_memo = {};  // deserialized checkpoints restore cold
   heap_snap.reset();
   heap_bytes.clear();
   if (r.read_bool()) heap_bytes = r.read_bytes();
@@ -213,6 +214,7 @@ ProcessId World::add_process(std::unique_ptr<Process> p) {
   ProcInfo pi;
   pi.rng = Rng(hash_combine(opts_.seed, pid));
   infos_.push_back(std::move(pi));
+  dcache_.push_back({});
   return pid;
 }
 
@@ -220,10 +222,14 @@ void World::seal() {
   if (sealed_) return;
   sealed_ = true;
   for (auto& pi : infos_) pi.vclock = VectorClock(procs_.size());
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) mark_state_dirty(pid);
 }
 
 Process& World::process(ProcessId pid) {
   FIXD_CHECK_MSG(pid < procs_.size(), "bad process id");
+  // Conservative: the caller may mutate the process through this reference
+  // (fault injection's corrupt_state, the Healer's patches, test pokes).
+  mark_state_dirty(pid);
   return *procs_[pid];
 }
 
@@ -239,6 +245,7 @@ std::unique_ptr<Process> World::swap_process(ProcessId pid,
   FIXD_CHECK_MSG(!in_handler_, "swap_process during a handler");
   fresh->id_ = pid;
   std::swap(procs_[pid], fresh);
+  mark_state_dirty(pid);
   return fresh;  // now holds the old process
 }
 
@@ -266,6 +273,7 @@ const TimerQueue& World::timers_of(ProcessId pid) const {
 
 void World::set_crashed(ProcessId pid, bool crashed) {
   info(pid).crashed = crashed;
+  mark_state_dirty(pid);
 }
 
 void World::add_observer(RuntimeObserver* obs) {
@@ -425,6 +433,10 @@ void World::run_handler(ProcessId pid,
 void World::dispatch(const EventDesc& ev) {
   FIXD_CHECK_MSG(!in_handler_, "reentrant dispatch");
   now_ = std::max(now_, ev.at);
+  // Every dispatch path below mutates ev.pid's state (flags, clocks,
+  // timers, RNG, root, heap); other processes change only through World
+  // APIs that mark themselves.
+  mark_state_dirty(ev.pid);
 
   bool suppressed = false;
   for (auto* ic : interceptors_) {
@@ -581,6 +593,7 @@ void World::notify_spec_event(ProcessId pid, SpecId spec,
 void World::notify_spec_aborted(ProcessId pid, SpecId spec,
                                 const std::string& assumption) {
   ProcInfo& pi = infos_[pid];
+  mark_state_dirty(pid);
   pi.lamport.tick();
   pi.vclock.tick(pid);
   run_handler(pid, [&](Context& c) {
@@ -615,6 +628,9 @@ ProcessCheckpoint World::capture_process(ProcessId pid, bool cow) {
   c.at = now_;
   c.step = step_;
   c.capture_serial = ++capture_seq_;
+  // Whatever digest components are warm now describe exactly the content
+  // captured above, so the checkpoint can re-warm the cache on restore.
+  c.digest_memo = dcache_[pid];
   return c;
 }
 
@@ -633,6 +649,9 @@ void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   }
   BinaryReader ir(ckpt.info);
   infos_[pid].load(ir);
+  // Adopt the checkpoint's memo: it matches the content just restored
+  // (cold components stay cold, which is the conservative direction).
+  dcache_[pid] = ckpt.digest_memo;
 }
 
 WorldSnapshot World::snapshot(bool cow) {
@@ -670,53 +689,112 @@ std::unique_ptr<World> World::clone() {
   return w;
 }
 
-std::uint64_t World::digest() const {
+// Per-process component of digest(): root bytes plus full runtime info.
+// Serializes into the shared scratch writer (no per-call allocation once
+// the buffer has grown to working size).
+std::uint64_t World::proc_full_digest(ProcessId pid) const {
+  BinaryWriter& w = digest_scratch_;
+  Hasher h;
+  w.clear();
+  procs_[pid]->save_root(w);
+  h.update(w.bytes());
+  w.clear();
+  infos_[pid].save(w);
+  h.update(w.bytes());
+  return h.digest();
+}
+
+// Per-process component of mc_digest(): root bytes plus the canonical
+// (path-noise-free) subset of runtime info.
+std::uint64_t World::proc_mc_digest(ProcessId pid) const {
+  BinaryWriter& w = digest_scratch_;
+  Hasher h;
+  w.clear();
+  procs_[pid]->save_root(w);
+  h.update(w.bytes());
+  const ProcInfo& pi = infos_[pid];
+  h.update_u64((pi.started ? 1 : 0) | (pi.crashed ? 2 : 0) |
+               (pi.halted ? 4 : 0));
+  w.clear();
+  pi.rng.save(w);
+  h.update(w.bytes());
+  h.update_u64(pi.env_count);
+  // Armed timers: kinds in armed order (ids/deadlines are path noise).
+  for (const Timer& t : pi.timers.armed()) h.update_u64(t.kind);
+  return h.digest();
+}
+
+std::uint64_t World::digest_impl(bool cached) const {
   Hasher h;
   h.update_u64(now_);
   h.update_u64(step_);
   for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-    BinaryWriter rw;
-    procs_[pid]->save_root(rw);
-    h.update(rw.bytes());
-    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
-      h.update_u64(heap->digest());
+    std::uint64_t pd;
+    if (cached) {
+      ProcDigestMemo& e = dcache_[pid];
+      if (!e.full_valid) {
+        e.full = proc_full_digest(pid);
+        e.full_valid = true;
+      }
+      pd = e.full;
+    } else {
+      pd = proc_full_digest(pid);
     }
-    BinaryWriter iw;
-    infos_[pid].save(iw);
-    h.update(iw.bytes());
+    h.update_u64(pd);
+    // The heap digest is folded fresh each call: PagedHeap invalidates
+    // itself on every write, so heap content is covered even when the
+    // mutation bypassed the World API (e.g. via a stashed reference).
+    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
+      h.update_u64(cached ? heap->digest() : heap->digest_uncached());
+    }
   }
   h.update_u64(net_.digest());
   return h.digest();
 }
 
-std::uint64_t World::mc_digest() const {
+std::uint64_t World::mc_digest_impl(bool cached) const {
   Hasher h;
   for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-    BinaryWriter rw;
-    procs_[pid]->save_root(rw);
-    h.update(rw.bytes());
-    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
-      h.update_u64(heap->digest());
+    std::uint64_t pd;
+    if (cached) {
+      ProcDigestMemo& e = dcache_[pid];
+      if (!e.mc_valid) {
+        e.mc = proc_mc_digest(pid);
+        e.mc_valid = true;
+      }
+      pd = e.mc;
+    } else {
+      pd = proc_mc_digest(pid);
     }
-    const ProcInfo& pi = infos_[pid];
-    h.update_u64((pi.started ? 1 : 0) | (pi.crashed ? 2 : 0) |
-                 (pi.halted ? 4 : 0));
-    BinaryWriter rngw;
-    pi.rng.save(rngw);
-    h.update(rngw.bytes());
-    h.update_u64(pi.env_count);
-    // Armed timers: kinds in armed order (ids/deadlines are path noise).
-    for (const Timer& t : pi.timers.armed()) h.update_u64(t.kind);
+    h.update_u64(pd);
+    if (const mem::PagedHeap* heap = procs_[pid]->cow_heap()) {
+      h.update_u64(cached ? heap->digest() : heap->digest_uncached());
+    }
     h.update_u64(0x7133);  // separator
   }
-  // In-flight messages as a sorted multiset of content digests.
+  // In-flight messages as a sorted multiset of (memoized) content digests.
   std::vector<std::uint64_t> digs;
   for (const net::Message* m : net_.pending()) {
-    digs.push_back(m->content_digest());
+    digs.push_back(cached ? m->content_digest()
+                          : m->content_digest_uncached());
   }
   std::sort(digs.begin(), digs.end());
   for (std::uint64_t d : digs) h.update_u64(d);
   return h.digest();
+}
+
+std::uint64_t World::digest() const { return digest_impl(/*cached=*/true); }
+
+std::uint64_t World::digest_uncached() const {
+  return digest_impl(/*cached=*/false);
+}
+
+std::uint64_t World::mc_digest() const {
+  return mc_digest_impl(/*cached=*/true);
+}
+
+std::uint64_t World::mc_digest_uncached() const {
+  return mc_digest_impl(/*cached=*/false);
 }
 
 }  // namespace fixd::rt

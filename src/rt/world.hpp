@@ -53,6 +53,21 @@ struct WorldOptions {
   bool check_global_invariants = true;
 };
 
+/// Cached per-process digest components (the `full` one feeds
+/// World::digest, the `mc` one World::mc_digest). Carried by checkpoints
+/// so that restoring re-warms the world's digest cache instead of
+/// invalidating it — the Investigator's restore-then-apply loop would
+/// otherwise re-serialize every process per transition. The memo describes
+/// the checkpoint's content, so adopting it on restore is correct no
+/// matter what the world looked like before. Not serialized (a
+/// deserialized checkpoint restores cold).
+struct ProcDigestMemo {
+  std::uint64_t full = 0;
+  std::uint64_t mc = 0;
+  bool full_valid = false;
+  bool mc_valid = false;
+};
+
 /// A captured process state; cheap when `heap_snap` is used (COW pages).
 struct ProcessCheckpoint {
   std::vector<std::byte> root;                  ///< Process::save_root bytes
@@ -67,6 +82,9 @@ struct ProcessCheckpoint {
   /// captures taken within the same event (where clocks tie); the
   /// speculation cascade logic orders entry checkpoints by it.
   std::uint64_t capture_serial = 0;
+  /// Digest components valid for this checkpoint's content (if they were
+  /// warm at capture time); adopted by restore_process.
+  ProcDigestMemo digest_memo;
 
   /// Approximate retained size: serialized bytes plus COW page-table cost.
   std::uint64_t size_bytes() const;
@@ -129,6 +147,10 @@ class World {
   /// Toggle stop-on-violation for run().
   void set_stop_on_violation(bool on) { opts_.stop_on_violation = on; }
   std::size_t size() const { return procs_.size(); }
+  /// Mutable access conservatively marks the process digest-dirty (the
+  /// Healer's in-place patches and the fault injector's state corruption go
+  /// through here). Mutating a process through a stashed pointer bypasses
+  /// the digest cache — see docs/PERF.md for the full contract.
   Process& process(ProcessId pid);
   const Process& process(ProcessId pid) const;
 
@@ -142,7 +164,12 @@ class World {
   }
   template <typename T>
   const T& process_as(ProcessId pid) const {
-    return const_cast<World*>(this)->process_as<T>(pid);
+    // Routed through the const accessor: read-only typed access must not
+    // mark the process digest-dirty.
+    auto* p = dynamic_cast<const T*>(&process(pid));
+    if (!p) throw ConfigError("process_as: type mismatch for p" +
+                              std::to_string(pid));
+    return *p;
   }
 
   /// Replace a process object in place (the Healer's dynamic update).
@@ -226,14 +253,25 @@ class World {
 
   /// Exact state digest: changes iff any state byte changes. Includes
   /// clocks, ids and stats — two runs match iff they are bit-identical.
+  ///
+  /// Incremental: per-process components are cached and invalidated by the
+  /// event pipeline (handler ran, restore, crash/start flag, swap), so one
+  /// event costs O(changed state) to re-digest, not O(total state).
   std::uint64_t digest() const;
 
   /// Canonical digest for model-checker deduplication: abstracts away
   /// path-dependent bookkeeping (virtual time, Lamport/vector clocks,
   /// message ids, network statistics) while covering all decision-relevant
   /// state (process roots, heaps, flags, RNGs, armed timer kinds, the
-  /// multiset of in-flight message contents).
+  /// multiset of in-flight message contents). Incrementally cached like
+  /// digest(); this is the Investigator's per-transition hot path.
   std::uint64_t mc_digest() const;
+
+  /// From-scratch recomputations bypassing every cache (per-process, heap
+  /// page, message memo). Bit-identical to digest()/mc_digest() by
+  /// contract; verification hooks for tests and bench/fig9_digest.
+  std::uint64_t digest_uncached() const;
+  std::uint64_t mc_digest_uncached() const;
 
   /// Invoked by ckpt::SpeculationManager after rolling a process back, to
   /// run its alternate-path handler.
@@ -269,6 +307,21 @@ class World {
   ProcInfo& info(ProcessId pid);
   const ProcInfo& info(ProcessId pid) const;
 
+  /// Drop the cached digest components of `pid`. Called by every mutation
+  /// path: dispatch (handler/suppression), restore_process, swap_process,
+  /// set_crashed, notify_spec_aborted, seal, and mutable process access.
+  void mark_state_dirty(ProcessId pid) {
+    if (pid < dcache_.size()) {
+      dcache_[pid].full_valid = false;
+      dcache_[pid].mc_valid = false;
+    }
+  }
+
+  std::uint64_t proc_full_digest(ProcessId pid) const;
+  std::uint64_t proc_mc_digest(ProcessId pid) const;
+  std::uint64_t digest_impl(bool cached) const;
+  std::uint64_t mc_digest_impl(bool cached) const;
+
   void dispatch(const EventDesc& ev);
   void run_handler(ProcessId pid, const std::function<void(Context&)>& body);
   void check_invariants(ProcessId pid, const EventDesc& ev);
@@ -291,6 +344,10 @@ class World {
   std::uint64_t step_ = 0;
   std::uint64_t capture_seq_ = 0;  // never restored: stays world-unique
   bool in_handler_ = false;
+  mutable std::vector<ProcDigestMemo> dcache_;
+  /// Reused serialization scratch for digest computation (avoids one
+  /// BinaryWriter allocation per process per digest call).
+  mutable BinaryWriter digest_scratch_;
 };
 
 }  // namespace fixd::rt

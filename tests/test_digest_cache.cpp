@@ -1,0 +1,330 @@
+// Digest-cache invalidation: every cached digest (heap pages, whole-heap
+// memo, per-process world components, message content memos) must stay
+// bit-identical to a from-scratch recompute across all mutation paths —
+// store/resize/restore/snapshot sequences on PagedHeap, and event /
+// restore_process / rollback / crash-flag / swap sequences on World.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "apps/rep_counter.hpp"
+#include "common/rng.hpp"
+#include "mem/paged_heap.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/world.hpp"
+
+namespace fixd {
+namespace {
+
+using apps::CounterConfig;
+using apps::KvConfig;
+using apps::make_counter_world;
+using apps::make_kv_world;
+using mem::HeapSnapshot;
+using mem::PagedHeap;
+
+// ---------------------------------------------------------------------------
+// PagedHeap
+// ---------------------------------------------------------------------------
+
+TEST(HeapDigestCache, RepeatedDigestIsStable) {
+  PagedHeap h(128);
+  h.resize(1024);
+  h.store<std::uint64_t>(8, 42);
+  std::uint64_t d = h.digest();
+  EXPECT_EQ(h.digest(), d);
+  EXPECT_EQ(h.digest_uncached(), d);
+}
+
+TEST(HeapDigestCache, MaterializedZeroPageEqualsImplicit) {
+  PagedHeap implicit(128), materialized(128);
+  implicit.resize(512);
+  materialized.resize(512);
+  // Writing zeros materializes a page whose content equals the implicit
+  // zero page; the digest must not distinguish them.
+  materialized.store<std::uint64_t>(128, 0);
+  EXPECT_EQ(materialized.digest(), implicit.digest());
+  EXPECT_EQ(materialized.digest(), materialized.digest_uncached());
+}
+
+TEST(HeapDigestCache, InPlaceWriteInvalidates) {
+  PagedHeap h(128);
+  h.resize(512);
+  h.store<std::uint64_t>(0, 1);
+  std::uint64_t d1 = h.digest();
+  // No snapshot alive: the page is uniquely owned and mutated in place.
+  h.store<std::uint64_t>(0, 2);
+  EXPECT_NE(h.digest(), d1);
+  EXPECT_EQ(h.digest(), h.digest_uncached());
+  h.store<std::uint64_t>(0, 1);
+  EXPECT_EQ(h.digest(), d1);
+}
+
+TEST(HeapDigestCache, SnapshotDigestIsPinned) {
+  PagedHeap h(128);
+  h.resize(1024);
+  for (int i = 0; i < 8; ++i) h.store<std::uint64_t>(i * 128, i + 1);
+  HeapSnapshot snap = h.snapshot();
+  std::uint64_t at_capture = h.digest();
+  EXPECT_EQ(snap.digest(), at_capture);
+  h.store<std::uint64_t>(256, 99);  // COW: snapshot pages untouched
+  EXPECT_NE(h.digest(), at_capture);
+  EXPECT_EQ(snap.digest(), at_capture);
+  h.restore(snap);
+  EXPECT_EQ(h.digest(), at_capture);
+  EXPECT_EQ(h.digest(), h.digest_uncached());
+}
+
+TEST(HeapDigestCache, SerializationRoundTripPreservesDigest) {
+  PagedHeap h(128);
+  h.resize(1000);
+  for (std::uint64_t off = 0; off + 8 <= 1000; off += 56)
+    h.store<std::uint64_t>(off, off * 3 + 1);
+  std::uint64_t d = h.digest();
+  BinaryWriter w;
+  h.save(w);
+  PagedHeap h2(128);
+  BinaryReader r(w.bytes());
+  h2.load(r);
+  EXPECT_EQ(h2.digest(), d);
+  EXPECT_EQ(h2.digest(), h2.digest_uncached());
+}
+
+class HeapDigestCacheParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: across randomized store / fill_zero / resize / snapshot /
+// restore sequences, the cached digest always equals the uncached one.
+TEST_P(HeapDigestCacheParam, RandomOpsMatchUncached) {
+  Rng rng(GetParam());
+  PagedHeap h(128);
+  h.resize(128 * 24);
+  // Each live snapshot is stored with the digest recorded at capture so
+  // drift (e.g. an in-place write to a still-shared page) is caught.
+  std::vector<std::pair<HeapSnapshot, std::uint64_t>> snaps;
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        h.store<std::uint64_t>(rng.next_below(h.size() - 8), rng.next_u64());
+        break;
+      case 4: {
+        std::uint64_t off = rng.next_below(h.size());
+        h.fill_zero(off, rng.next_below(h.size() - off + 1));
+        break;
+      }
+      case 5:
+        if (snaps.size() < 6) {
+          HeapSnapshot s = h.snapshot();
+          std::uint64_t at_capture = h.digest_uncached();
+          snaps.emplace_back(std::move(s), at_capture);
+        }
+        break;
+      case 6:
+        if (!snaps.empty())
+          h.restore(snaps[rng.next_below(snaps.size())].first);
+        break;
+      case 7:
+        // Restoring a snapshot later reapplies its captured size, so
+        // resizing with live snapshots is legal.
+        h.resize(128 * (8 + rng.next_below(32)));
+        break;
+    }
+    ASSERT_EQ(h.digest(), h.digest_uncached()) << "op " << i;
+    ASSERT_EQ(h.digest(), h.deep_copy().digest()) << "op " << i;
+    for (const auto& [s, at_capture] : snaps)
+      ASSERT_EQ(s.digest(), at_capture) << "snapshot drift at op " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapDigestCacheParam,
+                         ::testing::Values(1, 7, 19, 101, 977));
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+void expect_world_digests_match(rt::World& w, const char* where) {
+  ASSERT_EQ(w.mc_digest(), w.mc_digest_uncached()) << where;
+  ASSERT_EQ(w.digest(), w.digest_uncached()) << where;
+}
+
+TEST(WorldDigestCache, EventPipelineMatchesUncached) {
+  KvConfig cfg;
+  cfg.total_ops = 12;
+  cfg.key_space = 4;
+  auto w = make_kv_world(4, /*version=*/2, cfg);
+  expect_world_digests_match(*w, "initial");
+  int steps = 0;
+  while (w->step() && steps++ < 200) {
+    expect_world_digests_match(*w, "after step");
+  }
+}
+
+TEST(WorldDigestCache, RestoreProcessInvalidates) {
+  auto w = make_counter_world(3, 2, CounterConfig{3});
+  for (int i = 0; i < 4; ++i) w->step();
+  rt::ProcessCheckpoint ckpt = w->capture_process(1);
+  std::uint64_t at_capture = w->mc_digest();
+  w->run(5);
+  EXPECT_NE(w->mc_digest(), at_capture);
+  w->restore_process(1, ckpt);
+  expect_world_digests_match(*w, "after restore_process");
+}
+
+TEST(WorldDigestCache, SnapshotRollbackRestoresDigest) {
+  KvConfig cfg;
+  cfg.total_ops = 8;
+  cfg.key_space = 4;
+  auto w = make_kv_world(3, 2, cfg);
+  for (int i = 0; i < 5; ++i) w->step();
+  rt::WorldSnapshot snap = w->snapshot();
+  std::uint64_t mid_mc = w->mc_digest();
+  std::uint64_t mid_full = w->digest();
+  w->run(20);
+  w->restore(snap);
+  EXPECT_EQ(w->mc_digest(), mid_mc);
+  EXPECT_EQ(w->digest(), mid_full);
+  expect_world_digests_match(*w, "after rollback");
+}
+
+TEST(WorldDigestCache, ExternalMutationViaAccessorInvalidates) {
+  KvConfig cfg;
+  cfg.total_ops = 8;
+  auto w = make_kv_world(2, 2, cfg);
+  std::uint64_t before = w->mc_digest();
+  // Direct state poke, as the fault injector's corrupt_state does: goes
+  // through the mutable accessor, which must drop the cached digest.
+  w->process_as<apps::KvReplicaV2>(1).apply_put(1, 12345);
+  EXPECT_NE(w->mc_digest(), before);
+  expect_world_digests_match(*w, "after direct apply_put");
+}
+
+TEST(WorldDigestCache, CrashFlagInvalidates) {
+  auto w = make_counter_world(3, 2, CounterConfig{2});
+  w->run(4);
+  std::uint64_t before = w->mc_digest();
+  w->set_crashed(1, true);
+  EXPECT_NE(w->mc_digest(), before);
+  expect_world_digests_match(*w, "after set_crashed");
+  w->set_crashed(1, false);
+  EXPECT_EQ(w->mc_digest(), before);
+}
+
+TEST(WorldDigestCache, SwapProcessInvalidates) {
+  KvConfig cfg;
+  cfg.total_ops = 8;
+  auto w = make_kv_world(2, 1, cfg);
+  w->run(6);
+  std::uint64_t before = w->mc_digest();
+  auto fresh = std::make_unique<apps::KvReplicaV2>(cfg);
+  auto old = w->swap_process(1, std::move(fresh));
+  EXPECT_NE(w->mc_digest(), before);
+  expect_world_digests_match(*w, "after swap_process");
+  w->swap_process(1, std::move(old));
+  expect_world_digests_match(*w, "after swap back");
+}
+
+class WorldDigestCacheParam : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Property: a random interleaving of steps, captures, restores, rollbacks
+// and crash toggles never lets the cached digests drift from uncached.
+TEST_P(WorldDigestCacheParam, RandomWalkMatchesUncached) {
+  Rng rng(GetParam());
+  KvConfig cfg;
+  cfg.total_ops = 16;
+  cfg.key_space = 4;
+  auto w = make_kv_world(3, 2, cfg);
+  w->set_scheduler(std::make_unique<rt::RandomScheduler>(GetParam()));
+  std::vector<rt::WorldSnapshot> snaps;
+  std::vector<std::pair<ProcessId, rt::ProcessCheckpoint>> ckpts;
+  for (int i = 0; i < 120; ++i) {
+    switch (rng.next_below(10)) {
+      case 0:
+        if (snaps.size() < 4) snaps.push_back(w->snapshot());
+        break;
+      case 1:
+        if (!snaps.empty()) w->restore(snaps[rng.next_below(snaps.size())]);
+        break;
+      case 2: {
+        ProcessId p = static_cast<ProcessId>(rng.next_below(3));
+        if (ckpts.size() < 4) ckpts.emplace_back(p, w->capture_process(p));
+        break;
+      }
+      case 3:
+        if (!ckpts.empty()) {
+          auto& [p, c] = ckpts[rng.next_below(ckpts.size())];
+          w->restore_process(p, c);
+        }
+        break;
+      case 4: {
+        ProcessId p = static_cast<ProcessId>(rng.next_below(3));
+        w->set_crashed(p, !w->is_crashed(p));
+        break;
+      }
+      default:
+        w->step();
+        break;
+    }
+    ASSERT_EQ(w->mc_digest(), w->mc_digest_uncached()) << "op " << i;
+    ASSERT_EQ(w->digest(), w->digest_uncached()) << "op " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldDigestCacheParam,
+                         ::testing::Values(2, 11, 23, 97, 991));
+
+// ---------------------------------------------------------------------------
+// Message memo
+// ---------------------------------------------------------------------------
+
+TEST(MessageDigestMemo, NetworkMutateRewarmsMemo) {
+  net::SimNetwork net;
+  net::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.tag = 7;
+  m.payload = {std::byte{1}, std::byte{2}};
+  auto id = net.submit(std::move(m));
+  ASSERT_TRUE(id.has_value());
+  std::uint64_t before = net.peek(*id)->content_digest();
+  EXPECT_EQ(before, net.peek(*id)->content_digest_uncached());
+  net.mutate(*id, [](net::Message& msg) { msg.payload[0] = std::byte{9}; });
+  const net::Message* after = net.peek(*id);
+  EXPECT_NE(after->content_digest(), before);
+  EXPECT_EQ(after->content_digest(), after->content_digest_uncached());
+}
+
+TEST(MessageDigestMemo, CopyOfWarmMessageStartsCold) {
+  net::SimNetwork net;
+  net::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.tag = 7;
+  m.payload = {std::byte{1}, std::byte{2}};
+  auto id = net.submit(std::move(m));
+  ASSERT_TRUE(id.has_value());
+  // Copy-corrupt, as fault-injection paths do: the copy's memo must be
+  // cold so the mutation is reflected.
+  net::Message copy = *net.peek(*id);
+  std::uint64_t before = copy.content_digest();
+  copy.payload[0] = std::byte{0xff};
+  EXPECT_NE(copy.content_digest(), before);
+  EXPECT_EQ(copy.content_digest(), copy.content_digest_uncached());
+}
+
+TEST(MessageDigestMemo, FreeStandingMessageNeverStale) {
+  net::Message m;
+  m.src = 1;
+  m.dst = 2;
+  m.tag = 3;
+  m.payload = {std::byte{4}};
+  std::uint64_t d0 = m.content_digest();
+  m.payload[0] = std::byte{5};  // direct field mutation, no memo involved
+  EXPECT_NE(m.content_digest(), d0);
+  EXPECT_EQ(m.content_digest(), m.content_digest_uncached());
+}
+
+}  // namespace
+}  // namespace fixd

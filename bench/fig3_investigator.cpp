@@ -17,24 +17,33 @@ namespace {
 
 using namespace fixd;
 
+void header_row() {
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %8s %9s %10s", "app",
+             "N", "order", "states", "trans", "bug?", "depth", "ms",
+             "dig.ms", "snap.ms", "peak KiB", "states/s");
+}
+
 void explore_row(const char* app, std::size_t n, const char* order_name,
                  mc::SearchOrder order, rt::World& w,
                  const std::function<void(rt::World&)>& installer,
-                 std::size_t max_states) {
+                 std::size_t max_states, bool trail_frontier = false) {
   mc::SysExploreOptions o;
   o.order = order;
   o.max_states = max_states;
   o.max_depth = 80;
   o.walk_restarts = 256;
+  o.trail_frontier = trail_frontier;
   o.install_invariants = installer;
   mc::SystemExplorer ex(w, o);
   auto res = ex.explore();
-  bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %8.1f %10.0f",
+  bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %8.1f %8.1f "
+             "%9.1f %10.0f",
              app, n, order_name, (unsigned long long)res.stats.states,
              (unsigned long long)res.stats.transitions,
              res.found_violation() ? "YES" : "no",
              res.found_violation() ? res.violations[0].depth : 0,
-             res.stats.wall_ms, res.stats.digest_ms,
+             res.stats.wall_ms, res.stats.digest_ms, res.stats.snapshot_ms,
+             res.stats.peak_frontier_bytes / 1024.0,
              res.stats.states_per_sec());
 }
 
@@ -45,9 +54,7 @@ int main() {
               "path exploration)\n");
 
   bench::header("Buggy protocols: time-to-first-violation by search order");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
-             "N", "order", "states", "trans", "bug?", "depth", "ms",
-             "dig.ms", "states/s");
+  header_row();
   bench::rule();
 
   struct OrderCase {
@@ -75,9 +82,7 @@ int main() {
   }
 
   bench::header("State-space blowup with process count (fixed verified 2pc)");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
-             "N", "order", "states", "trans", "bug?", "depth", "ms",
-             "dig.ms", "states/s");
+  header_row();
   bench::rule();
   for (std::size_t n = 2; n <= 6; ++n) {
     apps::TwoPcConfig cfg;
@@ -87,10 +92,21 @@ int main() {
                 apps::install_two_pc_invariants, 120000);
   }
 
+  bench::header(
+      "Frontier representation at the feasibility wall (2pc n=6, BFS)");
+  header_row();
+  bench::rule();
+  for (bool trail : {false, true}) {
+    apps::TwoPcConfig cfg;
+    cfg.total_txns = 1;
+    auto w = apps::make_two_pc_world(6, 2, cfg);
+    explore_row(trail ? "2pc-trail" : "2pc-snap", 6, "bfs",
+                mc::SearchOrder::kBfs, *w, apps::install_two_pc_invariants,
+                120000, trail);
+  }
+
   bench::header("Exploration from a mid-run (Time Machine restored) state");
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %10s", "app",
-             "N", "order", "states", "trans", "bug?", "depth", "ms",
-             "dig.ms", "states/s");
+  header_row();
   bench::rule();
   {
     apps::TokenRingConfig cfg;

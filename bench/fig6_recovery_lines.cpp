@@ -46,7 +46,7 @@ LineStats measure(bool cic, std::uint64_t periodic, std::size_t n,
   std::vector<std::vector<VectorClock>> hist(w->size());
   for (ProcessId p = 0; p < w->size(); ++p) {
     for (const auto& e : tm.store(p).entries())
-      hist[p].push_back(e.data.vclock);
+      hist[p].push_back(e.data->vclock);
   }
   auto line = ckpt::RecoveryLineSolver::solve_pinned(hist, pinned);
 

@@ -1,13 +1,15 @@
 #include "ckpt/checkpoint.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/error.hpp"
 
 namespace fixd::ckpt {
 
-CheckpointId CheckpointStore::push(CkptReason reason,
-                                   rt::ProcessCheckpoint data) {
+CheckpointId CheckpointStore::push(
+    CkptReason reason, std::shared_ptr<const rt::ProcessCheckpoint> data) {
+  FIXD_CHECK_MSG(data != nullptr, "push: null checkpoint");
   StoredCheckpoint sc;
   sc.id = next_id_++;
   sc.reason = reason;
@@ -49,7 +51,10 @@ const StoredCheckpoint* CheckpointStore::find(CheckpointId id) const {
 
 std::uint64_t CheckpointStore::retained_bytes() const {
   std::uint64_t n = 0;
-  for (const auto& e : entries_) n += e.data.size_bytes();
+  std::unordered_set<const rt::ProcessCheckpoint*> seen;
+  for (const auto& e : entries_) {
+    if (seen.insert(e.data.get()).second) n += e.data->size_bytes();
+  }
   return n;
 }
 

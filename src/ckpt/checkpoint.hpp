@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "rt/world.hpp"
@@ -36,7 +37,10 @@ inline const char* to_string(CkptReason r) {
 struct StoredCheckpoint {
   CheckpointId id = kNoCheckpoint;  ///< per-process, monotonically increasing
   CkptReason reason = CkptReason::kManual;
-  rt::ProcessCheckpoint data;
+  /// Shared with the world's capture cache (and other stores) when the
+  /// process was clean between captures: consecutive checkpoints of an
+  /// unchanged process cost one pointer, not one copy.
+  std::shared_ptr<const rt::ProcessCheckpoint> data;
 };
 
 class CheckpointStore {
@@ -44,7 +48,14 @@ class CheckpointStore {
   explicit CheckpointStore(std::size_t capacity = 64) : capacity_(capacity) {}
 
   /// Append a checkpoint; evicts the oldest non-initial entry if full.
-  CheckpointId push(CkptReason reason, rt::ProcessCheckpoint data);
+  CheckpointId push(CkptReason reason,
+                    std::shared_ptr<const rt::ProcessCheckpoint> data);
+
+  /// Convenience for callers holding a checkpoint by value.
+  CheckpointId push(CkptReason reason, rt::ProcessCheckpoint data) {
+    return push(reason, std::make_shared<const rt::ProcessCheckpoint>(
+                            std::move(data)));
+  }
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -61,7 +72,8 @@ class CheckpointStore {
   /// Binary search over the id-sorted entries.
   const StoredCheckpoint* find(CheckpointId id) const;
 
-  /// Cumulative storage cost of retained checkpoints.
+  /// Cumulative storage cost of retained checkpoints; entries sharing one
+  /// underlying checkpoint are counted once.
   std::uint64_t retained_bytes() const;
 
   /// Total checkpoints ever pushed (including evicted).

@@ -42,7 +42,12 @@ void TimeMachine::reset() {
 
 CheckpointId TimeMachine::take_checkpoint(ProcessId pid, CkptReason reason) {
   FIXD_CHECK_MSG(pid < stores_.size(), "take_checkpoint: bad pid");
-  rt::ProcessCheckpoint data = world_.capture_process(pid, opts_.cow);
+  // COW captures go through the world's capture cache: checkpointing a
+  // process that is clean since its last capture stores a shared pointer.
+  std::shared_ptr<const rt::ProcessCheckpoint> data =
+      opts_.cow ? world_.capture_process_shared(pid)
+                : std::make_shared<const rt::ProcessCheckpoint>(
+                      world_.capture_process(pid, /*cow=*/false));
   CheckpointId id = stores_[pid].push(reason, std::move(data));
   ++stats_.checkpoints;
   switch (reason) {
@@ -110,7 +115,7 @@ std::vector<std::vector<VectorClock>> TimeMachine::clock_history() const {
   std::vector<std::vector<VectorClock>> hist(stores_.size());
   for (std::size_t p = 0; p < stores_.size(); ++p) {
     for (const auto& e : stores_[p].entries()) {
-      hist[p].push_back(e.data.vclock);
+      hist[p].push_back(e.data->vclock);
     }
   }
   return hist;
@@ -154,8 +159,10 @@ void TimeMachine::execute_line(RecoveryLine& rl) {
   std::vector<const VectorClock*> cut(n);
   for (ProcessId pid = 0; pid < n; ++pid) {
     const StoredCheckpoint& sc = stores_[pid].at(rl.line.index[pid]);
+    // Shared overload: a process already holding this checkpoint's content
+    // is skipped, and the capture cache re-warms for the next checkpoint.
     world_.restore_process(pid, sc.data);
-    cut[pid] = &sc.data.vclock;
+    cut[pid] = &sc.data->vclock;
   }
 
   // 2. Drop in-flight messages sent after the line (their sends have been

@@ -72,7 +72,7 @@ BugReport FixdController::handle_fault(std::size_t attempt, FixdReport& rep) {
   const auto& entries = tm_.store(failed).entries();
   std::size_t idx = 0;
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i].data.step <= bug.violation.step) idx = i;
+    if (entries[i].data->step <= bug.violation.step) idx = i;
   }
   idx = (idx > attempt) ? idx - attempt : 0;
   bug.line = tm_.rollback_to(failed, idx);

@@ -47,6 +47,13 @@ struct ExploreStats {
   bool truncated = false;  ///< a budget (states/depth) was exhausted
   double wall_ms = 0.0;    ///< total explore() wall time
   double digest_ms = 0.0;  ///< wall time spent hashing states for dedup
+  double snapshot_ms = 0.0;  ///< wall time spent capturing frontier states
+  /// Peak retained frontier memory, shared buffers (COW checkpoints,
+  /// message payloads) counted once (SystemExplorer only).
+  std::uint64_t peak_frontier_bytes = 0;
+  /// Actions re-executed to rebuild popped states from their anchors
+  /// (trail-frontier mode only; 0 in snapshot mode).
+  std::uint64_t replayed_actions = 0;
 
   /// Exploration throughput (the Investigator's headline number).
   double states_per_sec() const {

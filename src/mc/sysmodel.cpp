@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.hpp"
@@ -29,6 +30,72 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
 
 }  // namespace
 
+/// Peak-frontier accounting with sharing awareness: COW checkpoint and
+/// message buffers referenced by several frontier nodes are charged once
+/// (pointer-keyed refcounts), so snapshot-mode and trail-mode numbers are
+/// honestly comparable.
+class SystemExplorer::FrontierMeter {
+ public:
+  void push(const Node& n) {
+    cur_ += node_cost(n, +1);
+    if (cur_ > peak_) peak_ = cur_;
+  }
+  void pop(const Node& n) { cur_ -= node_cost(n, -1); }
+  std::uint64_t peak() const { return peak_; }
+
+ private:
+  /// Charge `bytes` when `p` first enters the frontier, refund when the
+  /// last reference leaves. Returns the delta actually applied.
+  std::uint64_t charge(const void* p, std::uint64_t bytes, int dir) {
+    if (!p) return 0;
+    if (dir > 0) return refs_[p]++ == 0 ? bytes : 0;
+    auto it = refs_.find(p);
+    if (it == refs_.end()) return 0;
+    if (--it->second > 0) return 0;
+    refs_.erase(it);
+    return bytes;
+  }
+
+  std::uint64_t snapshot_cost(const rt::WorldSnapshot& s, int dir) {
+    std::uint64_t n = 0;
+    for (const auto& p : s.procs) {
+      if (!p) continue;
+      // size_bytes covers root/info plus the COW page *table*; the
+      // resident page content is charged per unique page so diverged
+      // pages pinned only by the frontier show up honestly.
+      n += charge(p.get(), p->size_bytes(), dir);
+      if (p->heap_snap) {
+        for (const auto& page : p->heap_snap->pages()) {
+          if (page) n += charge(page.get(), page->size(), dir);
+        }
+      }
+    }
+    if (s.net) {
+      for (const auto& [id, m] : s.net->messages) {
+        n += charge(m.get(), m->retained_bytes(), dir);
+      }
+      std::uint64_t table = sizeof(net::NetSnapshot);
+      for (const auto& [key, q] : s.net->channels) {
+        table += sizeof(key) + q.size() * sizeof(MsgId);
+      }
+      n += charge(s.net.get(), table, dir);
+    }
+    return n;
+  }
+
+  std::uint64_t node_cost(const Node& n, int dir) {
+    std::uint64_t c = sizeof(Node) + n.sleep.size() * sizeof(SleepEntry) +
+                      n.snap.procs.size() * sizeof(void*);
+    std::uint64_t shared = snapshot_cost(n.snap, dir);
+    if (n.anchor) shared += snapshot_cost(*n.anchor, dir);
+    return c + shared;
+  }
+
+  std::unordered_map<const void*, std::size_t> refs_;
+  std::uint64_t cur_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
 SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
     : base_(base), opts_(std::move(opts)) {
   scratch_ = base_.clone();
@@ -39,6 +106,44 @@ SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
 }
 
 SystemExplorer::~SystemExplorer() = default;
+
+void SystemExplorer::materialize(const Node& n, ExploreStats& stats) {
+  if (!opts_.trail_frontier) {
+    scratch_->restore(n.snap);
+    return;
+  }
+  scratch_->restore(*n.anchor);
+  if (n.replay_len == 0) return;
+  // The meta_ chain stores the path youngest-first; collect the suffix,
+  // then re-execute oldest-first. Determinism makes this bit-identical to
+  // the state captured when the node was created.
+  std::vector<const SysAction*> suffix(n.replay_len);
+  std::size_t mi = n.meta;
+  for (std::size_t i = n.replay_len; i-- > 0;) {
+    suffix[i] = &meta_[mi].action;
+    mi = meta_[mi].parent;
+  }
+  scratch_->clear_violations();
+  for (const SysAction* a : suffix) apply_action(*scratch_, *a);
+  // Violations raised along the replayed prefix were recorded when it was
+  // first explored; drop the duplicates.
+  scratch_->clear_violations();
+  stats.replayed_actions += n.replay_len;
+}
+
+void SystemExplorer::capture_node(Node& child, const Node& parent,
+                                  ExploreStats& stats) {
+  if (!opts_.trail_frontier) {
+    auto t0 = SteadyClock::now();
+    child.snap = scratch_->snapshot(/*cow=*/true);
+    stats.snapshot_ms += ms_since(t0);
+    return;
+  }
+  // The expansion loop re-anchored the parent when its children would
+  // exceed the interval, so extending the trail by one is always valid.
+  child.anchor = parent.anchor;
+  child.replay_len = parent.replay_len + 1;
+}
 
 std::vector<SysAction> SystemExplorer::enabled_actions(rt::World& w) const {
   std::vector<SysAction> out;
@@ -154,12 +259,24 @@ SysExploreResult SystemExplorer::graph_search() {
   scratch_->clear_violations();
   if (res.violations.size() >= opts_.max_violations) return res;
 
+  FrontierMeter meter;
+
   Node root;
-  root.snap = scratch_->snapshot(/*cow=*/true);
   root.meta = 0;
   root.depth = 0;
+  {
+    auto t0 = SteadyClock::now();
+    if (opts_.trail_frontier) {
+      root.anchor = std::make_shared<const rt::WorldSnapshot>(
+          scratch_->snapshot(/*cow=*/true));
+    } else {
+      root.snap = scratch_->snapshot(/*cow=*/true);
+    }
+    res.stats.snapshot_ms += ms_since(t0);
+  }
   if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats));
 
+  meter.push(root);
   if (opts_.order == SearchOrder::kPriority) {
     if (opts_.priority) root.priority = opts_.priority(*scratch_);
     pq.push(std::move(root));
@@ -182,14 +299,29 @@ SysExploreResult SystemExplorer::graph_search() {
       cur = std::move(fifo.back());
       fifo.pop_back();
     }
+    meter.pop(cur);
 
     if (cur.depth >= opts_.max_depth) {
       res.stats.truncated = true;
       continue;
     }
 
-    scratch_->restore(cur.snap);
+    materialize(cur, res.stats);
     std::vector<SysAction> actions = enabled_actions(*scratch_);
+
+    // Trail mode: when the children's replay distance would reach the
+    // interval, snapshot the parent state (scratch_ holds it right now)
+    // once and re-anchor cur on it — every child then hangs one action
+    // off this shared anchor (one anchor per expanded node, not per
+    // child), and the per-action materialize calls below replay nothing.
+    if (opts_.trail_frontier &&
+        cur.replay_len + 1 >= opts_.anchor_interval && !actions.empty()) {
+      auto t0 = SteadyClock::now();
+      cur.anchor = std::make_shared<const rt::WorldSnapshot>(
+          scratch_->snapshot(/*cow=*/true));
+      cur.replay_len = 0;
+      res.stats.snapshot_ms += ms_since(t0);
+    }
 
     for (std::size_t i = 0; i < actions.size(); ++i) {
       const SysAction& a = actions[i];
@@ -207,7 +339,7 @@ SysExploreResult SystemExplorer::graph_search() {
         if (slept) continue;
       }
 
-      scratch_->restore(cur.snap);
+      materialize(cur, res.stats);
       scratch_->clear_violations();
       apply_action(*scratch_, a);
       ++res.stats.transitions;
@@ -219,7 +351,10 @@ SysExploreResult SystemExplorer::graph_search() {
       if (!scratch_->violations().empty()) {
         for (const rt::Violation& v : scratch_->violations()) {
           res.violations.push_back({v, trail_of(mi), depth});
-          if (res.violations.size() >= opts_.max_violations) return res;
+          if (res.violations.size() >= opts_.max_violations) {
+            res.stats.peak_frontier_bytes = meter.peak();
+            return res;
+          }
         }
       }
 
@@ -236,13 +371,14 @@ SysExploreResult SystemExplorer::graph_search() {
           std::max<std::uint64_t>(res.stats.max_depth, depth);
       if (res.stats.states >= opts_.max_states) {
         res.stats.truncated = true;
+        res.stats.peak_frontier_bytes = meter.peak();
         return res;
       }
 
       Node child;
-      child.snap = scratch_->snapshot(/*cow=*/true);
       child.meta = mi;
       child.depth = depth;
+      capture_node(child, cur, res.stats);
       if (opts_.sleep_sets) {
         for (const SleepEntry& e : cur.sleep) {
           if (independent(e.fp, afp)) child.sleep.push_back(e);
@@ -254,6 +390,7 @@ SysExploreResult SystemExplorer::graph_search() {
           }
         }
       }
+      meter.push(child);
       if (opts_.order == SearchOrder::kPriority) {
         if (opts_.priority) child.priority = opts_.priority(*scratch_);
         pq.push(std::move(child));
@@ -262,6 +399,7 @@ SysExploreResult SystemExplorer::graph_search() {
       }
     }
   }
+  res.stats.peak_frontier_bytes = meter.peak();
   return res;
 }
 

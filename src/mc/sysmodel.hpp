@@ -49,6 +49,18 @@ struct SysExploreOptions {
   /// runtime). Sound for state-local invariants; see DESIGN.md.
   bool sleep_sets = false;
 
+  /// Trail-based frontier (graph searches only): nodes store a shared
+  /// anchor snapshot plus the action path from it, re-executed
+  /// deterministically on pop, instead of one snapshot per node. Cuts
+  /// frontier memory from O(nodes × world) to O(nodes) + one anchor per
+  /// `anchor_interval` depth — SimGrid-style stateful re-execution; this
+  /// is what pushes BFS past the frontier-memory feasibility wall.
+  /// Requires deterministic handlers (the runtime's standing contract).
+  bool trail_frontier = false;
+  /// Take a fresh anchor snapshot once a node's replay distance from its
+  /// anchor reaches this many actions (trades replay time for memory).
+  std::size_t anchor_interval = 8;
+
   /// Heuristic for kPriority order (higher first).
   std::function<double(const rt::World&)> priority;
 
@@ -86,7 +98,13 @@ class SystemExplorer {
   };
 
   struct Node {
+    /// Snapshot mode: this node's captured state. Trail mode: empty.
     rt::WorldSnapshot snap;
+    /// Trail mode: the nearest ancestor snapshot; the path from it to this
+    /// node (`replay_len` actions, read off the meta_ chain) is re-executed
+    /// on pop. A node with replay_len == 0 *is* its anchor.
+    std::shared_ptr<const rt::WorldSnapshot> anchor;
+    std::size_t replay_len = 0;
     std::size_t meta;
     std::size_t depth;
     double priority = 0.0;
@@ -97,6 +115,17 @@ class SystemExplorer {
     SysAction action;
   };
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  class FrontierMeter;
+
+  /// Bring scratch_ to `n`'s state: restore its snapshot, or (trail mode)
+  /// restore the anchor and deterministically re-execute the suffix.
+  void materialize(const Node& n, ExploreStats& stats);
+  /// Capture scratch_ into a fresh child node. Snapshot mode: a full COW
+  /// snapshot. Trail mode: extend the parent's trail by one action (the
+  /// expansion loop re-anchors a parent whose trail hit anchor_interval
+  /// before expanding it, so the extension never exceeds the interval).
+  void capture_node(Node& child, const Node& parent, ExploreStats& stats);
 
   std::vector<SysAction> enabled_actions(rt::World& w) const;
   static void apply_action(rt::World& w, const SysAction& a);

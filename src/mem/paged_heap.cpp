@@ -254,16 +254,82 @@ std::uint64_t PagedHeap::digest_uncached() const {
                              zero_page_digest_, /*use_cache=*/false);
 }
 
+namespace {
+
+/// Static zero block backing comparisons against implicit zero pages.
+constexpr std::size_t kZeroBlock = 4096;
+const std::array<std::byte, kZeroBlock> kZeroBytes{};
+
+/// True iff `n` bytes at `p` are all zero (chunked memcmp, no allocation).
+bool all_zero(const std::byte* p, std::size_t n) {
+  while (n > 0) {
+    std::size_t c = std::min(n, kZeroBlock);
+    if (std::memcmp(p, kZeroBytes.data(), c) != 0) return false;
+    p += c;
+    n -= c;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool PagedHeap::content_equals(const PagedHeap& other) const {
   if (logical_size_ != other.logical_size_) return false;
-  std::vector<std::byte> a(page_size_), b(other.page_size_);
+
+  if (page_size_ == other.page_size_) {
+    // Page-aligned fast path: shared page pointers are equal by
+    // construction (COW never mutates a shared page); warm page digests
+    // fast-path the *inequality* direction only — equal digests still
+    // byte-compare, so this stays an exact oracle (independent of the
+    // digest caches it is used to verify) — and no scratch buffers or
+    // full-heap serialization are needed.
+    for (std::size_t i = 0; i < pages_.size(); ++i) {
+      std::uint64_t start = static_cast<std::uint64_t>(i) * page_size_;
+      if (start >= logical_size_) break;
+      std::size_t len = static_cast<std::size_t>(
+          std::min<std::uint64_t>(page_size_, logical_size_ - start));
+      const Page* a = pages_[i].get();
+      const Page* b = i < other.pages_.size() ? other.pages_[i].get()
+                                              : nullptr;
+      if (a == b) continue;  // shared page, or both implicit zero
+      if (!a || !b) {
+        const Page* r = a ? a : b;  // the resident side vs implicit zeros
+        if (len == page_size_ && r->digest_valid &&
+            r->digest_cache != zero_page_digest_) {
+          return false;
+        }
+        if (!all_zero(r->data(), len)) return false;
+        continue;
+      }
+      if (len == page_size_ && a->digest_valid && b->digest_valid &&
+          a->digest_cache != b->digest_cache) {
+        return false;
+      }
+      if (std::memcmp(a->data(), b->data(), len) != 0) return false;
+    }
+    return true;
+  }
+
+  // Mismatched page sizes: stream-compare directly over the underlying
+  // pages (zero pages compare against the static zero block).
   std::uint64_t off = 0;
   while (off < logical_size_) {
+    std::size_t ia = static_cast<std::size_t>(off / page_size_);
+    std::size_t ib = static_cast<std::size_t>(off / other.page_size_);
+    std::size_t ra = page_size_ - static_cast<std::size_t>(off % page_size_);
+    std::size_t rb = other.page_size_ -
+                     static_cast<std::size_t>(off % other.page_size_);
     std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
-        std::min(a.size(), b.size()), logical_size_ - off));
-    read(off, {a.data(), n});
-    other.read(off, {b.data(), n});
-    if (std::memcmp(a.data(), b.data(), n) != 0) return false;
+        std::min({ra, rb, kZeroBlock}), logical_size_ - off));
+    const Page* a = pages_[ia].get();
+    const Page* b = other.pages_[ib].get();
+    const std::byte* pa =
+        a ? a->data() + static_cast<std::size_t>(off % page_size_)
+          : kZeroBytes.data();
+    const std::byte* pb =
+        b ? b->data() + static_cast<std::size_t>(off % other.page_size_)
+          : kZeroBytes.data();
+    if (std::memcmp(pa, pb, n) != 0) return false;
     off += n;
   }
   return true;

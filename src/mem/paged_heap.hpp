@@ -71,6 +71,11 @@ class HeapSnapshot {
   /// Number of pages actually materialized (non-zero).
   std::size_t resident_pages() const;
 
+  /// The shared page table (null slots are implicit zero pages). Pages are
+  /// immutable once shared; exposed read-only for retained-memory
+  /// accounting that dedupes by page pointer.
+  const std::vector<PagePtr>& pages() const { return pages_; }
+
   /// Content digest (zero pages hash as zeros). Snapshots are immutable, so
   /// the value is computed once and memoized; the per-page digests it folds
   /// are shared with the live heap via the Page objects themselves.

@@ -42,6 +42,12 @@ std::uint64_t Message::content_digest_uncached() const {
   return h.digest();
 }
 
+std::uint64_t Message::state_digest_uncached() const {
+  BinaryWriter w;
+  save(w);
+  return hash_bytes(w.bytes());
+}
+
 std::string Message::brief() const {
   return "msg#" + std::to_string(id) + " " + std::to_string(src) + "->" +
          std::to_string(dst) + " tag=" + std::to_string(tag) + " (" +

@@ -90,6 +90,14 @@ struct Message {
   void save(BinaryWriter& w) const;
   void load(BinaryReader& r);
 
+  /// Approximate retained memory (object plus owned buffers); used by
+  /// snapshot/frontier accounting.
+  std::uint64_t retained_bytes() const {
+    return sizeof(Message) + payload.size() +
+           vclock.size() * sizeof(std::uint64_t) +
+           spec_taints.size() * sizeof(SpecId);
+  }
+
   /// Stable content digest (excludes id so retransmissions compare equal).
   ///
   /// Returns the memo when one is warm, else computes from scratch — it
@@ -107,19 +115,37 @@ struct Message {
   /// From-scratch recompute bypassing the memo (verification/bench hook).
   std::uint64_t content_digest_uncached() const;
 
-  /// Precompute and pin the content digest (SimNetwork, at enqueue).
+  /// Full-state digest: hash of the complete wire encoding (id, routing,
+  /// payload, timing, clocks, taints, control flag). Feeds SimNetwork's
+  /// incremental per-channel digests, which need the *entire* message
+  /// state, not the id-stable content subset. Same memo discipline as
+  /// content_digest: warm for every pending message, copy-cold.
+  std::uint64_t state_digest() const {
+    return state_memo_.valid ? state_memo_.value : state_digest_uncached();
+  }
+
+  /// From-scratch recompute bypassing the memo (verification/bench hook).
+  std::uint64_t state_digest_uncached() const;
+
+  /// Precompute and pin both digests (SimNetwork, at enqueue).
   void warm_digest_memo() const {
     memo_.value = content_digest_uncached();
     memo_.valid = true;
+    state_memo_.value = state_digest_uncached();
+    state_memo_.valid = true;
   }
 
-  /// Drop the memo (deserialization, before an in-place mutation).
-  void invalidate_digest_memo() { memo_.valid = false; }
+  /// Drop both memos (deserialization, before an in-place mutation).
+  void invalidate_digest_memo() {
+    memo_.valid = false;
+    state_memo_.valid = false;
+  }
 
   std::string brief() const;
 
-  // Memo; public so Message stays an aggregate. Not serialized.
+  // Memos; public so Message stays an aggregate. Not serialized.
   DigestMemo memo_;
+  DigestMemo state_memo_;
 };
 
 }  // namespace fixd::net

@@ -1,21 +1,41 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/hash.hpp"
 
 namespace fixd::net {
 
+std::uint64_t NetSnapshot::size_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, m] : messages) n += m->retained_bytes();
+  for (const auto& [key, q] : channels) n += q.size() * sizeof(MsgId);
+  return n;
+}
+
 SimNetwork::SimNetwork(NetworkOptions options)
     : options_(options), rng_(options.seed) {}
 
+void SimNetwork::touch() {
+  digest_memo_.reset();
+  snap_cache_.reset();
+}
+
+void SimNetwork::touch_channel(const ChannelKey& key) {
+  channel_digest_cache_.erase(key);
+  touch();
+}
+
 void SimNetwork::enqueue(Message msg) {
   MsgId id = msg.id;
-  // Every pending message carries a warm digest memo, so state hashing
-  // over the in-flight multiset never re-hashes payloads.
+  // Every pending message carries warm digest memos, so state hashing over
+  // the in-flight traffic never re-hashes payloads.
   msg.warm_digest_memo();
-  channels_[{msg.src, msg.dst}].push_back(id);
-  messages_.emplace(id, std::move(msg));
+  ChannelKey key{msg.src, msg.dst};
+  channels_[key].push_back(id);
+  touch_channel(key);
+  messages_.emplace(id, std::make_shared<Message>(std::move(msg)));
 }
 
 std::optional<MsgId> SimNetwork::submit(Message msg) {
@@ -29,6 +49,7 @@ std::optional<MsgId> SimNetwork::submit(Message msg) {
   if (lossy_eligible && options_.drop_prob > 0.0 &&
       rng_.next_bool(options_.drop_prob)) {
     ++stats_.dropped_policy;
+    touch();  // stats and RNG advanced even though nothing was enqueued
     return std::nullopt;
   }
 
@@ -60,7 +81,7 @@ bool SimNetwork::is_deliverable(MsgId id) const {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
   if (!options_.fifo) return true;
-  const auto& q = channels_.at({it->second.src, it->second.dst});
+  const auto& q = channels_.at({it->second->src, it->second->dst});
   return !q.empty() && q.front() == id;
 }
 
@@ -81,37 +102,47 @@ std::vector<MsgId> SimNetwork::deliverable() const {
 std::vector<const Message*> SimNetwork::pending() const {
   std::vector<const Message*> out;
   out.reserve(messages_.size());
-  for (const auto& [id, m] : messages_) out.push_back(&m);
+  for (const auto& [id, m] : messages_) out.push_back(m.get());
   return out;
 }
 
 const Message* SimNetwork::peek(MsgId id) const {
   auto it = messages_.find(id);
-  return it == messages_.end() ? nullptr : &it->second;
+  return it == messages_.end() ? nullptr : it->second.get();
 }
 
 Message SimNetwork::take(MsgId id) {
   FIXD_CHECK_MSG(is_deliverable(id),
                  "take: message not deliverable: " + std::to_string(id));
   auto it = messages_.find(id);
-  Message msg = std::move(it->second);
+  std::shared_ptr<const Message> sp = std::move(it->second);
   messages_.erase(it);
-  auto& q = channels_[{msg.src, msg.dst}];
+  ChannelKey key{sp->src, sp->dst};
+  auto& q = channels_[key];
   auto qit = std::find(q.begin(), q.end(), id);
   FIXD_CHECK(qit != q.end());
   q.erase(qit);
+  touch_channel(key);
   ++stats_.delivered;
-  stats_.bytes_delivered += msg.payload.size();
-  return msg;
+  stats_.bytes_delivered += sp->payload.size();
+  if (sp.use_count() == 1) {
+    // Sole owner (no live snapshot shares the buffer): move the payload
+    // out. The object was created non-const (make_shared<Message>), so
+    // shedding const on the uniquely-owned instance is well-defined.
+    return std::move(const_cast<Message&>(*sp));
+  }
+  return *sp;  // shared with a snapshot: deliver a copy
 }
 
 bool SimNetwork::drop(MsgId id, bool forced) {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
-  auto& q = channels_[{it->second.src, it->second.dst}];
+  ChannelKey key{it->second->src, it->second->dst};
+  auto& q = channels_[key];
   auto qit = std::find(q.begin(), q.end(), id);
   if (qit != q.end()) q.erase(qit);
   messages_.erase(it);
+  touch_channel(key);
   if (forced) {
     ++stats_.dropped_forced;
   } else {
@@ -123,7 +154,7 @@ bool SimNetwork::drop(MsgId id, bool forced) {
 std::optional<MsgId> SimNetwork::duplicate(MsgId id) {
   auto it = messages_.find(id);
   if (it == messages_.end()) return std::nullopt;
-  Message copy = it->second;
+  Message copy = *it->second;
   copy.id = next_id_++;
   ++stats_.duplicated;
   MsgId nid = copy.id;
@@ -134,8 +165,8 @@ std::optional<MsgId> SimNetwork::duplicate(MsgId id) {
 std::size_t SimNetwork::drop_tainted(SpecId spec) {
   std::vector<MsgId> victims;
   for (const auto& [id, m] : messages_) {
-    if (std::find(m.spec_taints.begin(), m.spec_taints.end(), spec) !=
-        m.spec_taints.end()) {
+    if (std::find(m->spec_taints.begin(), m->spec_taints.end(), spec) !=
+        m->spec_taints.end()) {
       victims.push_back(id);
     }
   }
@@ -145,12 +176,17 @@ std::size_t SimNetwork::drop_tainted(SpecId spec) {
 
 std::size_t SimNetwork::scrub_taint(SpecId spec) {
   std::size_t n = 0;
-  for (auto& [id, m] : messages_) {
-    auto it = std::find(m.spec_taints.begin(), m.spec_taints.end(), spec);
-    if (it != m.spec_taints.end()) {
-      m.spec_taints.erase(it);
-      ++n;
-    }
+  for (auto& [id, sp] : messages_) {
+    auto it = std::find(sp->spec_taints.begin(), sp->spec_taints.end(), spec);
+    if (it == sp->spec_taints.end()) continue;
+    // Copy-on-write: snapshots sharing the old buffer keep the taint.
+    Message m = *sp;
+    m.spec_taints.erase(m.spec_taints.begin() +
+                        (it - sp->spec_taints.begin()));
+    m.warm_digest_memo();
+    touch_channel({m.src, m.dst});
+    sp = std::make_shared<Message>(std::move(m));
+    ++n;
   }
   return n;
 }
@@ -158,8 +194,14 @@ std::size_t SimNetwork::scrub_taint(SpecId spec) {
 bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
-  fn(it->second);
-  it->second.warm_digest_memo();  // re-pin after the in-place mutation
+  Message m = *it->second;  // copy-on-write; snapshots keep the original
+  fn(m);
+  FIXD_CHECK_MSG(m.id == id && m.src == it->second->src &&
+                     m.dst == it->second->dst,
+                 "mutate must not change routing identity (drop + submit)");
+  m.warm_digest_memo();  // re-pin after the mutation
+  touch_channel({m.src, m.dst});
+  it->second = std::make_shared<Message>(std::move(m));
   return true;
 }
 
@@ -182,7 +224,7 @@ void SimNetwork::save(BinaryWriter& w) const {
   rng_.save(w);
   w.write_u64(next_id_);
   w.write_varint(messages_.size());
-  for (const auto& [id, m] : messages_) m.save(w);
+  for (const auto& [id, m] : messages_) m->save(w);
   w.write_varint(channels_.size());
   for (const auto& [key, q] : channels_) {
     w.write_u32(key.first);
@@ -217,7 +259,7 @@ void SimNetwork::load(BinaryReader& r) {
     m.load(r);
     m.warm_digest_memo();  // restore the pending-message memo invariant
     MsgId id = m.id;
-    messages_.emplace(id, std::move(m));
+    messages_.emplace(id, std::make_shared<Message>(std::move(m)));
   }
   channels_.clear();
   std::size_t nc = static_cast<std::size_t>(r.read_varint());
@@ -235,12 +277,103 @@ void SimNetwork::load(BinaryReader& r) {
   stats_.duplicated = r.read_u64();
   stats_.bytes_submitted = r.read_u64();
   stats_.bytes_delivered = r.read_u64();
+  channel_digest_cache_.clear();
+  touch();
+}
+
+std::shared_ptr<const NetSnapshot> SimNetwork::snapshot() const {
+  if (!snap_cache_) {
+    auto s = std::make_shared<NetSnapshot>();
+    s->options = options_;
+    s->rng = rng_;
+    s->next_id = next_id_;
+    s->messages = messages_;
+    s->channels = channels_;
+    s->stats = stats_;
+    s->channel_digests = channel_digest_cache_;
+    s->digest_memo = digest_memo_;
+    snap_cache_ = std::move(s);
+  }
+  return snap_cache_;
+}
+
+void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
+  FIXD_CHECK_MSG(snap != nullptr, "restore: null network snapshot");
+  if (snap_cache_ == snap) return;  // current state already matches
+  options_ = snap->options;
+  rng_ = snap->rng;
+  next_id_ = snap->next_id;
+  messages_ = snap->messages;
+  channels_ = snap->channels;
+  stats_ = snap->stats;
+  // Adopt whatever was warm at capture (cold stays cold — conservative).
+  channel_digest_cache_ = snap->channel_digests;
+  digest_memo_ = snap->digest_memo;
+  snap_cache_ = snap;
+}
+
+std::uint64_t SimNetwork::channel_digest(const std::deque<MsgId>& q,
+                                         bool cached) const {
+  Hasher h;
+  h.update_u64(q.size());
+  for (MsgId id : q) {
+    const auto& m = messages_.at(id);
+    h.update_u64(cached ? m->state_digest() : m->state_digest_uncached());
+  }
+  return h.digest();
+}
+
+// Digest formula: options, RNG state, id counter, then one digest per
+// nonempty channel in key order (covering every pending message's full
+// wire state and its queue position), then stats. Empty channel entries
+// are skipped so the digest is a function of logical state alone.
+std::uint64_t SimNetwork::digest_impl(bool cached) const {
+  Hasher h;
+  h.update_u64(options_.fifo ? 1 : 0);
+  h.update_u64(std::bit_cast<std::uint64_t>(options_.drop_prob));
+  h.update_u64(std::bit_cast<std::uint64_t>(options_.dup_prob));
+  h.update_u64(options_.latency_min);
+  h.update_u64(options_.latency_max);
+  h.update_u64(options_.seed);
+  BinaryWriter rw;
+  rng_.save(rw);
+  h.update(rw.bytes());
+  h.update_u64(next_id_);
+  for (const auto& [key, q] : channels_) {
+    if (q.empty()) continue;
+    h.update_u64(key.first);
+    h.update_u64(key.second);
+    std::uint64_t cd;
+    if (cached) {
+      auto it = channel_digest_cache_.find(key);
+      if (it == channel_digest_cache_.end()) {
+        cd = channel_digest(q, /*cached=*/true);
+        channel_digest_cache_.emplace(key, cd);
+      } else {
+        cd = it->second;
+      }
+    } else {
+      cd = channel_digest(q, /*cached=*/false);
+    }
+    h.update_u64(cd);
+  }
+  h.update_u64(stats_.submitted);
+  h.update_u64(stats_.delivered);
+  h.update_u64(stats_.dropped_policy);
+  h.update_u64(stats_.dropped_forced);
+  h.update_u64(stats_.duplicated);
+  h.update_u64(stats_.bytes_submitted);
+  h.update_u64(stats_.bytes_delivered);
+  return h.digest();
 }
 
 std::uint64_t SimNetwork::digest() const {
-  BinaryWriter w;
-  save(w);
-  return hash_bytes(w.bytes());
+  if (!digest_memo_) digest_memo_ = digest_impl(/*cached=*/true);
+  return *digest_memo_;
+}
+
+std::uint64_t SimNetwork::digest_uncached() const {
+  return digest_impl(/*cached=*/false);
 }
 
 }  // namespace fixd::net

@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -71,6 +72,31 @@ struct NetworkOptions {
   }
 };
 
+/// An immutable capture of in-flight network state. Per-message buffers
+/// are *shared* with the live network (pending messages are immutable:
+/// SimNetwork::mutate replaces a message, it never edits one in place), so
+/// taking a snapshot is O(pending) pointer copies — no re-serialization.
+/// Carries the channel digest caches warm at capture time, so restoring a
+/// snapshot re-warms the network's digest pipeline instead of chilling it.
+struct NetSnapshot {
+  using ChannelKey = std::pair<ProcessId, ProcessId>;
+
+  NetworkOptions options;
+  Rng rng;
+  MsgId next_id = 1;
+  std::map<MsgId, std::shared_ptr<const Message>> messages;
+  std::map<ChannelKey, std::deque<MsgId>> channels;
+  NetStats stats;
+  /// Digest caches valid for this snapshot's content (adopted on restore).
+  std::map<ChannelKey, std::uint64_t> channel_digests;
+  std::optional<std::uint64_t> digest_memo;
+
+  /// Approximate retained size (payload bytes plus per-message overhead);
+  /// shared buffers are charged in full — callers that track sharing
+  /// dedupe by message pointer instead.
+  std::uint64_t size_bytes() const;
+};
+
 class SimNetwork {
  public:
   explicit SimNetwork(NetworkOptions options = {});
@@ -112,8 +138,11 @@ class SimNetwork {
   /// Bypasses the loss policy; assigns a fresh id which is returned.
   MsgId reinject(Message msg);
 
-  /// Mutate a pending message in place (fault injection: corruption).
-  /// Returns false if the message is gone.
+  /// Mutate a pending message (fault injection: corruption). The pending
+  /// object is immutable (snapshots may share it), so this clones it, runs
+  /// `fn` on the clone, and swaps the clone in. `fn` must not change the
+  /// routing identity (id/src/dst) — rerouting is drop + submit. Returns
+  /// false if the message is gone.
   bool mutate(MsgId id, const std::function<void(Message&)>& fn);
 
   const NetStats& stats() const { return stats_; }
@@ -121,8 +150,26 @@ class SimNetwork {
   void save(BinaryWriter& w) const;
   void load(BinaryReader& r);
 
-  /// Digest of in-flight state (part of the world digest).
+  /// O(pending) pointer-sharing capture of the in-flight state. Repeated
+  /// calls with no intervening mutation return the same shared snapshot.
+  std::shared_ptr<const NetSnapshot> snapshot() const;
+
+  /// Restore to a snapshot's exact state. A restore to the snapshot that
+  /// already describes the current state is a no-op (pointer equality via
+  /// the snapshot cache), which is what makes the explorer's
+  /// restore-then-apply loop O(changed state).
+  void restore(const std::shared_ptr<const NetSnapshot>& snap);
+
+  /// Digest of in-flight state (part of the world digest). Incremental:
+  /// folds per-channel digests cached until a channel is touched
+  /// (enqueue / deliver / drop / mutate / scrub / load), each of which
+  /// folds the per-message state-digest memos that are warm for every
+  /// pending message. Bit-identical to digest_uncached() by contract.
   std::uint64_t digest() const;
+
+  /// From-scratch recompute bypassing the channel caches and the message
+  /// memos. Verification oracle for tests and bench/fig9_digest.
+  std::uint64_t digest_uncached() const;
 
  private:
   using ChannelKey = std::pair<ProcessId, ProcessId>;
@@ -131,12 +178,28 @@ class SimNetwork {
   void enqueue(Message msg);
   VirtualTime draw_latency();
 
+  /// Any state changed (stats/RNG included): drop the whole-network memo
+  /// and the snapshot cache.
+  void touch();
+  /// A channel's queue or a message in it changed: additionally drop that
+  /// channel's cached digest.
+  void touch_channel(const ChannelKey& key);
+
+  std::uint64_t digest_impl(bool cached) const;
+  std::uint64_t channel_digest(const std::deque<MsgId>& q, bool cached) const;
+
   NetworkOptions options_;
   Rng rng_;
   MsgId next_id_ = 1;
-  std::map<MsgId, Message> messages_;
+  /// Pending messages, immutable and shareable with snapshots.
+  std::map<MsgId, std::shared_ptr<const Message>> messages_;
   std::map<ChannelKey, std::deque<MsgId>> channels_;  // fifo order per channel
   NetStats stats_;
+  /// Per-channel digest cache; presence of a key == valid.
+  mutable std::map<ChannelKey, std::uint64_t> channel_digest_cache_;
+  mutable std::optional<std::uint64_t> digest_memo_;
+  /// The snapshot describing the current state, if one is warm.
+  mutable std::shared_ptr<const NetSnapshot> snap_cache_;
 };
 
 }  // namespace fixd::net

@@ -56,6 +56,19 @@ void ProcessCheckpoint::load(BinaryReader& r) {
 }
 
 // ---------------------------------------------------------------------------
+// WorldSnapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t WorldSnapshot::size_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) {
+    if (p) n += p->size_bytes();
+  }
+  if (net) n += net->size_bytes();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
 // World::ProcInfo
 // ---------------------------------------------------------------------------
 
@@ -215,6 +228,7 @@ ProcessId World::add_process(std::unique_ptr<Process> p) {
   pi.rng = Rng(hash_combine(opts_.seed, pid));
   infos_.push_back(std::move(pi));
   dcache_.push_back({});
+  ckpt_cache_.push_back(nullptr);
   return pid;
 }
 
@@ -435,8 +449,10 @@ void World::dispatch(const EventDesc& ev) {
   now_ = std::max(now_, ev.at);
   // Every dispatch path below mutates ev.pid's state (flags, clocks,
   // timers, RNG, root, heap); other processes change only through World
-  // APIs that mark themselves.
-  mark_state_dirty(ev.pid);
+  // APIs that mark themselves. The dirty mark must come *after* the
+  // before_event interceptors: a CIC checkpoint taken there may warm the
+  // capture/digest caches with the (still-unmutated) pre-event state, and
+  // marking first would let that warmth survive the handler's mutations.
 
   bool suppressed = false;
   for (auto* ic : interceptors_) {
@@ -446,6 +462,7 @@ void World::dispatch(const EventDesc& ev) {
     }
   }
   if (suppressed) {
+    mark_state_dirty(ev.pid);
     // Consume the event without running its handler (crash/loss injection).
     switch (ev.kind) {
       case EventKind::kStart:
@@ -465,6 +482,7 @@ void World::dispatch(const EventDesc& ev) {
 
   for (auto* o : observers_) o->on_event(*this, ev);
 
+  mark_state_dirty(ev.pid);
   ProcInfo& pi = infos_[ev.pid];
   switch (ev.kind) {
     case EventKind::kStart: {
@@ -634,6 +652,28 @@ ProcessCheckpoint World::capture_process(ProcessId pid, bool cow) {
   return c;
 }
 
+bool World::capture_cache_valid(ProcessId pid) const {
+  const auto& c = ckpt_cache_[pid];
+  if (!c) return false;
+  if (const mem::PagedHeap* h = procs_[pid]->cow_heap()) {
+    // The heap may have been written through a stashed pointer without the
+    // world's dirty bit firing; both digests below are memoized, so this
+    // check costs O(pages touched since capture), usually O(1).
+    if (!c->heap_snap || c->heap_snap->digest() != h->digest()) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const ProcessCheckpoint> World::capture_process_shared(
+    ProcessId pid) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "capture: bad id");
+  if (capture_cache_valid(pid)) return ckpt_cache_[pid];
+  auto sp = std::make_shared<const ProcessCheckpoint>(
+      capture_process(pid, /*cow=*/true));
+  ckpt_cache_[pid] = sp;
+  return sp;
+}
+
 void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   FIXD_CHECK_MSG(pid < procs_.size(), "restore: bad id");
   BinaryReader rr(ckpt.root);
@@ -652,17 +692,39 @@ void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   // Adopt the checkpoint's memo: it matches the content just restored
   // (cold components stay cold, which is the conservative direction).
   dcache_[pid] = ckpt.digest_memo;
+  // The content changed; a by-value checkpoint cannot re-warm the capture
+  // cache (no shared handle) — the shared overload below re-warms it.
+  ckpt_cache_[pid].reset();
+}
+
+void World::restore_process(
+    ProcessId pid, const std::shared_ptr<const ProcessCheckpoint>& ckpt) {
+  FIXD_CHECK_MSG(ckpt != nullptr, "restore: null checkpoint");
+  if (ckpt_cache_[pid] == ckpt && capture_cache_valid(pid)) {
+    return;  // the process already holds exactly this content
+  }
+  restore_process(pid, *ckpt);
+  // Re-warm: the process now holds exactly this checkpoint's content, so
+  // the next snapshot() shares the entry instead of re-capturing. Only COW
+  // captures qualify — a serialized-heap checkpoint has no page table to
+  // validate against, so it restores cold.
+  if (ckpt->heap_snap || procs_[pid]->cow_heap() == nullptr) {
+    ckpt_cache_[pid] = ckpt;
+  }
 }
 
 WorldSnapshot World::snapshot(bool cow) {
   WorldSnapshot s;
   s.procs.reserve(procs_.size());
   for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-    s.procs.push_back(capture_process(pid, cow));
+    if (cow) {
+      s.procs.push_back(capture_process_shared(pid));
+    } else {
+      s.procs.push_back(std::make_shared<const ProcessCheckpoint>(
+          capture_process(pid, /*cow=*/false)));
+    }
   }
-  BinaryWriter nw;
-  net_.save(nw);
-  s.net = nw.take();
+  s.net = net_.snapshot();
   s.now = now_;
   s.step = step_;
   return s;
@@ -674,8 +736,7 @@ void World::restore(const WorldSnapshot& snap) {
   for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
     restore_process(pid, snap.procs[pid]);
   }
-  BinaryReader nr(snap.net);
-  net_.load(nr);
+  net_.restore(snap.net);
   now_ = snap.now;
   step_ = snap.step;
 }
@@ -748,7 +809,7 @@ std::uint64_t World::digest_impl(bool cached) const {
       h.update_u64(cached ? heap->digest() : heap->digest_uncached());
     }
   }
-  h.update_u64(net_.digest());
+  h.update_u64(cached ? net_.digest() : net_.digest_uncached());
   return h.digest();
 }
 

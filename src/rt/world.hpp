@@ -96,11 +96,24 @@ struct ProcessCheckpoint {
 };
 
 /// A captured global state: every process plus in-flight network traffic.
+///
+/// Copy-on-write across snapshots: per-process entries are shared
+/// `ProcessCheckpoint`s reused from the world's capture cache whenever the
+/// process is clean since its last capture, and the network entry shares
+/// immutable per-message buffers (net::NetSnapshot). In the explorer's
+/// restore-then-apply loop, capturing a child state after one event
+/// re-captures exactly the one touched process plus the touched channels —
+/// the capture dual of the incremental digest.
 struct WorldSnapshot {
-  std::vector<ProcessCheckpoint> procs;
-  std::vector<std::byte> net;
+  std::vector<std::shared_ptr<const ProcessCheckpoint>> procs;
+  std::shared_ptr<const net::NetSnapshot> net;
   VirtualTime now = 0;
   std::uint64_t step = 0;
+
+  /// Approximate retained size; shared entries are charged in full (see
+  /// ProcessCheckpoint::size_bytes). Callers that account for sharing
+  /// dedupe by entry pointer.
+  std::uint64_t size_bytes() const;
 };
 
 /// The deterministic default environment model: the value a process reads
@@ -237,12 +250,29 @@ class World {
 
   // --- state capture ------------------------------------------------------------
   /// Capture one process. `cow=true` uses the heap page-table snapshot
-  /// (cheap); `cow=false` fully serializes (transmissible).
+  /// (cheap); `cow=false` fully serializes (transmissible). Always a fresh
+  /// capture with a fresh `capture_serial` (the speculation cascade needs
+  /// unique serials); snapshot() goes through the shared variant below.
   ProcessCheckpoint capture_process(ProcessId pid, bool cow = true);
+
+  /// COW capture through the per-process capture cache: returns the cached
+  /// checkpoint when the process is clean since its last capture (the
+  /// cached entry keeps its original capture_serial/at/step — the content
+  /// is identical, only the capture moment is earlier), else captures
+  /// fresh and re-warms the cache.
+  std::shared_ptr<const ProcessCheckpoint> capture_process_shared(
+      ProcessId pid);
 
   /// Restore one process (state + clocks + timers). The network is NOT
   /// touched: reconciling channels is the Time Machine's job.
   void restore_process(ProcessId pid, const ProcessCheckpoint& ckpt);
+
+  /// Shared-checkpoint restore: a no-op when the process already holds
+  /// exactly this checkpoint's content (capture-cache pointer equality),
+  /// and re-warms the capture cache afterwards so the next snapshot()
+  /// shares instead of re-capturing.
+  void restore_process(ProcessId pid,
+                       const std::shared_ptr<const ProcessCheckpoint>& ckpt);
 
   WorldSnapshot snapshot(bool cow = true);
   void restore(const WorldSnapshot& snap);
@@ -307,15 +337,23 @@ class World {
   ProcInfo& info(ProcessId pid);
   const ProcInfo& info(ProcessId pid) const;
 
-  /// Drop the cached digest components of `pid`. Called by every mutation
-  /// path: dispatch (handler/suppression), restore_process, swap_process,
-  /// set_crashed, notify_spec_aborted, seal, and mutable process access.
+  /// Drop the cached digest components and the cached capture of `pid`.
+  /// Called by every mutation path: dispatch (handler/suppression),
+  /// restore_process, swap_process, set_crashed, notify_spec_aborted,
+  /// seal, and mutable process access.
   void mark_state_dirty(ProcessId pid) {
     if (pid < dcache_.size()) {
       dcache_[pid].full_valid = false;
       dcache_[pid].mc_valid = false;
+      ckpt_cache_[pid].reset();
     }
   }
+
+  /// True iff ckpt_cache_[pid] still describes the process bit-exactly.
+  /// The dirty bit covers every World-mediated mutation; heap content can
+  /// additionally change through a stashed PagedHeap pointer, so the
+  /// heap's self-invalidating digest arbitrates that case.
+  bool capture_cache_valid(ProcessId pid) const;
 
   std::uint64_t proc_full_digest(ProcessId pid) const;
   std::uint64_t proc_mc_digest(ProcessId pid) const;
@@ -345,6 +383,11 @@ class World {
   std::uint64_t capture_seq_ = 0;  // never restored: stays world-unique
   bool in_handler_ = false;
   mutable std::vector<ProcDigestMemo> dcache_;
+  /// Per-process capture cache: the shared checkpoint describing the
+  /// process's current state, reset by mark_state_dirty and re-warmed by
+  /// capture_process_shared / shared restore_process. This is what makes
+  /// WorldSnapshot capture O(changed processes).
+  std::vector<std::shared_ptr<const ProcessCheckpoint>> ckpt_cache_;
   /// Reused serialization scratch for digest computation (avoids one
   /// BinaryWriter allocation per process per digest call).
   mutable BinaryWriter digest_scratch_;

@@ -133,7 +133,7 @@ TEST_P(RecoveryLineSweep, SolverLineIsConsistentAndMaximal) {
   for (ProcessId p = 0; p < w->size(); ++p) {
     std::vector<VectorClock> clocks;
     for (const auto& e : tm.store(p).entries())
-      clocks.push_back(e.data.vclock);
+      clocks.push_back(e.data->vclock);
     hist.push_back(std::move(clocks));
   }
 

@@ -84,7 +84,7 @@ TEST(TimeMachine, RollbackRestoresConsistentStateAndRunCompletes) {
         std::vector<std::vector<VectorClock>> h(w->size());
         for (ProcessId p = 0; p < w->size(); ++p)
           for (const auto& e : tm.store(p).entries())
-            h[p].push_back(e.data.vclock);
+            h[p].push_back(e.data->vclock);
         return h;
       }(),
       line.line.index));

@@ -326,5 +326,189 @@ TEST(MessageDigestMemo, FreeStandingMessageNeverStale) {
   EXPECT_EQ(m.content_digest(), m.content_digest_uncached());
 }
 
+TEST(MessageDigestMemo, StateDigestCoversNonContentFields) {
+  net::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.tag = 2;
+  m.payload = {std::byte{7}};
+  std::uint64_t s0 = m.state_digest();
+  EXPECT_EQ(s0, m.state_digest_uncached());
+  m.latency = 9;  // invisible to content_digest, visible to state_digest
+  EXPECT_NE(m.state_digest(), s0);
+  EXPECT_EQ(m.state_digest(), m.state_digest_uncached());
+}
+
+// ---------------------------------------------------------------------------
+// Network digest cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+net::Message mk_msg(ProcessId src, ProcessId dst, net::Tag tag,
+                    std::uint8_t fill, std::size_t len) {
+  net::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload.assign(len, std::byte{fill});
+  return m;
+}
+
+}  // namespace
+
+TEST(NetworkDigestCache, RepeatedDigestIsStableAndMatchesUncached) {
+  net::SimNetwork net;
+  (void)net.submit(mk_msg(0, 1, 1, 0xaa, 32));
+  (void)net.submit(mk_msg(1, 2, 2, 0xbb, 8));
+  std::uint64_t d = net.digest();
+  EXPECT_EQ(net.digest(), d);
+  EXPECT_EQ(net.digest_uncached(), d);
+}
+
+TEST(NetworkDigestCache, EveryMutationPathInvalidates) {
+  net::SimNetwork net;
+  auto a = net.submit(mk_msg(0, 1, 1, 1, 16));
+  auto b = net.submit(mk_msg(0, 1, 2, 2, 16));
+  ASSERT_TRUE(a && b);
+  std::uint64_t d0 = net.digest();
+
+  net.mutate(*b, [](net::Message& m) { m.payload[0] = std::byte{0xee}; });
+  EXPECT_NE(net.digest(), d0);
+  EXPECT_EQ(net.digest(), net.digest_uncached());
+
+  std::uint64_t d1 = net.digest();
+  (void)net.duplicate(*b);
+  EXPECT_NE(net.digest(), d1);
+  EXPECT_EQ(net.digest(), net.digest_uncached());
+
+  std::uint64_t d2 = net.digest();
+  (void)net.take(*a);
+  EXPECT_NE(net.digest(), d2);
+  EXPECT_EQ(net.digest(), net.digest_uncached());
+
+  std::uint64_t d3 = net.digest();
+  EXPECT_TRUE(net.drop(*b));
+  EXPECT_NE(net.digest(), d3);
+  EXPECT_EQ(net.digest(), net.digest_uncached());
+}
+
+TEST(NetworkDigestCache, SnapshotRestoreRoundTripsDigest) {
+  net::SimNetwork net;
+  (void)net.submit(mk_msg(0, 1, 1, 1, 64));
+  (void)net.submit(mk_msg(2, 1, 2, 2, 64));
+  std::uint64_t at_capture = net.digest();
+  auto snap = net.snapshot();
+  (void)net.submit(mk_msg(1, 0, 3, 3, 64));
+  EXPECT_NE(net.digest(), at_capture);
+  net.restore(snap);
+  EXPECT_EQ(net.digest(), at_capture);
+  EXPECT_EQ(net.digest(), net.digest_uncached());
+  // Snapshots are immutable: mutating the live network after restore must
+  // not leak into a re-restore.
+  net.mutate(net.deliverable().front(),
+             [](net::Message& m) { m.payload[0] = std::byte{0xcc}; });
+  EXPECT_NE(net.digest(), at_capture);
+  net.restore(snap);
+  EXPECT_EQ(net.digest(), at_capture);
+}
+
+class NetworkDigestCacheParam
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: across random submit / deliver / drop / duplicate / mutate /
+// scrub / save-load / snapshot-restore sequences, the cached digest always
+// equals the from-scratch recompute, and live snapshots never drift.
+TEST_P(NetworkDigestCacheParam, RandomOpsMatchUncached) {
+  Rng rng(GetParam());
+  net::NetworkOptions nopts;
+  nopts.fifo = (GetParam() % 2) == 0;
+  nopts.drop_prob = 0.1;
+  nopts.dup_prob = 0.1;
+  nopts.seed = GetParam() * 31 + 7;
+  net::SimNetwork net(nopts);
+  std::vector<std::pair<std::shared_ptr<const net::NetSnapshot>,
+                        std::uint64_t>>
+      snaps;
+  for (int i = 0; i < 250; ++i) {
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2: {
+        net::Message m = mk_msg(static_cast<ProcessId>(rng.next_below(3)),
+                                static_cast<ProcessId>(rng.next_below(3)),
+                                static_cast<net::Tag>(rng.next_below(5)),
+                                static_cast<std::uint8_t>(rng.next_u64()),
+                                1 + rng.next_below(48));
+        if (rng.next_below(4) == 0) m.spec_taints = {7};
+        (void)net.submit(std::move(m));
+        break;
+      }
+      case 3: {
+        auto d = net.deliverable();
+        if (!d.empty()) (void)net.take(d[rng.next_below(d.size())]);
+        break;
+      }
+      case 4: {
+        auto p = net.pending();
+        if (!p.empty())
+          (void)net.drop(p[rng.next_below(p.size())]->id, rng.next_bool(0.5));
+        break;
+      }
+      case 5: {
+        auto p = net.pending();
+        if (!p.empty()) (void)net.duplicate(p[rng.next_below(p.size())]->id);
+        break;
+      }
+      case 6: {
+        auto p = net.pending();
+        if (!p.empty()) {
+          std::byte fill{static_cast<std::uint8_t>(rng.next_u64())};
+          net.mutate(p[rng.next_below(p.size())]->id,
+                     [fill](net::Message& m) {
+                       if (!m.payload.empty()) m.payload[0] = fill;
+                       m.tag ^= 1;
+                     });
+        }
+        break;
+      }
+      case 7:
+        if (rng.next_bool(0.5)) {
+          (void)net.scrub_taint(7);
+        } else {
+          (void)net.drop_tainted(7);
+        }
+        break;
+      case 8: {
+        // Wire round trip must preserve the digest and the memo contract.
+        BinaryWriter w;
+        net.save(w);
+        std::uint64_t before = net.digest_uncached();
+        BinaryReader r(w.bytes());
+        net.load(r);
+        ASSERT_EQ(net.digest_uncached(), before) << "op " << i;
+        break;
+      }
+      case 9:
+        if (snaps.size() < 4 && rng.next_bool(0.5)) {
+          snaps.emplace_back(net.snapshot(), net.digest_uncached());
+        } else if (!snaps.empty()) {
+          net.restore(snaps[rng.next_below(snaps.size())].first);
+        }
+        break;
+    }
+    ASSERT_EQ(net.digest(), net.digest_uncached()) << "op " << i;
+    for (const auto& [s, at_capture] : snaps) {
+      net::SimNetwork probe;
+      probe.restore(s);
+      ASSERT_EQ(probe.digest_uncached(), at_capture)
+          << "snapshot drift at op " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkDigestCacheParam,
+                         ::testing::Values(3, 13, 29, 101, 997));
+
 }  // namespace
 }  // namespace fixd

@@ -1,0 +1,277 @@
+// COW world snapshots: shared per-process checkpoints and shared network
+// captures must be bit-identical to deep (fully serializing) captures
+// across arbitrary event / crash / restore interleavings, and the
+// explorer's trail-based frontier must visit exactly the state set the
+// snapshot frontier visits.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "apps/token_ring.hpp"
+#include "apps/two_phase_commit.hpp"
+#include "common/rng.hpp"
+#include "mc/sysmodel.hpp"
+#include "mem/paged_heap.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/world.hpp"
+
+namespace fixd {
+namespace {
+
+// A process whose bulk state lives in a COW heap: each delivery writes one
+// small record at a pseudo-random offset and forwards a token — the shape
+// the shared-capture path exists for.
+class HeapTokenProc final : public rt::ProcessBase<HeapTokenProc> {
+ public:
+  explicit HeapTokenProc(std::uint64_t heap_bytes)
+      : heap_bytes_(heap_bytes) {
+    heap_.resize(heap_bytes_);
+  }
+
+  void on_start(rt::Context& ctx) override {
+    heap_.store<std::uint64_t>(0, 0x5eed ^ ctx.self());
+    if (ctx.self() == 0) ctx.send(1 % ctx.world_size(), 1, {});
+  }
+
+  void on_message(rt::Context& ctx, const net::Message&) override {
+    std::uint64_t r = ctx.random_u64();
+    heap_.store<std::uint64_t>(8 * (r % (heap_bytes_ / 8 - 1)), r);
+    ++writes_;
+    ctx.send((ctx.self() + 1) % ctx.world_size(), 1, {});
+  }
+
+  void save_root(BinaryWriter& w) const override {
+    w.write_u64(heap_bytes_);
+    w.write_u64(writes_);
+  }
+  void load_root(BinaryReader& r) override {
+    heap_bytes_ = r.read_u64();
+    writes_ = r.read_u64();
+  }
+  mem::PagedHeap* cow_heap() override { return &heap_; }
+  std::string type_name() const override { return "heap-token"; }
+
+ private:
+  std::uint64_t heap_bytes_;
+  std::uint64_t writes_ = 0;
+  mem::PagedHeap heap_;
+};
+
+std::unique_ptr<rt::World> make_heap_world(std::size_t n,
+                                           std::uint64_t seed = 1) {
+  rt::WorldOptions opts;
+  opts.abstract_time = true;
+  opts.seed = seed;
+  auto w = std::make_unique<rt::World>(opts);
+  for (std::size_t i = 0; i < n; ++i)
+    w->add_process(std::make_unique<HeapTokenProc>(1 << 16));
+  w->seal();
+  return w;
+}
+
+TEST(CowSnapshot, CowAndDeepCapturesRestoreIdentically) {
+  auto w = make_heap_world(4);
+  w->run(10);
+  rt::WorldSnapshot cow = w->snapshot(/*cow=*/true);
+  rt::WorldSnapshot deep = w->snapshot(/*cow=*/false);
+  std::uint64_t want = w->digest_uncached();
+
+  w->run(12);
+  ASSERT_NE(w->digest_uncached(), want);
+  w->restore(cow);
+  EXPECT_EQ(w->digest_uncached(), want);
+  EXPECT_EQ(w->digest(), w->digest_uncached());
+
+  w->run(12);
+  w->restore(deep);
+  EXPECT_EQ(w->digest_uncached(), want);
+  EXPECT_EQ(w->digest(), w->digest_uncached());
+}
+
+TEST(CowSnapshot, CleanProcessesShareCheckpointEntries) {
+  auto w = make_heap_world(4);
+  w->run(8);
+  rt::WorldSnapshot a = w->snapshot();
+  rt::WorldSnapshot b = w->snapshot();  // no mutation in between
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(a.procs[p].get(), b.procs[p].get()) << "proc " << p;
+  }
+  EXPECT_EQ(a.net.get(), b.net.get());
+
+  // One event touches one process: exactly that entry (plus the network,
+  // which carried the token) re-captures.
+  w->step();
+  rt::WorldSnapshot c = w->snapshot();
+  std::size_t recaptured = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    if (c.procs[p].get() != b.procs[p].get()) ++recaptured;
+  }
+  EXPECT_EQ(recaptured, 1u);
+  EXPECT_NE(c.net.get(), b.net.get());
+}
+
+TEST(CowSnapshot, RestoreToHeldSnapshotIsStable) {
+  auto w = make_heap_world(3);
+  w->run(6);
+  rt::WorldSnapshot snap = w->snapshot();
+  std::uint64_t want = w->digest_uncached();
+  // Restoring the snapshot the world already holds is a no-op...
+  w->restore(snap);
+  EXPECT_EQ(w->digest_uncached(), want);
+  // ...and restoring it again after drifting rolls everything back.
+  w->run(5);
+  w->restore(snap);
+  EXPECT_EQ(w->digest_uncached(), want);
+  w->restore(snap);
+  EXPECT_EQ(w->digest_uncached(), want);
+}
+
+TEST(CowSnapshot, SnapshotsArePinnedAgainstLaterMutation) {
+  auto w = make_heap_world(3);
+  w->run(6);
+  rt::WorldSnapshot snap = w->snapshot();
+  std::uint64_t want = w->digest_uncached();
+  // Mutations after the capture must never leak into the snapshot: COW
+  // pages, immutable checkpoints, immutable message buffers.
+  w->run(9);
+  w->network().mutate(
+      w->network().deliverable().empty()
+          ? 0
+          : w->network().deliverable().front(),
+      [](net::Message& m) { m.payload.assign(4, std::byte{0xde}); });
+  w->set_crashed(1, true);
+  w->restore(snap);
+  EXPECT_EQ(w->digest_uncached(), want);
+}
+
+class CowSnapshotParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: across random event / crash-toggle / COW-capture / deep-capture
+// / restore sequences, (a) cached digests never drift from uncached, and
+// (b) every live snapshot — COW or deep — restores to the exact digest
+// recorded at its capture.
+TEST_P(CowSnapshotParam, RandomWalkCowMatchesDeep) {
+  Rng rng(GetParam());
+  auto w = make_heap_world(3, GetParam());
+  w->set_scheduler(std::make_unique<rt::RandomScheduler>(GetParam()));
+  std::vector<std::pair<rt::WorldSnapshot, std::uint64_t>> snaps;
+  for (int i = 0; i < 80; ++i) {
+    switch (rng.next_below(8)) {
+      case 0:
+        if (snaps.size() < 6)
+          snaps.emplace_back(w->snapshot(/*cow=*/true), w->digest_uncached());
+        break;
+      case 1:
+        if (snaps.size() < 6)
+          snaps.emplace_back(w->snapshot(/*cow=*/false),
+                             w->digest_uncached());
+        break;
+      case 2:
+        if (!snaps.empty()) {
+          auto& [s, want] = snaps[rng.next_below(snaps.size())];
+          w->restore(s);
+          ASSERT_EQ(w->digest_uncached(), want) << "op " << i;
+        }
+        break;
+      case 3: {
+        ProcessId p = static_cast<ProcessId>(rng.next_below(3));
+        w->set_crashed(p, !w->is_crashed(p));
+        break;
+      }
+      default:
+        w->step();
+        break;
+    }
+    ASSERT_EQ(w->digest(), w->digest_uncached()) << "op " << i;
+    ASSERT_EQ(w->mc_digest(), w->mc_digest_uncached()) << "op " << i;
+  }
+  // Every snapshot still restores bit-exactly at the end.
+  for (auto& [s, want] : snaps) {
+    w->restore(s);
+    ASSERT_EQ(w->digest_uncached(), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowSnapshotParam,
+                         ::testing::Values(5, 17, 43, 127, 1009));
+
+// ---------------------------------------------------------------------------
+// Trail-based frontier
+// ---------------------------------------------------------------------------
+
+mc::SysExploreResult explore_two_pc(std::size_t n, bool trail,
+                                    std::size_t anchor_interval = 8) {
+  apps::TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = apps::make_two_pc_world(n, 2, cfg);
+  mc::SysExploreOptions o;
+  o.order = mc::SearchOrder::kBfs;
+  o.max_states = 100000;
+  o.max_depth = 64;
+  o.trail_frontier = trail;
+  o.anchor_interval = anchor_interval;
+  o.install_invariants = apps::install_two_pc_invariants;
+  mc::SystemExplorer ex(*w, o);
+  return ex.explore();
+}
+
+TEST(TrailFrontier, VisitsSameStateSetAsSnapshotFrontier) {
+  auto snap = explore_two_pc(4, /*trail=*/false);
+  auto trail = explore_two_pc(4, /*trail=*/true);
+  EXPECT_EQ(snap.stats.states, trail.stats.states);
+  EXPECT_EQ(snap.stats.transitions, trail.stats.transitions);
+  EXPECT_EQ(snap.stats.duplicates, trail.stats.duplicates);
+  EXPECT_EQ(snap.stats.max_depth, trail.stats.max_depth);
+  EXPECT_EQ(snap.found_violation(), trail.found_violation());
+  EXPECT_GT(trail.stats.replayed_actions, 0u);
+  EXPECT_EQ(snap.stats.replayed_actions, 0u);
+}
+
+TEST(TrailFrontier, AnchorIntervalDoesNotChangeStateSet) {
+  auto base = explore_two_pc(3, /*trail=*/false);
+  for (std::size_t interval : {1u, 2u, 5u, 16u}) {
+    auto t = explore_two_pc(3, /*trail=*/true, interval);
+    EXPECT_EQ(t.stats.states, base.stats.states) << "interval " << interval;
+    EXPECT_EQ(t.stats.transitions, base.stats.transitions)
+        << "interval " << interval;
+  }
+}
+
+TEST(TrailFrontier, FindsSameViolationAndTrailReplays) {
+  apps::TokenRingConfig cfg;
+  cfg.target_rounds = 2;
+  auto w = apps::make_token_ring_world(3, /*version=*/1, cfg);
+  mc::SysExploreOptions o;
+  o.order = mc::SearchOrder::kBfs;
+  o.max_states = 50000;
+  o.max_depth = 64;
+  o.trail_frontier = true;
+  o.install_invariants = apps::install_token_ring_invariants;
+  mc::SystemExplorer ex(*w, o);
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].violation.invariant,
+            "token-ring/mutual-exclusion");
+  auto reproduced = mc::SystemExplorer::replay_trail(
+      *w, res.violations[0].trail, apps::install_token_ring_invariants);
+  EXPECT_FALSE(reproduced.empty());
+}
+
+TEST(TrailFrontier, WorksWithSleepSetsAndDfs) {
+  apps::TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = apps::make_two_pc_world(3, 1, cfg);
+  mc::SysExploreOptions o;
+  o.order = mc::SearchOrder::kDfs;
+  o.max_states = 60000;
+  o.max_depth = 64;
+  o.sleep_sets = true;
+  o.trail_frontier = true;
+  o.install_invariants = apps::install_two_pc_invariants;
+  mc::SystemExplorer ex(*w, o);
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  EXPECT_EQ(res.violations[0].violation.invariant, "2pc/atomicity");
+}
+
+}  // namespace
+}  // namespace fixd

@@ -1,0 +1,49 @@
+// Small concurrency helpers for the COW substrate.
+//
+// The parallel Investigator (mc/sysmodel) shards its frontier across worker
+// threads that exchange WorldSnapshots: a snapshot captured on one worker's
+// scratch world is restored onto another's. The snapshot object graph
+// (ProcessCheckpoint, HeapSnapshot pages, NetSnapshot messages) is immutable
+// once captured, so cross-thread *reads* are safe by construction — but two
+// mutation paths need care:
+//
+//  1. Lazy digest memos on shared immutable objects (Page::digest_cache):
+//     concurrent readers may race to fill the memo. Those fields are
+//     atomics; racing writers store identical values.
+//  2. "Unique again, mutate in place" optimizations keyed on
+//     shared_ptr::use_count() (PagedHeap::own_page, SimNetwork::take): once
+//     an object has been visible to another thread, the refcount alone
+//     cannot order the remote thread's last *read* before a local in-place
+//     *write* (use_count() is a relaxed load). Such objects carry a
+//     SharedMark set when the containing snapshot is published to another
+//     thread; a marked object is copied, never mutated in place.
+#pragma once
+
+#include <atomic>
+
+namespace fixd {
+
+/// A set-once "this object has been published across threads" flag.
+///
+/// Copy/move semantics are deliberately *cold*: a copy is a fresh private
+/// object (nobody else holds it yet), so it starts unmarked — the same
+/// discipline as net::DigestMemo. Marking an already-marked object is a
+/// cheap no-op, which lets containers memoize whole-subtree marking.
+struct SharedMark {
+  SharedMark() = default;
+  SharedMark(const SharedMark&) {}
+  SharedMark& operator=(const SharedMark&) { return *this; }
+  SharedMark(SharedMark&&) noexcept {}
+  SharedMark& operator=(SharedMark&&) noexcept { return *this; }
+
+  void mark() const { v.store(true, std::memory_order_release); }
+  /// Idempotent test-and-set; returns true when already marked.
+  bool test_and_mark() const {
+    return v.exchange(true, std::memory_order_acq_rel);
+  }
+  bool marked() const { return v.load(std::memory_order_acquire); }
+
+  mutable std::atomic<bool> v{false};
+};
+
+}  // namespace fixd

@@ -1,0 +1,132 @@
+// Concurrency primitives for the parallel SystemExplorer (mc/sysmodel).
+//
+// The parallel explorer shards the frontier across worker threads, each
+// owning a private scratch world. Two shared structures coordinate them:
+//
+//  - StripedVisitedSet: the canonical-state dedup set, lock-striped so
+//    concurrent inserts of (well-mixed) digests rarely contend. Insertion
+//    is linearizable per stripe; exactly one worker wins each digest, so
+//    every unique state is expanded exactly once — the property the
+//    differential tests (tests/test_mc_parallel.cpp) pin against the
+//    sequential explorer.
+//
+//  - StealableDeque: a per-worker frontier deque. The owner pushes and
+//    pops at its preferred end (back for DFS, front for BFS); idle workers
+//    steal from the opposite end, which preserves the owner's local order
+//    and hands thieves the coarsest-grained work. A plain mutex guards
+//    each deque: the owner touches it once per node, so contention is
+//    bounded by steal traffic, and the lock gives the happens-before edge
+//    that publishes a node's COW snapshot graph to the stealing thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace fixd::mc {
+
+/// Lock-striped set of 64-bit state digests.
+class StripedVisitedSet {
+ public:
+  explicit StripedVisitedSet(std::size_t stripes = 64) {
+    // Round up to a power of two so stripe selection is a mask.
+    std::size_t n = 1;
+    while (n < stripes) n <<= 1;
+    stripes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+    mask_ = n - 1;
+  }
+
+  /// Insert a digest; true iff it was not present (the caller owns the
+  /// state and must expand it).
+  bool insert(std::uint64_t h) {
+    Stripe& s = *stripes_[stripe_of(h)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.set.insert(h).second;
+  }
+
+  /// Sorted copy of the whole set (test/differential hook; call after the
+  /// workers have joined).
+  std::vector<std::uint64_t> sorted_contents() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      out.insert(out.end(), s->set.begin(), s->set.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> set;
+  };
+
+  std::size_t stripe_of(std::uint64_t h) const {
+    // Digests are already well mixed; fold the high bits in anyway so a
+    // biased low byte cannot serialize the stripes.
+    return static_cast<std::size_t>(mix64(h)) & mask_;
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_ = 0;
+};
+
+/// A mutex-guarded deque supporting owner pop at either end plus stealing
+/// from the opposite end. T must be movable.
+template <typename T>
+class StealableDeque {
+ public:
+  void push_back(T&& v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    q_.push_back(std::move(v));
+  }
+
+  /// Owner pop for DFS (LIFO) order.
+  bool pop_back(T& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    out = std::move(q_.back());
+    q_.pop_back();
+    return true;
+  }
+
+  /// Owner pop for BFS (FIFO) order.
+  bool pop_front(T& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  /// Thief pop: the end opposite the owner's (`owner_lifo` says which end
+  /// the owner uses), so stealing disturbs the owner's order least.
+  bool steal(T& out, bool owner_lifo) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    if (owner_lifo) {
+      out = std::move(q_.front());
+      q_.pop_front();
+    } else {
+      out = std::move(q_.back());
+      q_.pop_back();
+    }
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> q_;
+};
+
+}  // namespace fixd::mc

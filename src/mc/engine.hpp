@@ -54,6 +54,13 @@ struct ExploreStats {
   /// Actions re-executed to rebuild popped states from their anchors
   /// (trail-frontier mode only; 0 in snapshot mode).
   std::uint64_t replayed_actions = 0;
+  /// Worker threads that ran the search (1 = sequential). When > 1,
+  /// digest_ms/snapshot_ms are CPU time summed across workers, so they can
+  /// legitimately exceed wall_ms.
+  std::uint64_t workers = 1;
+  /// Frontier nodes a worker stole from another worker's deque (parallel
+  /// SystemExplorer only; load-balance observability).
+  std::uint64_t steals = 0;
 
   /// Exploration throughput (the Investigator's headline number).
   double states_per_sec() const {

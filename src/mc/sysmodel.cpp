@@ -1,13 +1,17 @@
 #include "mc/sysmodel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.hpp"
+#include "mc/concurrent.hpp"
 
 namespace fixd::mc {
 
@@ -33,7 +37,9 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
 /// Peak-frontier accounting with sharing awareness: COW checkpoint and
 /// message buffers referenced by several frontier nodes are charged once
 /// (pointer-keyed refcounts), so snapshot-mode and trail-mode numbers are
-/// honestly comparable.
+/// honestly comparable. Sequential searches only — the parallel explorer
+/// reports peak_frontier_bytes = 0 rather than serialize every push on a
+/// shared refcount map.
 class SystemExplorer::FrontierMeter {
  public:
   void push(const Node& n) {
@@ -96,6 +102,60 @@ class SystemExplorer::FrontierMeter {
   std::uint64_t peak_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Parallel coordination state
+// ---------------------------------------------------------------------------
+
+/// Everything the worker threads share. The visited set and the per-worker
+/// deques are individually synchronized; the atomics below carry the
+/// global budgets. `active` counts frontier nodes that are queued or being
+/// expanded — it is incremented *before* a child is pushed and decremented
+/// *after* its expansion finishes, so an idle worker observing active == 0
+/// knows the search is complete (no node can reappear).
+struct SystemExplorer::Shared {
+  StripedVisitedSet visited;
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<std::uint64_t> violation_count{0};
+  std::atomic<std::size_t> active{0};
+  std::atomic<bool> stop{false};
+
+  /// First worker exception, re-thrown on the coordinating thread after
+  /// join (an exception escaping a std::thread would terminate).
+  std::mutex err_mu;
+  std::string error;
+
+  /// kPriority: one mutex-guarded max-heap shared by every worker (the
+  /// priority contract is global, so per-worker heaps would change which
+  /// node is "best"; the lock is the price of keeping the heuristic exact).
+  std::mutex pq_mu;
+  std::vector<Node> heap;
+  static bool pri_less(const Node& a, const Node& b) {
+    return a.priority < b.priority;
+  }
+
+  std::vector<std::unique_ptr<Worker>> workers;
+};
+
+/// One worker: a private scratch world (cloned from the investigated
+/// state), a stealable frontier shard, and private stats/violations merged
+/// by the coordinator after join.
+struct SystemExplorer::Worker {
+  std::size_t id = 0;
+  std::unique_ptr<rt::World> world;
+  StealableDeque<Node> deque;
+  /// This worker's reachability-graph edges. Only the owner appends
+  /// (std::deque keeps existing element addresses stable across
+  /// push_back); other workers read nodes through raw parent pointers
+  /// published by the frontier-deque mutexes. Freed wholesale after join.
+  std::deque<PathNode> arena;
+  ExploreStats stats;
+  std::vector<SysViolation> violations;
+};
+
+// ---------------------------------------------------------------------------
+// SystemExplorer
+// ---------------------------------------------------------------------------
+
 SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
     : base_(base), opts_(std::move(opts)) {
   scratch_ = base_.clone();
@@ -107,42 +167,29 @@ SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
 
 SystemExplorer::~SystemExplorer() = default;
 
-void SystemExplorer::materialize(const Node& n, ExploreStats& stats) {
+void SystemExplorer::materialize(rt::World& w, const Node& n,
+                                 ExploreStats& stats) const {
   if (!opts_.trail_frontier) {
-    scratch_->restore(n.snap);
+    w.restore(n.snap);
     return;
   }
-  scratch_->restore(*n.anchor);
+  w.restore(*n.anchor);
   if (n.replay_len == 0) return;
-  // The meta_ chain stores the path youngest-first; collect the suffix,
+  // The path chain stores the route youngest-first; collect the suffix,
   // then re-execute oldest-first. Determinism makes this bit-identical to
   // the state captured when the node was created.
   std::vector<const SysAction*> suffix(n.replay_len);
-  std::size_t mi = n.meta;
+  const PathNode* p = n.path;
   for (std::size_t i = n.replay_len; i-- > 0;) {
-    suffix[i] = &meta_[mi].action;
-    mi = meta_[mi].parent;
+    suffix[i] = &p->action;
+    p = p->parent;
   }
-  scratch_->clear_violations();
-  for (const SysAction* a : suffix) apply_action(*scratch_, *a);
+  w.clear_violations();
+  for (const SysAction* a : suffix) apply_action(w, *a);
   // Violations raised along the replayed prefix were recorded when it was
   // first explored; drop the duplicates.
-  scratch_->clear_violations();
+  w.clear_violations();
   stats.replayed_actions += n.replay_len;
-}
-
-void SystemExplorer::capture_node(Node& child, const Node& parent,
-                                  ExploreStats& stats) {
-  if (!opts_.trail_frontier) {
-    auto t0 = SteadyClock::now();
-    child.snap = scratch_->snapshot(/*cow=*/true);
-    stats.snapshot_ms += ms_since(t0);
-    return;
-  }
-  // The expansion loop re-anchored the parent when its children would
-  // exceed the interval, so extending the trail by one is always valid.
-  child.anchor = parent.anchor;
-  child.replay_len = parent.replay_len + 1;
 }
 
 std::vector<SysAction> SystemExplorer::enabled_actions(rt::World& w) const {
@@ -214,13 +261,10 @@ std::uint64_t SystemExplorer::action_key(const SysAction& a) {
   return h.digest();
 }
 
-Trail SystemExplorer::trail_of(std::size_t meta_idx) const {
+Trail SystemExplorer::trail_of(const PathNode* path) {
   Trail t;
-  while (meta_idx != kNpos) {
-    const Meta& m = meta_[meta_idx];
-    if (m.parent == kNpos && meta_idx == 0) break;
-    t.steps.push_back(m.action);
-    meta_idx = m.parent;
+  for (const PathNode* p = path; p != nullptr; p = p->parent) {
+    t.steps.push_back(p->action);
   }
   std::reverse(t.steps.begin(), t.steps.end());
   return t;
@@ -228,27 +272,20 @@ Trail SystemExplorer::trail_of(std::size_t meta_idx) const {
 
 SysExploreResult SystemExplorer::explore() {
   auto t0 = SteadyClock::now();
-  SysExploreResult res = opts_.order == SearchOrder::kRandomWalk
-                             ? random_walk()
-                             : graph_search();
+  SysExploreResult res;
+  if (opts_.order == SearchOrder::kRandomWalk) {
+    res = random_walk();
+  } else if (opts_.workers > 1) {
+    res = graph_search_parallel();
+  } else {
+    res = graph_search();
+  }
   res.stats.wall_ms = ms_since(t0);
   return res;
 }
 
-SysExploreResult SystemExplorer::graph_search() {
-  SysExploreResult res;
-  std::unordered_set<std::uint64_t> visited;
-
-  auto cmp = [](const Node& a, const Node& b) {
-    return a.priority < b.priority;
-  };
-  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> pq(cmp);
-  std::deque<Node> fifo;
-
-  meta_.clear();
-  meta_.push_back({kNpos, SysAction{}});
-
-  // Root: probe the investigated state itself first — the violation might
+bool SystemExplorer::probe_root(SysExploreResult& res) {
+  // Probe the investigated state itself first — the violation might
   // already hold (e.g. the Time Machine rolled back insufficiently far).
   scratch_->clear_violations();
   scratch_->recheck_invariants();
@@ -257,12 +294,25 @@ SysExploreResult SystemExplorer::graph_search() {
     res.violations.push_back({v, Trail{}, 0});
   }
   scratch_->clear_violations();
-  if (res.violations.size() >= opts_.max_violations) return res;
+  return res.violations.size() < opts_.max_violations;
+}
+
+SysExploreResult SystemExplorer::graph_search() {
+  SysExploreResult res;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<PathNode> arena;  // reachability-graph edges, freed at return
+
+  auto cmp = [](const Node& a, const Node& b) {
+    return a.priority < b.priority;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> pq(cmp);
+  std::deque<Node> fifo;
+
+  if (!probe_root(res)) return res;
 
   FrontierMeter meter;
 
   Node root;
-  root.meta = 0;
   root.depth = 0;
   {
     auto t0 = SteadyClock::now();
@@ -283,6 +333,14 @@ SysExploreResult SystemExplorer::graph_search() {
   } else {
     fifo.push_back(std::move(root));
   }
+
+  auto finish = [&]() {
+    res.stats.peak_frontier_bytes = meter.peak();
+    if (opts_.collect_visited) {
+      res.visited.assign(visited.begin(), visited.end());
+      std::sort(res.visited.begin(), res.visited.end());
+    }
+  };
 
   while (true) {
     Node cur;
@@ -306,7 +364,7 @@ SysExploreResult SystemExplorer::graph_search() {
       continue;
     }
 
-    materialize(cur, res.stats);
+    materialize(*scratch_, cur, res.stats);
     std::vector<SysAction> actions = enabled_actions(*scratch_);
 
     // Trail mode: when the children's replay distance would reach the
@@ -339,20 +397,20 @@ SysExploreResult SystemExplorer::graph_search() {
         if (slept) continue;
       }
 
-      materialize(cur, res.stats);
+      materialize(*scratch_, cur, res.stats);
       scratch_->clear_violations();
       apply_action(*scratch_, a);
       ++res.stats.transitions;
 
-      meta_.push_back({cur.meta, a});
-      std::size_t mi = meta_.size() - 1;
+      arena.push_back({cur.path, a});
+      const PathNode* path = &arena.back();
       std::size_t depth = cur.depth + 1;
 
       if (!scratch_->violations().empty()) {
         for (const rt::Violation& v : scratch_->violations()) {
-          res.violations.push_back({v, trail_of(mi), depth});
+          res.violations.push_back({v, trail_of(path), depth});
           if (res.violations.size() >= opts_.max_violations) {
-            res.stats.peak_frontier_bytes = meter.peak();
+            finish();
             return res;
           }
         }
@@ -362,7 +420,7 @@ SysExploreResult SystemExplorer::graph_search() {
         std::uint64_t h = timed_mc_digest(*scratch_, res.stats);
         if (!visited.insert(h).second) {
           ++res.stats.duplicates;
-          meta_.pop_back();
+          arena.pop_back();  // never published; nothing references it
           continue;
         }
       }
@@ -371,14 +429,23 @@ SysExploreResult SystemExplorer::graph_search() {
           std::max<std::uint64_t>(res.stats.max_depth, depth);
       if (res.stats.states >= opts_.max_states) {
         res.stats.truncated = true;
-        res.stats.peak_frontier_bytes = meter.peak();
+        finish();
         return res;
       }
 
       Node child;
-      child.meta = mi;
+      child.path = path;
       child.depth = depth;
-      capture_node(child, cur, res.stats);
+      if (!opts_.trail_frontier) {
+        auto t0 = SteadyClock::now();
+        child.snap = scratch_->snapshot(/*cow=*/true);
+        res.stats.snapshot_ms += ms_since(t0);
+      } else {
+        // The expansion loop re-anchored the parent when its children
+        // would exceed the interval, so extending by one is always valid.
+        child.anchor = cur.anchor;
+        child.replay_len = cur.replay_len + 1;
+      }
       if (opts_.sleep_sets) {
         for (const SleepEntry& e : cur.sleep) {
           if (independent(e.fp, afp)) child.sleep.push_back(e);
@@ -399,21 +466,294 @@ SysExploreResult SystemExplorer::graph_search() {
       }
     }
   }
-  res.stats.peak_frontier_bytes = meter.peak();
+  finish();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel graph search
+// ---------------------------------------------------------------------------
+
+// expand() deliberately re-states the sequential expansion loop instead of
+// sharing its body: graph_search() is the trusted oracle the differential
+// suite (tests/test_mc_parallel.cpp) compares this code against, and a
+// shared implementation would make that comparison vacuous — a bug in the
+// common body would hit both sides identically. Any semantic change here
+// (sleep sets, re-anchoring, violation/dedup/budget order) must be
+// mirrored in graph_search(), and the differential tests enforce that the
+// two stay equivalent.
+void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
+  rt::World& w = *me.world;
+  ExploreStats& stats = me.stats;
+
+  if (cur.depth >= opts_.max_depth) {
+    stats.truncated = true;
+    return;
+  }
+
+  materialize(w, cur, stats);
+  std::vector<SysAction> actions = enabled_actions(w);
+
+  // Trail mode re-anchoring, as in the sequential search; the fresh anchor
+  // is marked shared because any child hanging off it may be stolen.
+  if (opts_.trail_frontier &&
+      cur.replay_len + 1 >= opts_.anchor_interval && !actions.empty()) {
+    auto t0 = SteadyClock::now();
+    auto anchor = std::make_shared<const rt::WorldSnapshot>(
+        w.snapshot(/*cow=*/true));
+    anchor->share_across_threads();
+    cur.anchor = std::move(anchor);
+    cur.replay_len = 0;
+    stats.snapshot_ms += ms_since(t0);
+  }
+
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (sh.stop.load(std::memory_order_acquire)) return;
+    const SysAction& a = actions[i];
+    const std::uint64_t akey = action_key(a);
+    const std::uint32_t afp = fingerprint(a);
+
+    if (opts_.sleep_sets) {
+      bool slept = false;
+      for (const SleepEntry& e : cur.sleep) {
+        if (e.key == akey) {
+          slept = true;
+          break;
+        }
+      }
+      if (slept) continue;
+    }
+
+    materialize(w, cur, stats);
+    w.clear_violations();
+    apply_action(w, a);
+    ++stats.transitions;
+
+    std::size_t depth = cur.depth + 1;
+    const PathNode* path = nullptr;
+
+    if (!w.violations().empty()) {
+      me.arena.push_back({cur.path, a});
+      path = &me.arena.back();
+      for (const rt::Violation& v : w.violations()) {
+        me.violations.push_back({v, trail_of(path), depth});
+        if (sh.violation_count.fetch_add(1) + 1 >= opts_.max_violations) {
+          sh.stop.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    }
+
+    if (opts_.dedup) {
+      std::uint64_t h = timed_mc_digest(w, stats);
+      if (!sh.visited.insert(h)) {
+        ++stats.duplicates;
+        // The edge (if allocated for the violation trail above) was never
+        // published to a frontier node; the Trail copied its actions.
+        if (path) me.arena.pop_back();
+        continue;
+      }
+    }
+    stats.max_depth = std::max<std::uint64_t>(stats.max_depth, depth);
+    // The shared counter is the budget authority (per-worker counts would
+    // race past it); it already includes the root.
+    if (sh.states.fetch_add(1) + 1 >= opts_.max_states) {
+      stats.truncated = true;
+      sh.stop.store(true, std::memory_order_release);
+      return;
+    }
+
+    Node child;
+    if (!path) {
+      me.arena.push_back({cur.path, a});
+      path = &me.arena.back();
+    }
+    child.path = path;
+    child.depth = depth;
+    if (!opts_.trail_frontier) {
+      auto t0 = SteadyClock::now();
+      child.snap = w.snapshot(/*cow=*/true);
+      // Publish before the push below makes the node stealable.
+      child.snap.share_across_threads();
+      stats.snapshot_ms += ms_since(t0);
+    } else {
+      child.anchor = cur.anchor;
+      child.replay_len = cur.replay_len + 1;
+    }
+    if (opts_.sleep_sets) {
+      for (const SleepEntry& e : cur.sleep) {
+        if (independent(e.fp, afp)) child.sleep.push_back(e);
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        std::uint32_t fpj = fingerprint(actions[j]);
+        if (independent(fpj, afp)) {
+          child.sleep.push_back({action_key(actions[j]), fpj});
+        }
+      }
+    }
+
+    // active must rise before the node becomes visible, so an idle worker
+    // can never observe "no work anywhere" while this child is in flight.
+    sh.active.fetch_add(1);
+    if (opts_.order == SearchOrder::kPriority) {
+      if (opts_.priority) child.priority = opts_.priority(w);
+      std::lock_guard<std::mutex> lk(sh.pq_mu);
+      sh.heap.push_back(std::move(child));
+      std::push_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
+    } else {
+      me.deque.push_back(std::move(child));
+    }
+  }
+}
+
+void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
+  const bool lifo = opts_.order == SearchOrder::kDfs;
+  const std::size_t n = sh.workers.size();
+  std::size_t idle_rounds = 0;
+  while (true) {
+    if (sh.stop.load(std::memory_order_acquire)) return;
+    Node cur;
+    bool got = false;
+    if (opts_.order == SearchOrder::kPriority) {
+      std::lock_guard<std::mutex> lk(sh.pq_mu);
+      if (!sh.heap.empty()) {
+        std::pop_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
+        cur = std::move(sh.heap.back());
+        sh.heap.pop_back();
+        got = true;
+      }
+    } else {
+      got = lifo ? me.deque.pop_back(cur) : me.deque.pop_front(cur);
+      if (!got) {
+        for (std::size_t k = 1; k < n && !got; ++k) {
+          got = sh.workers[(me.id + k) % n]->deque.steal(cur, lifo);
+        }
+        if (got) ++me.stats.steals;
+      }
+    }
+    if (!got) {
+      if (sh.active.load(std::memory_order_acquire) == 0) return;
+      // Back off when repeatedly idle: spinning at full speed would burn
+      // a core per idle worker and, in kPriority mode, contend the shared
+      // heap mutex against the workers still making progress.
+      if (++idle_rounds < 16) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<std::size_t>(idle_rounds, 200)));
+      }
+      continue;
+    }
+    idle_rounds = 0;
+    try {
+      expand(sh, me, std::move(cur));
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lk(sh.err_mu);
+        if (sh.error.empty()) sh.error = e.what();
+      }
+      sh.stop.store(true, std::memory_order_release);
+      sh.active.fetch_sub(1);
+      return;
+    }
+    sh.active.fetch_sub(1);
+  }
+}
+
+SysExploreResult SystemExplorer::graph_search_parallel() {
+  SysExploreResult res;
+  if (!probe_root(res)) return res;
+
+  const std::size_t n_workers = std::max<std::size_t>(1, opts_.workers);
+  Shared sh;
+
+  // One COW snapshot of the investigated state, shared by the root node
+  // and every worker world; marked before any thread exists so in-place
+  // mutation of its buffers is off for good.
+  auto root_ws = std::make_shared<const rt::WorldSnapshot>(
+      scratch_->snapshot(/*cow=*/true));
+  root_ws->share_across_threads();
+  if (opts_.dedup) sh.visited.insert(timed_mc_digest(*scratch_, res.stats));
+  sh.states.store(res.stats.states);  // the probed root
+  // Root violations count against the budget exactly as in the
+  // sequential search.
+  sh.violation_count.store(res.violations.size());
+
+  Node root;
+  root.depth = 0;
+  if (opts_.trail_frontier) {
+    root.anchor = root_ws;
+  } else {
+    root.snap = *root_ws;
+  }
+
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    auto wk = std::make_unique<Worker>();
+    wk->id = i;
+    wk->world = scratch_->clone_from_snapshot(*root_ws);
+    if (opts_.install_invariants) opts_.install_invariants(*wk->world);
+    sh.workers.push_back(std::move(wk));
+  }
+
+  sh.active.store(1);
+  if (opts_.order == SearchOrder::kPriority) {
+    if (opts_.priority) root.priority = opts_.priority(*scratch_);
+    sh.heap.push_back(std::move(root));
+    std::push_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
+  } else {
+    sh.workers[0]->deque.push_back(std::move(root));
+  }
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      threads.emplace_back([this, &sh, i] { worker_loop(sh, *sh.workers[i]); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (!sh.error.empty()) {
+    throw FixdError("parallel explorer worker failed: " + sh.error);
+  }
+
+  // Merge. The shared counter is the state total (root included); timing
+  // counters sum across workers (CPU time, can exceed wall time).
+  res.stats.states = sh.states.load();
+  for (const auto& wk : sh.workers) {
+    res.stats.transitions += wk->stats.transitions;
+    res.stats.duplicates += wk->stats.duplicates;
+    res.stats.max_depth =
+        std::max(res.stats.max_depth, wk->stats.max_depth);
+    res.stats.truncated = res.stats.truncated || wk->stats.truncated;
+    res.stats.digest_ms += wk->stats.digest_ms;
+    res.stats.snapshot_ms += wk->stats.snapshot_ms;
+    res.stats.replayed_actions += wk->stats.replayed_actions;
+    res.stats.steals += wk->stats.steals;
+    for (auto& v : wk->violations) res.violations.push_back(std::move(v));
+  }
+  res.stats.workers = n_workers;
+  // Violations arrive in nondeterministic worker order; re-sort into a
+  // stable shape (shallowest first, ties by invariant name). The count may
+  // exceed max_violations by the few found concurrently with the stop.
+  std::stable_sort(res.violations.begin(), res.violations.end(),
+                   [](const SysViolation& a, const SysViolation& b) {
+                     if (a.depth != b.depth) return a.depth < b.depth;
+                     return a.violation.invariant < b.violation.invariant;
+                   });
+  if (opts_.collect_visited) res.visited = sh.visited.sorted_contents();
   return res;
 }
 
 SysExploreResult SystemExplorer::random_walk() {
   SysExploreResult res;
   Rng rng(opts_.seed);
-  meta_.clear();
-  meta_.push_back({kNpos, SysAction{}});
+  std::deque<PathNode> arena;
 
   rt::WorldSnapshot root = scratch_->snapshot(/*cow=*/true);
   for (std::size_t walk = 0; walk < opts_.walk_restarts; ++walk) {
     scratch_->restore(root);
     scratch_->clear_violations();
-    std::size_t cur_meta = 0;
+    const PathNode* cur_path = nullptr;
     for (std::size_t d = 0; d < opts_.max_depth; ++d) {
       auto actions = enabled_actions(*scratch_);
       if (actions.empty()) break;
@@ -421,13 +761,13 @@ SysExploreResult SystemExplorer::random_walk() {
       apply_action(*scratch_, a);
       ++res.stats.transitions;
       ++res.stats.states;
-      meta_.push_back({cur_meta, a});
-      cur_meta = meta_.size() - 1;
+      arena.push_back({cur_path, a});
+      cur_path = &arena.back();
       res.stats.max_depth =
           std::max<std::uint64_t>(res.stats.max_depth, d + 1);
       if (!scratch_->violations().empty()) {
         for (const rt::Violation& v : scratch_->violations()) {
-          res.violations.push_back({v, trail_of(cur_meta), d + 1});
+          res.violations.push_back({v, trail_of(cur_path), d + 1});
         }
         break;
       }

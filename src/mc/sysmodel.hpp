@@ -61,6 +61,28 @@ struct SysExploreOptions {
   /// anchor reaches this many actions (trades replay time for memory).
   std::size_t anchor_interval = 8;
 
+  /// Worker threads for graph searches (kDfs/kBfs/kPriority). 1 = the
+  /// sequential explorer. With more, the frontier is sharded across
+  /// workers (one private scratch world each, work-stealing deques, a
+  /// lock-striped visited set; kPriority shares one mutex-guarded heap).
+  ///
+  /// Determinism contract (tested by tests/test_mc_parallel.cpp): with
+  /// dedup on, no sleep sets, and budgets that don't truncate, the
+  /// parallel search visits exactly the sequential explorer's canonical
+  /// state set and state/transition counts; violations are reported as an
+  /// unordered set (stably re-sorted by depth), and every reported trail
+  /// replays on a fresh sequential world. Sleep-set pruning and truncated
+  /// budgets are traversal-order-sensitive, so only the *soundness* of the
+  /// result (a subset of the reachable graph) is guaranteed for them.
+  /// Priority/install_invariants callbacks must be thread-safe (stateless
+  /// lambdas are; every in-tree installer qualifies).
+  std::size_t workers = 1;
+
+  /// Test hook: return the visited canonical-digest set (sorted) in
+  /// SysExploreResult::visited — the differential suites compare parallel
+  /// against sequential with this.
+  bool collect_visited = false;
+
   /// Heuristic for kPriority order (higher first).
   std::function<double(const rt::World&)> priority;
 
@@ -71,6 +93,8 @@ struct SysExploreOptions {
 struct SysExploreResult {
   ExploreStats stats;
   std::vector<SysViolation> violations;
+  /// Sorted visited canonical digests (only when opts.collect_visited).
+  std::vector<std::uint64_t> visited;
   bool found_violation() const { return !violations.empty(); }
 };
 
@@ -97,35 +121,45 @@ class SystemExplorer {
     std::uint32_t fp;
   };
 
+  /// One reachability-graph edge, parent-linked toward the root (null at
+  /// the root). Edges live in append-only arenas (a std::deque per search
+  /// — per *worker* in the parallel search), so addresses are stable,
+  /// nodes are immutable once another node or frontier entry points at
+  /// them, and teardown is a flat bulk free after the workers have joined
+  /// — no refcount traffic on the hot path, no recursive destruction on
+  /// deep chains, and no cross-thread writes for TSan to flag. Cross-
+  /// worker reads of another arena's nodes are published by the frontier-
+  /// deque mutexes (a node is only reachable through a pushed frontier
+  /// entry). The owner may pop its newest, never-published edge (the
+  /// duplicate-target case, exactly like the old meta arena).
+  struct PathNode {
+    const PathNode* parent;
+    SysAction action;
+  };
+
   struct Node {
     /// Snapshot mode: this node's captured state. Trail mode: empty.
     rt::WorldSnapshot snap;
     /// Trail mode: the nearest ancestor snapshot; the path from it to this
-    /// node (`replay_len` actions, read off the meta_ chain) is re-executed
+    /// node (`replay_len` actions, read off the path chain) is re-executed
     /// on pop. A node with replay_len == 0 *is* its anchor.
     std::shared_ptr<const rt::WorldSnapshot> anchor;
     std::size_t replay_len = 0;
-    std::size_t meta;
-    std::size_t depth;
+    /// The action path from the investigated root to this node (arena
+    /// storage owned by the search that created the node).
+    const PathNode* path = nullptr;
+    std::size_t depth = 0;
     double priority = 0.0;
     std::vector<SleepEntry> sleep;
   };
-  struct Meta {
-    std::size_t parent;
-    SysAction action;
-  };
-  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
   class FrontierMeter;
+  struct Shared;
+  struct Worker;
 
-  /// Bring scratch_ to `n`'s state: restore its snapshot, or (trail mode)
+  /// Bring `w` to `n`'s state: restore its snapshot, or (trail mode)
   /// restore the anchor and deterministically re-execute the suffix.
-  void materialize(const Node& n, ExploreStats& stats);
-  /// Capture scratch_ into a fresh child node. Snapshot mode: a full COW
-  /// snapshot. Trail mode: extend the parent's trail by one action (the
-  /// expansion loop re-anchors a parent whose trail hit anchor_interval
-  /// before expanding it, so the extension never exceeds the interval).
-  void capture_node(Node& child, const Node& parent, ExploreStats& stats);
+  void materialize(rt::World& w, const Node& n, ExploreStats& stats) const;
 
   std::vector<SysAction> enabled_actions(rt::World& w) const;
   static void apply_action(rt::World& w, const SysAction& a);
@@ -139,14 +173,19 @@ class SystemExplorer {
     return fa != fb;
   }
 
-  Trail trail_of(std::size_t meta_idx) const;
+  static Trail trail_of(const PathNode* path);
+  /// Probe the investigated state itself (the violation might already
+  /// hold); returns false when the violation budget is already exhausted.
+  bool probe_root(SysExploreResult& res);
   SysExploreResult graph_search();
+  SysExploreResult graph_search_parallel();
+  void worker_loop(Shared& sh, Worker& me);
+  void expand(Shared& sh, Worker& me, Node cur);
   SysExploreResult random_walk();
 
   rt::World& base_;
   SysExploreOptions opts_;
   std::unique_ptr<rt::World> scratch_;
-  std::vector<Meta> meta_;
 };
 
 }  // namespace fixd::mc

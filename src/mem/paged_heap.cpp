@@ -12,13 +12,15 @@ namespace {
 
 /// Digest of one page's full content, memoized on the page. Pages shared
 /// between a heap and its snapshots are immutable (COW discipline), so the
-/// cached value stays valid for every holder.
+/// cached value stays valid for every holder; concurrent holders may race
+/// to fill the memo, which is benign (identical values, atomic fields).
 std::uint64_t full_page_digest(const Page& p) {
-  if (!p.digest_valid) {
-    p.digest_cache = hash_bytes({p.bytes.data(), p.bytes.size()});
-    p.digest_valid = true;
+  if (!p.digest_valid.load(std::memory_order_acquire)) {
+    p.digest_cache.store(hash_bytes({p.bytes.data(), p.bytes.size()}),
+                         std::memory_order_relaxed);
+    p.digest_valid.store(true, std::memory_order_release);
   }
-  return p.digest_cache;
+  return p.digest_cache.load(std::memory_order_relaxed);
 }
 
 /// Shared digest formula for heaps and snapshots: the logical size followed
@@ -85,6 +87,17 @@ std::uint64_t HeapSnapshot::digest() const {
   return digest_cache_;
 }
 
+void HeapSnapshot::share_across_threads() const {
+  // Pin the snapshot digest while still single-threaded: after publication
+  // several workers may call digest() concurrently, and the plain memo
+  // must be read-only by then. The fold below also warms the per-page
+  // memos, so remote heaps digest shared pages without re-hashing.
+  (void)digest();
+  for (const auto& p : pages_) {
+    if (p) p->shared_xt.mark();
+  }
+}
+
 void HeapSnapshot::save(BinaryWriter& w) const {
   w.write_varint(page_size_);
   w.write_varint(logical_size_);
@@ -147,7 +160,11 @@ Page& PagedHeap::own_page(std::size_t idx) {
     slot = std::make_shared<Page>(page_size_);
     ++stats_.pages_materialized;
     ++dirty_since_snapshot_;
-  } else if (slot.use_count() > 1) {
+  } else if (slot.use_count() > 1 || slot->shared_xt.marked()) {
+    // COW clone. The shared_xt arm covers pages that were once published
+    // to another thread: even at use_count()==1 an in-place write could
+    // race the remote thread's last reads (no happens-before through the
+    // refcount), so such pages are immutable forever.
     slot = std::make_shared<Page>(*slot);  // the copy-on-write copy
     ++stats_.pages_cowed;
     stats_.bytes_cowed += page_size_;
@@ -156,7 +173,7 @@ Page& PagedHeap::own_page(std::size_t idx) {
   // The caller is about to mutate: drop both the page digest (covers the
   // uniquely-owned in-place case; fresh/COW copies start invalid anyway)
   // and the whole-heap memo.
-  slot->digest_valid = false;
+  slot->digest_valid.store(false, std::memory_order_relaxed);
   digest_valid_ = false;
   return *slot;
 }
@@ -294,15 +311,20 @@ bool PagedHeap::content_equals(const PagedHeap& other) const {
       if (a == b) continue;  // shared page, or both implicit zero
       if (!a || !b) {
         const Page* r = a ? a : b;  // the resident side vs implicit zeros
-        if (len == page_size_ && r->digest_valid &&
-            r->digest_cache != zero_page_digest_) {
+        if (len == page_size_ &&
+            r->digest_valid.load(std::memory_order_acquire) &&
+            r->digest_cache.load(std::memory_order_relaxed) !=
+                zero_page_digest_) {
           return false;
         }
         if (!all_zero(r->data(), len)) return false;
         continue;
       }
-      if (len == page_size_ && a->digest_valid && b->digest_valid &&
-          a->digest_cache != b->digest_cache) {
+      if (len == page_size_ &&
+          a->digest_valid.load(std::memory_order_acquire) &&
+          b->digest_valid.load(std::memory_order_acquire) &&
+          a->digest_cache.load(std::memory_order_relaxed) !=
+              b->digest_cache.load(std::memory_order_relaxed)) {
         return false;
       }
       if (std::memcmp(a->data(), b->data(), len) != 0) return false;

@@ -19,6 +19,7 @@
 // serializing checkpointer (ckpt/full.hpp) — Fig. 2's bench compares both.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -28,6 +29,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "common/sync.hpp"
 
 namespace fixd::mem {
 
@@ -51,8 +53,17 @@ struct Page {
   const std::byte* data() const { return bytes.data(); }
 
   std::vector<std::byte> bytes;
-  mutable std::uint64_t digest_cache = 0;
-  mutable bool digest_valid = false;
+  /// Lazily memoized content digest. Atomic because shared pages may be
+  /// digested concurrently by several worker heaps/snapshots (the parallel
+  /// explorer); racing fillers store identical values, and the
+  /// release-store on `digest_valid` publishes the relaxed value store.
+  mutable std::atomic<std::uint64_t> digest_cache{0};
+  mutable std::atomic<bool> digest_valid{false};
+  /// Set when a snapshot containing this page is published to another
+  /// thread (see common/sync.hpp): a marked page is cloned on write even
+  /// when use_count() has returned to 1, because the refcount alone cannot
+  /// order a remote reader's last read before a local in-place write.
+  SharedMark shared_xt;
 };
 using PagePtr = std::shared_ptr<Page>;
 
@@ -80,6 +91,13 @@ class HeapSnapshot {
   /// the value is computed once and memoized; the per-page digests it folds
   /// are shared with the live heap via the Page objects themselves.
   std::uint64_t digest() const;
+
+  /// Publish this snapshot across threads: pin the snapshot digest (so the
+  /// plain memo is never written after publication) and mark every resident
+  /// page, forcing future writers to COW instead of mutating in place.
+  /// Idempotent and cheap to repeat (pages re-marked atomically); callers
+  /// that hold the snapshot behind a shared checkpoint memoize the call.
+  void share_across_threads() const;
 
   /// Serialize the snapshot's content. The format is identical to
   /// PagedHeap::save, so PagedHeap::load can restore from it — used when a

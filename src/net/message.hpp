@@ -17,6 +17,7 @@
 
 #include "common/clock.hpp"
 #include "common/serialize.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace fixd::net {
@@ -141,11 +142,20 @@ struct Message {
     state_memo_.valid = false;
   }
 
+  /// Published across threads (a NetSnapshot containing this message
+  /// crossed a thread boundary — see common/sync.hpp): SimNetwork::take
+  /// then delivers a copy instead of moving the payload out, because the
+  /// use_count()==1 fast path cannot order a remote reader's last read
+  /// before the local move. Copy-cold like the digest memos.
+  void mark_cross_thread() const { xt_.mark(); }
+  bool cross_thread() const { return xt_.marked(); }
+
   std::string brief() const;
 
   // Memos; public so Message stays an aggregate. Not serialized.
   DigestMemo memo_;
   DigestMemo state_memo_;
+  SharedMark xt_;
 };
 
 }  // namespace fixd::net

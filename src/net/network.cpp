@@ -14,6 +14,23 @@ std::uint64_t NetSnapshot::size_bytes() const {
   return n;
 }
 
+void NetSnapshot::share_across_threads() const {
+  if (xt_marked_.test_and_mark()) return;
+  for (const auto& [id, m] : messages) m->mark_cross_thread();
+}
+
+namespace {
+
+/// The accumulator mixes each content digest before summing so that the
+/// wrapping sum stays collision-resistant for multisets (raw sums cancel
+/// structured digests too easily); mix64 is bijective, so distinct
+/// multisets keep distinct term sets.
+std::uint64_t acc_term(std::uint64_t content_digest) {
+  return mix64(content_digest);
+}
+
+}  // namespace
+
 SimNetwork::SimNetwork(NetworkOptions options)
     : options_(options), rng_(options.seed) {}
 
@@ -32,6 +49,7 @@ void SimNetwork::enqueue(Message msg) {
   // Every pending message carries warm digest memos, so state hashing over
   // the in-flight traffic never re-hashes payloads.
   msg.warm_digest_memo();
+  content_acc_ += acc_term(msg.content_digest());
   ChannelKey key{msg.src, msg.dst};
   channels_[key].push_back(id);
   touch_channel(key);
@@ -123,21 +141,24 @@ Message SimNetwork::take(MsgId id) {
   FIXD_CHECK(qit != q.end());
   q.erase(qit);
   touch_channel(key);
+  content_acc_ -= acc_term(sp->content_digest());
   ++stats_.delivered;
   stats_.bytes_delivered += sp->payload.size();
-  if (sp.use_count() == 1) {
-    // Sole owner (no live snapshot shares the buffer): move the payload
-    // out. The object was created non-const (make_shared<Message>), so
-    // shedding const on the uniquely-owned instance is well-defined.
+  if (sp.use_count() == 1 && !sp->cross_thread()) {
+    // Sole owner (no live snapshot shares the buffer, and the buffer never
+    // crossed a thread boundary): move the payload out. The object was
+    // created non-const (make_shared<Message>), so shedding const on the
+    // uniquely-owned instance is well-defined.
     return std::move(const_cast<Message&>(*sp));
   }
-  return *sp;  // shared with a snapshot: deliver a copy
+  return *sp;  // shared with a snapshot or another thread: deliver a copy
 }
 
 bool SimNetwork::drop(MsgId id, bool forced) {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
   ChannelKey key{it->second->src, it->second->dst};
+  content_acc_ -= acc_term(it->second->content_digest());
   auto& q = channels_[key];
   auto qit = std::find(q.begin(), q.end(), id);
   if (qit != q.end()) q.erase(qit);
@@ -180,10 +201,12 @@ std::size_t SimNetwork::scrub_taint(SpecId spec) {
     auto it = std::find(sp->spec_taints.begin(), sp->spec_taints.end(), spec);
     if (it == sp->spec_taints.end()) continue;
     // Copy-on-write: snapshots sharing the old buffer keep the taint.
+    content_acc_ -= acc_term(sp->content_digest());
     Message m = *sp;
     m.spec_taints.erase(m.spec_taints.begin() +
                         (it - sp->spec_taints.begin()));
     m.warm_digest_memo();
+    content_acc_ += acc_term(m.content_digest());
     touch_channel({m.src, m.dst});
     sp = std::make_shared<Message>(std::move(m));
     ++n;
@@ -199,7 +222,9 @@ bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   FIXD_CHECK_MSG(m.id == id && m.src == it->second->src &&
                      m.dst == it->second->dst,
                  "mutate must not change routing identity (drop + submit)");
+  content_acc_ -= acc_term(it->second->content_digest());
   m.warm_digest_memo();  // re-pin after the mutation
+  content_acc_ += acc_term(m.content_digest());
   touch_channel({m.src, m.dst});
   it->second = std::make_shared<Message>(std::move(m));
   return true;
@@ -253,11 +278,13 @@ void SimNetwork::load(BinaryReader& r) {
   rng_.load(r);
   next_id_ = r.read_u64();
   messages_.clear();
+  content_acc_ = 0;
   std::size_t n = static_cast<std::size_t>(r.read_varint());
   for (std::size_t i = 0; i < n; ++i) {
     Message m;
     m.load(r);
     m.warm_digest_memo();  // restore the pending-message memo invariant
+    content_acc_ += acc_term(m.content_digest());
     MsgId id = m.id;
     messages_.emplace(id, std::make_shared<Message>(std::move(m)));
   }
@@ -292,6 +319,7 @@ std::shared_ptr<const NetSnapshot> SimNetwork::snapshot() const {
     s->stats = stats_;
     s->channel_digests = channel_digest_cache_;
     s->digest_memo = digest_memo_;
+    s->content_acc = content_acc_;
     snap_cache_ = std::move(s);
   }
   return snap_cache_;
@@ -309,6 +337,7 @@ void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
   // Adopt whatever was warm at capture (cold stays cold — conservative).
   channel_digest_cache_ = snap->channel_digests;
   digest_memo_ = snap->digest_memo;
+  content_acc_ = snap->content_acc;
   snap_cache_ = snap;
 }
 
@@ -374,6 +403,14 @@ std::uint64_t SimNetwork::digest() const {
 
 std::uint64_t SimNetwork::digest_uncached() const {
   return digest_impl(/*cached=*/false);
+}
+
+std::uint64_t SimNetwork::content_digest_acc_uncached() const {
+  std::uint64_t acc = 0;
+  for (const auto& [id, m] : messages_) {
+    acc += acc_term(m->content_digest_uncached());
+  }
+  return acc;
 }
 
 }  // namespace fixd::net

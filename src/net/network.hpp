@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "net/message.hpp"
 
 namespace fixd::net {
@@ -90,11 +91,22 @@ struct NetSnapshot {
   /// Digest caches valid for this snapshot's content (adopted on restore).
   std::map<ChannelKey, std::uint64_t> channel_digests;
   std::optional<std::uint64_t> digest_memo;
+  /// Order-independent accumulator over pending message content digests
+  /// (see SimNetwork::content_digest_acc), adopted on restore.
+  std::uint64_t content_acc = 0;
 
   /// Approximate retained size (payload bytes plus per-message overhead);
   /// shared buffers are charged in full — callers that track sharing
   /// dedupe by message pointer instead.
   std::uint64_t size_bytes() const;
+
+  /// Publish this snapshot across threads (parallel explorer): marks every
+  /// shared message so delivery on any thread copies instead of moving.
+  /// Memoized per snapshot object.
+  void share_across_threads() const;
+
+ private:
+  SharedMark xt_marked_;
 };
 
 class SimNetwork {
@@ -171,6 +183,18 @@ class SimNetwork {
   /// memos. Verification oracle for tests and bench/fig9_digest.
   std::uint64_t digest_uncached() const;
 
+  /// Order-independent digest of the in-flight *content* multiset: the
+  /// wrapping sum of mix64(content_digest) over all pending messages,
+  /// maintained incrementally at every enqueue/remove/replace. This is
+  /// what World::mc_digest folds for the network share of the canonical
+  /// state — O(1) per call instead of re-sorting per-message digests.
+  /// Bit-identical to content_digest_acc_uncached() by contract.
+  std::uint64_t content_digest_acc() const { return content_acc_; }
+
+  /// From-scratch recompute bypassing the accumulator and the per-message
+  /// memos. Verification oracle for tests.
+  std::uint64_t content_digest_acc_uncached() const;
+
  private:
   using ChannelKey = std::pair<ProcessId, ProcessId>;
 
@@ -195,6 +219,8 @@ class SimNetwork {
   std::map<MsgId, std::shared_ptr<const Message>> messages_;
   std::map<ChannelKey, std::deque<MsgId>> channels_;  // fifo order per channel
   NetStats stats_;
+  /// Incremental content-multiset accumulator (see content_digest_acc).
+  std::uint64_t content_acc_ = 0;
   /// Per-channel digest cache; presence of a key == valid.
   mutable std::map<ChannelKey, std::uint64_t> channel_digest_cache_;
   mutable std::optional<std::uint64_t> digest_memo_;

@@ -20,6 +20,11 @@ std::uint64_t ProcessCheckpoint::size_bytes() const {
   return n;
 }
 
+void ProcessCheckpoint::share_across_threads() const {
+  if (xt_marked_.test_and_mark()) return;
+  if (heap_snap) heap_snap->share_across_threads();
+}
+
 void ProcessCheckpoint::save(BinaryWriter& w) const {
   w.write_bytes(root);
   w.write_bytes(info);
@@ -66,6 +71,13 @@ std::uint64_t WorldSnapshot::size_bytes() const {
   }
   if (net) n += net->size_bytes();
   return n;
+}
+
+void WorldSnapshot::share_across_threads() const {
+  for (const auto& p : procs) {
+    if (p) p->share_across_threads();
+  }
+  if (net) net->share_across_threads();
 }
 
 // ---------------------------------------------------------------------------
@@ -742,10 +754,15 @@ void World::restore(const WorldSnapshot& snap) {
 }
 
 std::unique_ptr<World> World::clone() {
+  WorldSnapshot snap = snapshot(/*cow=*/true);
+  return clone_from_snapshot(snap);
+}
+
+std::unique_ptr<World> World::clone_from_snapshot(
+    const WorldSnapshot& snap) const {
   auto w = std::make_unique<World>(opts_);
   for (const auto& p : procs_) w->add_process(p->clone_behavior());
   w->seal();
-  WorldSnapshot snap = snapshot(/*cow=*/true);
   w->restore(snap);
   return w;
 }
@@ -833,14 +850,11 @@ std::uint64_t World::mc_digest_impl(bool cached) const {
     }
     h.update_u64(0x7133);  // separator
   }
-  // In-flight messages as a sorted multiset of (memoized) content digests.
-  std::vector<std::uint64_t> digs;
-  for (const net::Message* m : net_.pending()) {
-    digs.push_back(cached ? m->content_digest()
-                          : m->content_digest_uncached());
-  }
-  std::sort(digs.begin(), digs.end());
-  for (std::uint64_t d : digs) h.update_u64(d);
+  // In-flight messages as an order-independent multiset accumulator (the
+  // wrapping sum of mixed content digests, maintained incrementally by
+  // SimNetwork) — O(1) per call instead of re-sorting per-message digests.
+  h.update_u64(cached ? net_.content_digest_acc()
+                      : net_.content_digest_acc_uncached());
   return h.digest();
 }
 

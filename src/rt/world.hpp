@@ -28,6 +28,7 @@
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "net/network.hpp"
 #include "rt/event.hpp"
 #include "rt/hooks.hpp"
@@ -89,10 +90,18 @@ struct ProcessCheckpoint {
   /// Approximate retained size: serialized bytes plus COW page-table cost.
   std::uint64_t size_bytes() const;
 
+  /// Publish this checkpoint across threads (parallel explorer): pins the
+  /// heap snapshot digest and marks its pages so writers COW instead of
+  /// mutating in place. Memoized — repeat calls on a shared entry are O(1).
+  void share_across_threads() const;
+
   /// Wire format (materializes COW heap content; used by the Fig. 4
   /// checkpoint-collection protocol).
   void save(BinaryWriter& w) const;
   void load(BinaryReader& r);
+
+ private:
+  SharedMark xt_marked_;
 };
 
 /// A captured global state: every process plus in-flight network traffic.
@@ -114,6 +123,13 @@ struct WorldSnapshot {
   /// ProcessCheckpoint::size_bytes). Callers that account for sharing
   /// dedupe by entry pointer.
   std::uint64_t size_bytes() const;
+
+  /// Publish this snapshot across threads: every process checkpoint and
+  /// the network snapshot are marked so the receiving thread's world can
+  /// restore and mutate without racing the capturing thread (the parallel
+  /// explorer calls this before pushing a frontier node other workers may
+  /// steal). Amortized O(entries not yet marked).
+  void share_across_threads() const;
 };
 
 /// The deterministic default environment model: the value a process reads
@@ -280,6 +296,14 @@ class World {
   /// Clone the entire world (processes, network, clocks). Hooks, observers
   /// and invariants are NOT cloned; the clone gets a FIFO scheduler.
   std::unique_ptr<World> clone();
+
+  /// Clone the world's *behavior* (process objects, options) and restore
+  /// the given snapshot into it. Const and cache-free, so one thread can
+  /// stamp out N worker worlds from one shared COW snapshot (mark it with
+  /// WorldSnapshot::share_across_threads first when the clones will run on
+  /// different threads). `snap` must have been captured from a world with
+  /// the same process set.
+  std::unique_ptr<World> clone_from_snapshot(const WorldSnapshot& snap) const;
 
   /// Exact state digest: changes iff any state byte changes. Includes
   /// clocks, ids and stats — two runs match iff they are bit-identical.

@@ -498,6 +498,10 @@ TEST_P(NetworkDigestCacheParam, RandomOpsMatchUncached) {
         break;
     }
     ASSERT_EQ(net.digest(), net.digest_uncached()) << "op " << i;
+    // The incremental content-multiset accumulator (mc_digest's network
+    // share) must track every mutation path exactly like the digest does.
+    ASSERT_EQ(net.content_digest_acc(), net.content_digest_acc_uncached())
+        << "op " << i;
     for (const auto& [s, at_capture] : snaps) {
       net::SimNetwork probe;
       probe.restore(s);
@@ -509,6 +513,69 @@ TEST_P(NetworkDigestCacheParam, RandomOpsMatchUncached) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkDigestCacheParam,
                          ::testing::Values(3, 13, 29, 101, 997));
+
+// ---------------------------------------------------------------------------
+// Network content accumulator (the mc_digest in-flight multiset)
+// ---------------------------------------------------------------------------
+
+TEST(NetworkContentAcc, OrderIndependentAcrossSubmitOrders) {
+  // The accumulator hashes the *multiset* of message contents: two
+  // networks holding the same messages enqueued in different orders (and
+  // thus with different ids) must agree.
+  net::SimNetwork a, b;
+  (void)a.submit(mk_msg(0, 1, 1, 0x11, 16));
+  (void)a.submit(mk_msg(1, 2, 2, 0x22, 24));
+  (void)a.submit(mk_msg(2, 0, 3, 0x33, 8));
+  (void)b.submit(mk_msg(2, 0, 3, 0x33, 8));
+  (void)b.submit(mk_msg(0, 1, 1, 0x11, 16));
+  (void)b.submit(mk_msg(1, 2, 2, 0x22, 24));
+  EXPECT_EQ(a.content_digest_acc(), b.content_digest_acc());
+  EXPECT_EQ(a.content_digest_acc(), a.content_digest_acc_uncached());
+}
+
+TEST(NetworkContentAcc, CountsDuplicateContentsAsMultiset) {
+  // Identical contents must not cancel: one copy, two copies and three
+  // copies of the same message are three different multisets.
+  net::SimNetwork net;
+  auto id = net.submit(mk_msg(0, 1, 1, 0x44, 16));
+  ASSERT_TRUE(id);
+  std::uint64_t one = net.content_digest_acc();
+  auto dup = net.duplicate(*id);
+  ASSERT_TRUE(dup);
+  std::uint64_t two = net.content_digest_acc();
+  (void)net.duplicate(*id);
+  std::uint64_t three = net.content_digest_acc();
+  EXPECT_NE(one, two);
+  EXPECT_NE(two, three);
+  EXPECT_NE(one, three);
+  EXPECT_EQ(net.content_digest_acc(), net.content_digest_acc_uncached());
+  // Removing one copy returns to the two-copy multiset.
+  EXPECT_TRUE(net.drop(*dup));
+  EXPECT_EQ(net.content_digest_acc(), two);
+}
+
+TEST(NetworkContentAcc, SnapshotRestoreAdoptsAccumulator) {
+  net::SimNetwork net;
+  (void)net.submit(mk_msg(0, 1, 1, 0x55, 16));
+  std::uint64_t at_capture = net.content_digest_acc();
+  auto snap = net.snapshot();
+  (void)net.submit(mk_msg(1, 0, 2, 0x66, 16));
+  EXPECT_NE(net.content_digest_acc(), at_capture);
+  net.restore(snap);
+  EXPECT_EQ(net.content_digest_acc(), at_capture);
+  EXPECT_EQ(net.content_digest_acc(), net.content_digest_acc_uncached());
+}
+
+TEST(NetworkContentAcc, WorldMcDigestMatchesUncachedAcrossEvents) {
+  // End to end: mc_digest folds the accumulator; it must keep matching the
+  // from-scratch recompute (which bypasses it) while a real app runs.
+  KvConfig cfg;
+  cfg.total_ops = 4;
+  auto w = make_kv_world(2, 2, cfg);
+  for (int i = 0; i < 40 && w->step(); ++i) {
+    ASSERT_EQ(w->mc_digest(), w->mc_digest_uncached()) << "step " << i;
+  }
+}
 
 }  // namespace
 }  // namespace fixd

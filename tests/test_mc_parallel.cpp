@@ -1,0 +1,321 @@
+// Parallel SystemExplorer: differential equivalence against the sequential
+// explorer, trail replay of parallel-found violations, and seeded stress
+// over randomized option mixes.
+//
+// The determinism contract under test (see SysExploreOptions::workers):
+// with dedup on, no sleep sets, and budgets that don't truncate, a graph
+// search sharded across N workers visits *exactly* the sequential
+// explorer's canonical-state set, with identical state/transition/
+// duplicate counts — and every violation it reports carries a trail that
+// re-executes to the same violation on a fresh sequential world.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "apps/kv_store.hpp"
+#include "apps/token_ring.hpp"
+#include "apps/two_phase_commit.hpp"
+#include "common/rng.hpp"
+#include "mc/sysmodel.hpp"
+
+namespace fixd::mc {
+namespace {
+
+using apps::KvConfig;
+using apps::make_kv_world;
+using apps::make_token_ring_world;
+using apps::make_two_pc_world;
+using apps::TokenRingConfig;
+using apps::TwoPcConfig;
+
+struct ModelCase {
+  const char* name;
+  std::function<std::unique_ptr<rt::World>()> make;
+  std::function<void(rt::World&)> installer;
+};
+
+/// Small models whose full reachable graphs fit a test budget. A mix of
+/// clean and buggy protocols: buggy ones exercise concurrent violation
+/// collection (max_violations is effectively unbounded so the searches
+/// still run to completion and stay comparable).
+std::vector<ModelCase> small_models() {
+  std::vector<ModelCase> out;
+  out.push_back({"token-ring-v2-n3",
+                 [] {
+                   TokenRingConfig cfg;
+                   cfg.target_rounds = 1;
+                   return make_token_ring_world(3, 2, cfg);
+                 },
+                 apps::install_token_ring_invariants});
+  out.push_back({"2pc-v2-n3",
+                 [] {
+                   TwoPcConfig cfg;
+                   cfg.total_txns = 1;
+                   return make_two_pc_world(3, 2, cfg);
+                 },
+                 apps::install_two_pc_invariants});
+  out.push_back({"2pc-v1-n3",
+                 [] {
+                   TwoPcConfig cfg;
+                   cfg.total_txns = 1;
+                   return make_two_pc_world(3, 1, cfg);
+                 },
+                 apps::install_two_pc_invariants});
+  // Large enough (~8k states) that all workers stay busy for a while —
+  // the case that exercises sustained stealing and visited-set contention.
+  out.push_back({"2pc-v2-n5",
+                 [] {
+                   TwoPcConfig cfg;
+                   cfg.total_txns = 1;
+                   return make_two_pc_world(5, 2, cfg);
+                 },
+                 apps::install_two_pc_invariants});
+  out.push_back({"kv-v1-n2",
+                 [] {
+                   KvConfig cfg;
+                   cfg.total_ops = 2;
+                   cfg.key_space = 1;
+                   rt::WorldOptions opts;
+                   opts.net = net::NetworkOptions::reordering();
+                   return make_kv_world(2, 1, cfg, opts);
+                 },
+                 apps::install_kv_invariants});
+  return out;
+}
+
+SysExploreOptions differential_opts(SearchOrder order, bool trail,
+                                    std::size_t workers) {
+  SysExploreOptions o;
+  o.order = order;
+  o.max_states = 400000;
+  o.max_depth = 300;  // far beyond these protocols' diameters: no
+                      // truncation, so the visited set is order-free
+  o.max_violations = ~std::size_t{0};  // never stop early
+  o.trail_frontier = trail;
+  o.anchor_interval = 4;
+  o.workers = workers;
+  o.collect_visited = true;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: parallel == sequential
+// ---------------------------------------------------------------------------
+
+class ParallelDifferential
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ParallelDifferential, VisitedSetAndCountsMatchSequential) {
+  auto [model_idx, order_idx, trail] = GetParam();
+  const ModelCase mc = small_models()[model_idx];
+  const SearchOrder order =
+      order_idx == 0 ? SearchOrder::kBfs : SearchOrder::kDfs;
+
+  auto w = mc.make();
+  auto seq_opts = differential_opts(order, trail, 1);
+  seq_opts.install_invariants = mc.installer;
+  SystemExplorer seq(*w, seq_opts);
+  auto ref = seq.explore();
+  ASSERT_FALSE(ref.stats.truncated) << mc.name << ": budget too small";
+  ASSERT_GT(ref.stats.states, 1u);
+
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    auto par_opts = differential_opts(order, trail, workers);
+    par_opts.install_invariants = mc.installer;
+    SystemExplorer par(*w, par_opts);
+    auto got = par.explore();
+    SCOPED_TRACE(std::string(mc.name) + " workers=" +
+                 std::to_string(workers) + (trail ? " trail" : " snap"));
+    EXPECT_FALSE(got.stats.truncated);
+    EXPECT_EQ(got.stats.states, ref.stats.states);
+    EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+    EXPECT_EQ(got.stats.duplicates, ref.stats.duplicates);
+    EXPECT_EQ(got.stats.max_depth, ref.stats.max_depth);
+    EXPECT_EQ(got.visited, ref.visited);
+    EXPECT_EQ(got.stats.workers, workers);
+    // Both sides agree on whether the model has a bug at all.
+    EXPECT_EQ(got.found_violation(), ref.found_violation());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ParallelDifferential,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(0, 1),
+                       ::testing::Bool()));
+
+// Randomized differential: seed-perturbed variants of the kv model (the
+// one with a COW heap, so cross-thread page sharing is exercised) must
+// also match, loss modeling included.
+class RandomizedDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomizedDifferential, PerturbedKvModelsMatch) {
+  Rng rng(GetParam());
+  KvConfig cfg;
+  cfg.total_ops = 2;
+  cfg.key_space = 1 + rng.next_below(2);
+  rt::WorldOptions wopts;
+  wopts.net = net::NetworkOptions::reordering();
+  wopts.seed = 1 + rng.next_u64() % 1000;
+  const int version = rng.next_bool(0.5) ? 1 : 2;
+  auto w = make_kv_world(2, version, cfg, wopts);
+
+  const SearchOrder order =
+      rng.next_bool(0.5) ? SearchOrder::kBfs : SearchOrder::kDfs;
+  const bool trail = rng.next_bool(0.5);
+  auto seq_opts = differential_opts(order, trail, 1);
+  seq_opts.model_message_loss = rng.next_bool(0.5);
+  seq_opts.install_invariants = apps::install_kv_invariants;
+  SystemExplorer seq(*w, seq_opts);
+  auto ref = seq.explore();
+  ASSERT_FALSE(ref.stats.truncated);
+
+  auto par_opts = seq_opts;
+  par_opts.workers = 2 + rng.next_below(5);
+  SystemExplorer par(*w, par_opts);
+  auto got = par.explore();
+  EXPECT_EQ(got.stats.states, ref.stats.states);
+  EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+  EXPECT_EQ(got.visited, ref.visited);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDifferential,
+                         ::testing::Values(5, 17, 43, 91));
+
+// ---------------------------------------------------------------------------
+// Violation trails from any worker replay sequentially
+// ---------------------------------------------------------------------------
+
+class ParallelReplay : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ParallelReplay, EveryParallelViolationTrailReproduces) {
+  const bool trail_frontier = GetParam();
+  TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = make_two_pc_world(3, 1, cfg);
+
+  SysExploreOptions o;
+  o.order = SearchOrder::kBfs;
+  o.max_states = 100000;
+  o.max_depth = 64;
+  o.max_violations = 5;
+  o.trail_frontier = trail_frontier;
+  o.workers = 4;
+  o.install_invariants = apps::install_two_pc_invariants;
+  SystemExplorer ex(*w, o);
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  for (const auto& v : res.violations) {
+    auto reproduced = SystemExplorer::replay_trail(
+        *w, v.trail, apps::install_two_pc_invariants);
+    ASSERT_FALSE(reproduced.empty())
+        << "parallel trail did not reproduce:\n" << v.trail.render();
+    bool same = false;
+    for (const auto& rv : reproduced) {
+      if (rv.invariant == v.violation.invariant) same = true;
+    }
+    EXPECT_TRUE(same) << v.violation.invariant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frontiers, ParallelReplay, ::testing::Bool());
+
+// ---------------------------------------------------------------------------
+// Seeded stress: odd option mixes under small budgets must never crash
+// ---------------------------------------------------------------------------
+
+TEST(ParallelStress, HundredRandomConfigsNoCrash) {
+  Rng rng(20260728);
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    std::unique_ptr<rt::World> w;
+    std::function<void(rt::World&)> installer;
+    switch (rng.next_below(3)) {
+      case 0: {
+        TokenRingConfig cfg;
+        cfg.target_rounds = 1 + rng.next_below(2);
+        w = make_token_ring_world(3, 2, cfg);
+        installer = apps::install_token_ring_invariants;
+        break;
+      }
+      case 1: {
+        TwoPcConfig cfg;
+        cfg.total_txns = 1;
+        w = make_two_pc_world(3, 2, cfg);
+        installer = apps::install_two_pc_invariants;
+        break;
+      }
+      default: {
+        KvConfig cfg;
+        cfg.total_ops = 2;
+        cfg.key_space = 1;
+        w = make_kv_world(2, 2, cfg);
+        installer = apps::install_kv_invariants;
+        break;
+      }
+    }
+
+    SysExploreOptions o;
+    switch (rng.next_below(3)) {
+      case 0: o.order = SearchOrder::kBfs; break;
+      case 1: o.order = SearchOrder::kDfs; break;
+      default: o.order = SearchOrder::kPriority; break;
+    }
+    o.max_states = 50 + rng.next_below(150);
+    o.max_depth = 4 + rng.next_below(20);
+    o.max_violations = 1 + rng.next_below(3);
+    o.model_message_loss = rng.next_bool(0.4);
+    o.model_message_duplication = rng.next_bool(0.3);
+    o.dedup = rng.next_bool(0.8);
+    o.sleep_sets = rng.next_bool(0.3);
+    o.trail_frontier = rng.next_bool(0.5);
+    o.anchor_interval = 1 + rng.next_below(8);
+    static const std::size_t kWorkers[] = {1, 2, 3, 4, 8};
+    o.workers = kWorkers[rng.next_below(5)];
+    o.install_invariants = installer;
+    if (o.order == SearchOrder::kPriority && rng.next_bool(0.7)) {
+      o.priority = [](const rt::World& world) {
+        return static_cast<double>(world.network().pending_count());
+      };
+    }
+
+    SystemExplorer ex(*w, o);
+    SysExploreResult res;
+    ASSERT_NO_THROW(res = ex.explore());
+    EXPECT_GT(res.stats.states, 0u);
+    // Budget overshoot is bounded by one in-flight state per worker, and
+    // a full (non-truncated) search never exceeds the budget.
+    EXPECT_LE(res.stats.states, o.max_states + o.workers);
+    if (!res.stats.truncated) EXPECT_LE(res.stats.states, o.max_states);
+    if (res.stats.states > o.max_states) EXPECT_TRUE(res.stats.truncated);
+    EXPECT_EQ(res.stats.workers, o.workers);
+  }
+}
+
+// With dedup off the state count equals transitions + 1 (a pure tree
+// walk), sequential or parallel — a cheap structural invariant that
+// catches double-counted or dropped nodes under concurrency.
+TEST(ParallelStress, TreeSearchCountsConsistent) {
+  TokenRingConfig cfg;
+  cfg.target_rounds = 1;
+  for (std::size_t workers : {1u, 4u}) {
+    auto w = make_token_ring_world(3, 2, cfg);
+    SysExploreOptions o;
+    o.order = SearchOrder::kBfs;
+    o.dedup = false;
+    o.max_states = 3000;
+    o.max_depth = 10;
+    o.max_violations = ~std::size_t{0};
+    o.workers = workers;
+    o.install_invariants = apps::install_token_ring_invariants;
+    SystemExplorer ex(*w, o);
+    auto res = ex.explore();
+    EXPECT_EQ(res.stats.duplicates, 0u) << "workers=" << workers;
+    EXPECT_EQ(res.stats.states, res.stats.transitions + 1)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace fixd::mc

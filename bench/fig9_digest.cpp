@@ -8,6 +8,10 @@
 //      world with sparse per-event writes — the explore-loop shape.
 //   C. SystemExplorer throughput (states/sec) with the time spent hashing
 //      states broken out, on a real protocol state space.
+//   D. World snapshot + restore per explored node (COW vs deep).
+//   E. World::enabled_events per executed event on worlds with deep
+//      message/timer backlogs — the incremental enabled-event index vs
+//      the from-scratch rescan oracle.
 //
 // Emits BENCH_digest.json next to the binary so the perf trajectory of the
 // digest pipeline is tracked from this PR onward.
@@ -212,6 +216,105 @@ PairResult bench_world_snapshot(std::size_t procs, std::uint64_t heap_bytes,
   return res;
 }
 
+// --- E: enabled-event set per executed event --------------------------------
+// A process that stands up a deep backlog: a pile of far-future timers
+// (kept deep by re-arming on fire) plus circulating ring traffic whose
+// queues deepen behind crashed destinations. The enabled set each step is
+// tiny (the ready/warp group in timed mode) while the world holds
+// thousands of armed timers and queued messages — the shape where the
+// incremental index wins and the per-call rescan pays O(world).
+class BacklogProc final : public rt::ProcessBase<BacklogProc> {
+ public:
+  BacklogProc(std::size_t timers, std::size_t sends)
+      : timers_(timers), sends_(sends) {}
+
+  void on_start(rt::Context& ctx) override {
+    for (std::size_t i = 0; i < timers_; ++i) {
+      ctx.set_timer(100000 + 7 * i + ctx.self(),
+                    static_cast<std::uint32_t>(i % 8));
+    }
+    for (std::size_t i = 0; i < sends_; ++i) {
+      ctx.send((ctx.self() + 1) % ctx.world_size(), 1, {});
+    }
+  }
+
+  void on_message(rt::Context& ctx, const net::Message&) override {
+    ++handled_;
+    ctx.send((ctx.self() + 1) % ctx.world_size(), 1, {});
+  }
+
+  void on_timer(rt::Context& ctx, const rt::Timer& t) override {
+    ctx.set_timer(100000, t.kind);  // keep the timer backlog deep
+  }
+
+  void save_root(BinaryWriter& w) const override {
+    w.write_u64(timers_);
+    w.write_u64(sends_);
+    w.write_u64(handled_);
+  }
+  void load_root(BinaryReader& r) override {
+    timers_ = r.read_u64();
+    sends_ = r.read_u64();
+    handled_ = r.read_u64();
+  }
+  std::string type_name() const override { return "backlog-proc"; }
+
+ private:
+  std::uint64_t timers_;
+  std::uint64_t sends_;
+  std::uint64_t handled_ = 0;
+};
+
+PairResult bench_enabled_set(std::size_t procs, std::size_t timers_per_proc,
+                             std::size_t sends_per_proc, bool abstract_time,
+                             int iters) {
+  rt::WorldOptions opts;
+  opts.abstract_time = abstract_time;
+  auto w = std::make_unique<rt::World>(opts);
+  for (std::size_t i = 0; i < procs; ++i) {
+    w->add_process(
+        std::make_unique<BacklogProc>(timers_per_proc, sends_per_proc));
+  }
+  w->seal();
+  w->run(procs);  // everyone started: backlogs armed and circulating
+  // Crash a quarter of the processes: their timer buckets mask in O(1)
+  // and ring traffic piles up behind their channel heads.
+  for (ProcessId pid = 3; pid < procs; pid += 4) w->set_crashed(pid, true);
+
+  // One event executes between measured calls (the explore/run shape),
+  // but only the enabled-set call itself is inside the timed region —
+  // the gate must compare the two call costs, not step() overhead.
+  PairResult res;
+  std::uint64_t sink = 0;
+  WallTimer t;
+  double acc_ms = 0;
+  for (int i = 0; i < iters; ++i) {
+    w->step();
+    t.reset();
+    sink ^= w->enabled_events().size();
+    acc_ms += t.ms();
+  }
+  res.cached_us = acc_ms * 1000.0 / iters;
+
+  acc_ms = 0;
+  for (int i = 0; i < iters; ++i) {
+    w->step();
+    t.reset();
+    sink ^= w->enabled_events_uncached().size();
+    acc_ms += t.ms();
+  }
+  res.uncached_us = acc_ms * 1000.0 / iters;
+
+  // Exact-equality spot check, order included (the test suite proves it
+  // across every mutation path).
+  if (w->enabled_events() != w->enabled_events_uncached()) {
+    std::fprintf(stderr, "FATAL: enabled-event index diverged\n");
+    std::abort();
+  }
+  (void)sink;
+  return res;
+}
+
 }  // namespace
 
 int main() {
@@ -269,6 +372,27 @@ int main() {
   bench::row("%-10s %12.2f %14.2f %8.1fx", "16p x 1MiB", snap16.cached_us,
              snap16.uncached_us, snap16.speedup());
 
+  bench::header(
+      "E. World::enabled_events per executed event (deep message/timer "
+      "backlogs, quarter of procs crashed)");
+  bench::row("%-22s %12s %14s %9s", "world", "index us", "uncached us",
+             "speedup");
+  bench::rule();
+  // Timed mode: the ready/warp group is a handful of events while the
+  // world holds thousands of armed timers and queued messages — the
+  // explore/run hot-path shape the index targets. Gate: >= 5x at 16p.
+  PairResult en16 = bench_enabled_set(16, 256, 32, /*abstract=*/false, 2000);
+  PairResult en64 = bench_enabled_set(64, 128, 16, /*abstract=*/false, 1000);
+  // Abstract mode materializes the whole enabled set (output-sized on
+  // both sides); reported for honesty, not gated.
+  PairResult en16a = bench_enabled_set(16, 256, 32, /*abstract=*/true, 400);
+  bench::row("%-22s %12.2f %14.2f %8.1fx", "16p timed", en16.cached_us,
+             en16.uncached_us, en16.speedup());
+  bench::row("%-22s %12.2f %14.2f %8.1fx", "64p timed", en64.cached_us,
+             en64.uncached_us, en64.speedup());
+  bench::row("%-22s %12.2f %14.2f %8.1fx", "16p abstract", en16a.cached_us,
+             en16a.uncached_us, en16a.speedup());
+
   // Machine-readable trajectory record.
   FILE* f = std::fopen("BENCH_digest.json", "w");
   if (f) {
@@ -295,7 +419,16 @@ int main() {
         "  \"explorer_states_per_sec\": %.0f,\n"
         "  \"explorer_trail_wall_ms\": %.2f,\n"
         "  \"explorer_trail_peak_frontier_bytes\": %llu,\n"
-        "  \"explorer_trail_states_per_sec\": %.0f\n"
+        "  \"explorer_trail_states_per_sec\": %.0f,\n"
+        "  \"enabled16_timed_index_us\": %.3f,\n"
+        "  \"enabled16_timed_uncached_us\": %.3f,\n"
+        "  \"enabled16_timed_speedup\": %.2f,\n"
+        "  \"enabled64_timed_index_us\": %.3f,\n"
+        "  \"enabled64_timed_uncached_us\": %.3f,\n"
+        "  \"enabled64_timed_speedup\": %.2f,\n"
+        "  \"enabled16_abstract_index_us\": %.3f,\n"
+        "  \"enabled16_abstract_uncached_us\": %.3f,\n"
+        "  \"enabled16_abstract_speedup\": %.2f\n"
         "}\n",
         heap_small.cached_us, heap_small.uncached_us, heap_small.speedup(),
         heap_big.cached_us, heap_big.uncached_us, heap_big.speedup(),
@@ -306,15 +439,22 @@ int main() {
         (unsigned long long)ex.stats.peak_frontier_bytes,
         ex.stats.states_per_sec(), ext.stats.wall_ms,
         (unsigned long long)ext.stats.peak_frontier_bytes,
-        ext.stats.states_per_sec());
+        ext.stats.states_per_sec(), en16.cached_us, en16.uncached_us,
+        en16.speedup(), en64.cached_us, en64.uncached_us, en64.speedup(),
+        en16a.cached_us, en16a.uncached_us, en16a.speedup());
     std::fclose(f);
     std::printf("\nwrote BENCH_digest.json\n");
   }
 
   std::printf(
-      "\nShape check: digesting OR capturing a world after one event costs\n"
-      "O(changed state), not O(total state); the trail frontier holds the\n"
-      "same state set in a fraction of the memory. The nonzero exit below\n"
-      "is the perf regression gate (world digest >= 5x, snapshot >= 5x).\n");
-  return (world16.speedup() >= 5.0 && snap16.speedup() >= 5.0) ? 0 : 1;
+      "\nShape check: digesting, capturing, OR asking \"what can fire\n"
+      "next?\" after one event costs O(changed state), not O(total state);\n"
+      "the trail frontier holds the same state set in a fraction of the\n"
+      "memory. The nonzero exit below is the perf regression gate (world\n"
+      "digest >= 5x, snapshot >= 5x, enabled set >= 5x on the 16p timed\n"
+      "backlog workload).\n");
+  return (world16.speedup() >= 5.0 && snap16.speedup() >= 5.0 &&
+          en16.speedup() >= 5.0)
+             ? 0
+             : 1;
 }

@@ -49,8 +49,16 @@ struct ExploreStats {
   double digest_ms = 0.0;  ///< wall time spent hashing states for dedup
   double snapshot_ms = 0.0;  ///< wall time spent capturing frontier states
   /// Peak retained frontier memory, shared buffers (COW checkpoints,
-  /// message payloads) counted once (SystemExplorer only).
+  /// message payloads) counted once (SystemExplorer only). Exact for
+  /// sequential searches; with workers > 1 it is the sum of per-worker
+  /// meter peaks — an upper bound (worker peaks need not be simultaneous,
+  /// buffers shared across workers are charged once per worker, and in
+  /// deque orders stolen nodes stay charged on the worker that pushed
+  /// them; kPriority pairs every charge/refund under the heap mutex).
   std::uint64_t peak_frontier_bytes = 0;
+  /// Parallel searches: the largest single-worker contribution to the
+  /// peak_frontier_bytes sum (0 when workers == 1).
+  std::uint64_t peak_frontier_bytes_max_worker = 0;
   /// Actions re-executed to rebuild popped states from their anchors
   /// (trail-frontier mode only; 0 in snapshot mode).
   std::uint64_t replayed_actions = 0;

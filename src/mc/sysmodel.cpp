@@ -37,9 +37,17 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
 /// Peak-frontier accounting with sharing awareness: COW checkpoint and
 /// message buffers referenced by several frontier nodes are charged once
 /// (pointer-keyed refcounts), so snapshot-mode and trail-mode numbers are
-/// honestly comparable. Sequential searches only — the parallel explorer
-/// reports peak_frontier_bytes = 0 rather than serialize every push on a
-/// shared refcount map.
+/// honestly comparable. The sequential search keeps one exact meter. The
+/// parallel search gives each worker a private meter (Node::owner tags
+/// the pusher). Deque orders: a worker charges at push and refunds only
+/// nodes it both pushed and popped, so the rare stolen node stays
+/// charged on its victim's meter — per-worker peaks are upper bounds
+/// with slack bounded by steal traffic. kPriority: every pop comes from
+/// the shared heap, so charge AND refund both run under pq_mu against
+/// the owner's meter and always pair. Either way the merged
+/// peak_frontier_bytes (sum of peaks) bounds that run's shared-aware
+/// peak from above, with no cross-thread meter access outside pq_mu and
+/// no shared refcounts.
 class SystemExplorer::FrontierMeter {
  public:
   void push(const Node& n) {
@@ -143,6 +151,8 @@ struct SystemExplorer::Worker {
   std::size_t id = 0;
   std::unique_ptr<rt::World> world;
   StealableDeque<Node> deque;
+  /// Private frontier meter (owner-paired charges; see FrontierMeter).
+  FrontierMeter meter;
   /// This worker's reachability-graph edges. Only the owner appends
   /// (std::deque keeps existing element addresses stable across
   /// push_back); other workers read nodes through raw parent pointers
@@ -201,9 +211,24 @@ std::vector<SysAction> SystemExplorer::enabled_actions(rt::World& w) const {
     out.push_back(a);
   }
   if (opts_.model_message_loss || opts_.model_message_duplication) {
-    for (MsgId id : w.network().deliverable()) {
-      const net::Message* m = w.network().peek(id);
-      if (m->control) continue;  // FixD's own protocol stays reliable
+    // Enumerate from the network's incremental deliverable index (the
+    // control flag is cached in the entries, so no per-message lookups);
+    // the canonical order is globally ascending message id. The
+    // uncached-oracle toggle covers this consumer too, so a bypassed
+    // world's whole action set really is index-free.
+    std::vector<std::pair<MsgId, bool>> deliv;
+    if (w.use_enabled_index()) {
+      for (const auto& [dst, b] : w.network().deliv_index()) {
+        for (const auto& [id, e] : b.by_id) deliv.emplace_back(id, e.control);
+      }
+      std::sort(deliv.begin(), deliv.end());
+    } else {
+      for (MsgId id : w.network().deliverable()) {
+        deliv.emplace_back(id, w.network().peek(id)->control);
+      }
+    }
+    for (const auto& [id, control] : deliv) {
+      if (control) continue;  // FixD's own protocol stays reliable
       if (opts_.model_message_loss) {
         SysAction a;
         a.kind = SysAction::Kind::kDropMessage;
@@ -594,13 +619,19 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
 
     // active must rise before the node becomes visible, so an idle worker
     // can never observe "no work anywhere" while this child is in flight.
+    child.owner = static_cast<std::uint32_t>(me.id);
     sh.active.fetch_add(1);
     if (opts_.order == SearchOrder::kPriority) {
       if (opts_.priority) child.priority = opts_.priority(w);
+      // kPriority meter ops all run under pq_mu (see worker_loop): every
+      // pop comes from the shared heap, so the popper refunds the
+      // *owner's* meter there — charge/refund always pair.
       std::lock_guard<std::mutex> lk(sh.pq_mu);
+      me.meter.push(child);
       sh.heap.push_back(std::move(child));
       std::push_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
     } else {
+      me.meter.push(child);
       me.deque.push_back(std::move(child));
     }
   }
@@ -621,6 +652,9 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
         cur = std::move(sh.heap.back());
         sh.heap.pop_back();
         got = true;
+        // Every kPriority pop is from the shared heap; refund the meter
+        // that charged this node, under the same mutex its push used.
+        sh.workers[cur.owner]->meter.pop(cur);
       }
     } else {
       got = lifo ? me.deque.pop_back(cur) : me.deque.pop_front(cur);
@@ -629,6 +663,11 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
           got = sh.workers[(me.id + k) % n]->deque.steal(cur, lifo);
         }
         if (got) ++me.stats.steals;
+      }
+      if (got && cur.owner == me.id) {
+        // Refund only nodes this worker's meter charged; a stolen node
+        // stays charged on its victim (the merged peak is an upper bound).
+        me.meter.pop(cur);
       }
     }
     if (!got) {
@@ -696,6 +735,8 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   }
 
   sh.active.store(1);
+  root.owner = 0;
+  sh.workers[0]->meter.push(root);
   if (opts_.order == SearchOrder::kPriority) {
     if (opts_.priority) root.priority = opts_.priority(*scratch_);
     sh.heap.push_back(std::move(root));
@@ -729,6 +770,10 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
     res.stats.snapshot_ms += wk->stats.snapshot_ms;
     res.stats.replayed_actions += wk->stats.replayed_actions;
     res.stats.steals += wk->stats.steals;
+    // Sum-of-peaks upper bound plus the largest single-worker share.
+    res.stats.peak_frontier_bytes += wk->meter.peak();
+    res.stats.peak_frontier_bytes_max_worker =
+        std::max(res.stats.peak_frontier_bytes_max_worker, wk->meter.peak());
     for (auto& v : wk->violations) res.violations.push_back(std::move(v));
   }
   res.stats.workers = n_workers;
@@ -744,36 +789,131 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   return res;
 }
 
+// Walks are embarrassingly parallel: each is an independent seeded
+// trajectory from the investigated root. The per-walk RNG is derived from
+// (seed, walk index) — never shared across walks — so sharding the walk
+// budget over workers cannot change any trajectory: workers == k runs
+// exactly the walks workers == 1 runs (violations are re-sorted into walk
+// order). The only divergence is the early stop: a parallel run may
+// finish the few walks in flight when the violation budget fills, so it
+// can report slightly more walks' worth of violations than a sequential
+// run that stopped between walks.
 SysExploreResult SystemExplorer::random_walk() {
   SysExploreResult res;
-  Rng rng(opts_.seed);
-  std::deque<PathNode> arena;
 
   rt::WorldSnapshot root = scratch_->snapshot(/*cow=*/true);
-  for (std::size_t walk = 0; walk < opts_.walk_restarts; ++walk) {
-    scratch_->restore(root);
-    scratch_->clear_violations();
+
+  /// One walk on `w`, appending (walk-tagged) violations to `out`.
+  auto run_walk = [&](rt::World& w, std::deque<PathNode>& arena,
+                      std::size_t walk, ExploreStats& stats,
+                      std::vector<std::pair<std::size_t, SysViolation>>& out)
+      -> std::size_t {
+    Rng rng(hash_combine(opts_.seed, walk));
+    w.restore(root);
+    w.clear_violations();
+    std::size_t found = 0;
     const PathNode* cur_path = nullptr;
     for (std::size_t d = 0; d < opts_.max_depth; ++d) {
-      auto actions = enabled_actions(*scratch_);
+      auto actions = enabled_actions(w);
       if (actions.empty()) break;
       const SysAction& a = actions[rng.next_below(actions.size())];
-      apply_action(*scratch_, a);
-      ++res.stats.transitions;
-      ++res.stats.states;
+      apply_action(w, a);
+      ++stats.transitions;
+      ++stats.states;
       arena.push_back({cur_path, a});
       cur_path = &arena.back();
-      res.stats.max_depth =
-          std::max<std::uint64_t>(res.stats.max_depth, d + 1);
-      if (!scratch_->violations().empty()) {
-        for (const rt::Violation& v : scratch_->violations()) {
-          res.violations.push_back({v, trail_of(cur_path), d + 1});
+      stats.max_depth = std::max<std::uint64_t>(stats.max_depth, d + 1);
+      if (!w.violations().empty()) {
+        for (const rt::Violation& v : w.violations()) {
+          out.push_back({walk, {v, trail_of(cur_path), d + 1}});
+          ++found;
         }
         break;
       }
     }
-    if (res.violations.size() >= opts_.max_violations) break;
+    return found;
+  };
+
+  const std::size_t n_workers = std::min<std::size_t>(
+      std::max<std::size_t>(1, opts_.workers),
+      std::max<std::size_t>(1, opts_.walk_restarts));
+
+  std::vector<std::pair<std::size_t, SysViolation>> tagged;
+  if (n_workers <= 1) {
+    std::deque<PathNode> arena;
+    std::size_t found = 0;
+    for (std::size_t walk = 0; walk < opts_.walk_restarts; ++walk) {
+      found += run_walk(*scratch_, arena, walk, res.stats, tagged);
+      if (found >= opts_.max_violations) break;
+    }
+  } else {
+    root.share_across_threads();
+    std::atomic<std::size_t> next_walk{0};
+    std::atomic<std::size_t> violation_count{0};
+    std::atomic<bool> stop{false};
+    std::mutex err_mu;
+    std::string error;
+
+    struct WalkWorker {
+      std::unique_ptr<rt::World> world;
+      std::deque<PathNode> arena;
+      ExploreStats stats;
+      std::vector<std::pair<std::size_t, SysViolation>> violations;
+    };
+    std::vector<WalkWorker> workers(n_workers);
+    for (auto& wk : workers) {
+      wk.world = scratch_->clone_from_snapshot(root);
+      if (opts_.install_invariants) opts_.install_invariants(*wk.world);
+    }
+
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(n_workers);
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        threads.emplace_back([&, i] {
+          WalkWorker& me = workers[i];
+          try {
+            while (!stop.load(std::memory_order_acquire)) {
+              std::size_t walk = next_walk.fetch_add(1);
+              if (walk >= opts_.walk_restarts) return;
+              std::size_t found = run_walk(*me.world, me.arena, walk,
+                                           me.stats, me.violations);
+              if (found > 0 && violation_count.fetch_add(found) + found >=
+                                   opts_.max_violations) {
+                stop.store(true, std::memory_order_release);
+              }
+            }
+          } catch (const std::exception& e) {
+            {
+              std::lock_guard<std::mutex> lk(err_mu);
+              if (error.empty()) error = e.what();
+            }
+            stop.store(true, std::memory_order_release);
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    if (!error.empty()) {
+      throw FixdError("parallel random walk worker failed: " + error);
+    }
+
+    for (auto& wk : workers) {
+      res.stats.transitions += wk.stats.transitions;
+      res.stats.states += wk.stats.states;
+      res.stats.max_depth = std::max(res.stats.max_depth, wk.stats.max_depth);
+      for (auto& v : wk.violations) tagged.push_back(std::move(v));
+    }
+    // Walks complete in nondeterministic worker order; walk-index order is
+    // the sequential report order.
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
   }
+  res.stats.workers = n_workers;
+  res.violations.reserve(tagged.size());
+  for (auto& [walk, v] : tagged) res.violations.push_back(std::move(v));
   return res;
 }
 

@@ -61,10 +61,14 @@ struct SysExploreOptions {
   /// anchor reaches this many actions (trades replay time for memory).
   std::size_t anchor_interval = 8;
 
-  /// Worker threads for graph searches (kDfs/kBfs/kPriority). 1 = the
-  /// sequential explorer. With more, the frontier is sharded across
-  /// workers (one private scratch world each, work-stealing deques, a
-  /// lock-striped visited set; kPriority shares one mutex-guarded heap).
+  /// Worker threads. 1 = the sequential explorer. For graph searches
+  /// (kDfs/kBfs/kPriority) the frontier is sharded across workers (one
+  /// private scratch world each, work-stealing deques, a lock-striped
+  /// visited set; kPriority shares one mutex-guarded heap). kRandomWalk
+  /// shards the walk budget instead: each walk draws from an RNG derived
+  /// from (seed, walk index), so any worker count runs the exact same
+  /// trajectories — results match the sequential walk modulo the early
+  /// stop when max_violations fills mid-flight.
   ///
   /// Determinism contract (tested by tests/test_mc_parallel.cpp): with
   /// dedup on, no sleep sets, and budgets that don't truncate, the
@@ -151,6 +155,9 @@ class SystemExplorer {
     std::size_t depth = 0;
     double priority = 0.0;
     std::vector<SleepEntry> sleep;
+    /// Parallel searches: index of the worker that pushed this node, so
+    /// frontier-meter refunds pair with the meter that charged it.
+    std::uint32_t owner = 0;
   };
 
   class FrontierMeter;

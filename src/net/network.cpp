@@ -44,6 +44,58 @@ void SimNetwork::touch_channel(const ChannelKey& key) {
   touch();
 }
 
+void SimNetwork::idx_add(ProcessId dst, MsgId id, const DeliverableEntry& e) {
+  if (!deliv_valid_) return;
+  deliv_index_[dst].add(id, e);
+  if (listener_) listener_->on_deliverable_add(dst, id, e);
+}
+
+void SimNetwork::idx_remove(ProcessId dst, MsgId id) {
+  if (!deliv_valid_) return;
+  auto it = deliv_index_.find(dst);
+  if (it == deliv_index_.end() || !it->second.remove(id)) return;
+  if (it->second.empty()) deliv_index_.erase(it);
+  if (listener_) listener_->on_deliverable_remove(dst, id);
+}
+
+void SimNetwork::idx_add_head(const std::deque<MsgId>& q) {
+  if (!deliv_valid_ || q.empty()) return;
+  const Message& m = *messages_.at(q.front());
+  idx_add(m.dst, m.id, {m.sent_at + m.latency, m.control});
+}
+
+void SimNetwork::idx_invalidate() {
+  // Flag-only: this rides the explorer's restore-per-transition path, and
+  // most invalidations are superseded by the next one before any enabled-
+  // set query happens (sibling transitions). ensure_deliv_index() clears.
+  deliv_valid_ = false;
+}
+
+void SimNetwork::ensure_deliv_index() const {
+  if (deliv_valid_) return;
+  // Rebuild in place: empty the buckets but keep their storage (and the
+  // map nodes for recurring destinations) — the explorer rebuilds once
+  // per expansion over near-identical destination sets, so steady-state
+  // rebuilds allocate nothing.
+  for (auto& [dst, b] : deliv_index_) b.clear();
+  if (options_.fifo) {
+    for (const auto& [key, q] : channels_) {
+      if (q.empty()) continue;
+      const Message& m = *messages_.at(q.front());
+      deliv_index_[m.dst].add(m.id, {m.sent_at + m.latency, m.control});
+    }
+  } else {
+    for (const auto& [id, m] : messages_) {
+      deliv_index_[m->dst].add(id, {m->sent_at + m->latency, m->control});
+    }
+  }
+  std::erase_if(deliv_index_, [](const auto& kv) {
+    return kv.second.empty();
+  });
+  deliv_valid_ = true;
+  ++deliv_epoch_;  // delta-mirroring consumers must resync wholesale
+}
+
 void SimNetwork::enqueue(Message msg) {
   MsgId id = msg.id;
   // Every pending message carries warm digest memos, so state hashing over
@@ -51,8 +103,14 @@ void SimNetwork::enqueue(Message msg) {
   msg.warm_digest_memo();
   content_acc_ += acc_term(msg.content_digest());
   ChannelKey key{msg.src, msg.dst};
-  channels_[key].push_back(id);
+  auto& q = channels_[key];
+  q.push_back(id);
   touch_channel(key);
+  // FIFO: the message is deliverable only when it heads its channel;
+  // reordering: every pending message is deliverable.
+  if (!options_.fifo || q.size() == 1) {
+    idx_add(msg.dst, id, {msg.sent_at + msg.latency, msg.control});
+  }
   messages_.emplace(id, std::make_shared<Message>(std::move(msg)));
 }
 
@@ -141,6 +199,8 @@ Message SimNetwork::take(MsgId id) {
   FIXD_CHECK(qit != q.end());
   q.erase(qit);
   touch_channel(key);
+  idx_remove(sp->dst, id);
+  if (options_.fifo) idx_add_head(q);  // the next message becomes the head
   content_acc_ -= acc_term(sp->content_digest());
   ++stats_.delivered;
   stats_.bytes_delivered += sp->payload.size();
@@ -159,11 +219,17 @@ bool SimNetwork::drop(MsgId id, bool forced) {
   if (it == messages_.end()) return false;
   ChannelKey key{it->second->src, it->second->dst};
   content_acc_ -= acc_term(it->second->content_digest());
+  const ProcessId dst = it->second->dst;
   auto& q = channels_[key];
+  const bool was_head = !q.empty() && q.front() == id;
   auto qit = std::find(q.begin(), q.end(), id);
   if (qit != q.end()) q.erase(qit);
   messages_.erase(it);
   touch_channel(key);
+  if (!options_.fifo || was_head) {
+    idx_remove(dst, id);
+    if (options_.fifo) idx_add_head(q);
+  }
   if (forced) {
     ++stats_.dropped_forced;
   } else {
@@ -226,6 +292,15 @@ bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   m.warm_digest_memo();  // re-pin after the mutation
   content_acc_ += acc_term(m.content_digest());
   touch_channel({m.src, m.dst});
+  // Refresh the deliverable entry: the mutation may have changed the
+  // ready time (sent_at/latency) or the control flag.
+  if (deliv_valid_) {
+    auto bit = deliv_index_.find(m.dst);
+    if (bit != deliv_index_.end() && bit->second.contains(id)) {
+      idx_remove(m.dst, id);
+      idx_add(m.dst, id, {m.sent_at + m.latency, m.control});
+    }
+  }
   it->second = std::make_shared<Message>(std::move(m));
   return true;
 }
@@ -306,6 +381,7 @@ void SimNetwork::load(BinaryReader& r) {
   stats_.bytes_delivered = r.read_u64();
   channel_digest_cache_.clear();
   touch();
+  idx_invalidate();
 }
 
 std::shared_ptr<const NetSnapshot> SimNetwork::snapshot() const {
@@ -338,6 +414,10 @@ void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
   channel_digest_cache_ = snap->channel_digests;
   digest_memo_ = snap->digest_memo;
   content_acc_ = snap->content_acc;
+  // The deliverable index is rebuilt lazily at the next enabled-set
+  // query, not copied per restore: the explorer restores once per
+  // transition but asks "what can fire next?" once per expansion.
+  idx_invalidate();
   snap_cache_ = snap;
 }
 

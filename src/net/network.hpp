@@ -19,11 +19,13 @@
 // world snapshots capture in-flight traffic.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -71,6 +73,122 @@ struct NetworkOptions {
     o.seed = seed;
     return o;
   }
+};
+
+/// One deliverable message as tracked by the incremental deliverable
+/// index: the ready time and control flag are cached in the entry so
+/// enabled-set materialization needs no per-message map lookup.
+struct DeliverableEntry {
+  VirtualTime at = 0;    ///< sent_at + latency (refreshed by mutate)
+  bool control = false;  ///< FixD control-plane traffic
+
+  auto operator<=>(const DeliverableEntry&) const = default;
+};
+
+/// Per-destination bucket of currently deliverable messages. Stored flat:
+/// `by_id` is a vector sorted by ascending id (the canonical
+/// materialization order), so copying a bucket into/out of a snapshot is
+/// one allocation plus a memcpy — this sits on the explorer's
+/// restore-per-transition hot path. The ready-time ordering that
+/// timed-mode time-warp selection iterates is derived lazily (`at_view`),
+/// so abstract-time exploration never pays for maintaining it.
+struct DeliverableBucket {
+  /// (id, entry), ascending by id.
+  std::vector<std::pair<MsgId, DeliverableEntry>> by_id;
+
+  // Copies travel through snapshots; they drop the derived at view (the
+  // receiver rebuilds it lazily if it ever runs timed) so the hot-path
+  // copy is the one flat by_id buffer. Moves keep it.
+  DeliverableBucket() = default;
+  DeliverableBucket(const DeliverableBucket& o) : by_id(o.by_id) {}
+  DeliverableBucket& operator=(const DeliverableBucket& o) {
+    by_id = o.by_id;
+    by_at_.clear();
+    at_valid_ = false;
+    return *this;
+  }
+  DeliverableBucket(DeliverableBucket&&) = default;
+  DeliverableBucket& operator=(DeliverableBucket&&) = default;
+
+  std::size_t size() const { return by_id.size(); }
+  bool empty() const { return by_id.empty(); }
+  bool contains(MsgId id) const {
+    auto it = lower_bound(id);
+    return it != by_id.end() && it->first == id;
+  }
+  /// Earliest ready time in the bucket (bucket must be nonempty).
+  VirtualTime min_at() const { return at_view().front().first; }
+
+  /// (at, id) ascending; rebuilt on first use after a mutation.
+  const std::vector<std::pair<VirtualTime, MsgId>>& at_view() const {
+    if (!at_valid_) {
+      by_at_.clear();
+      by_at_.reserve(by_id.size());
+      for (const auto& [id, e] : by_id) by_at_.emplace_back(e.at, id);
+      std::sort(by_at_.begin(), by_at_.end());
+      at_valid_ = true;
+    }
+    return by_at_;
+  }
+
+  void add(MsgId id, DeliverableEntry e) {
+    // Ids are assigned monotonically, so inserts land at the back in the
+    // common case and the sorted insert degenerates to a push_back.
+    by_id.insert(lower_bound(id), {id, e});
+    at_valid_ = false;
+  }
+
+  /// Empty the bucket keeping its capacity (rebuild reuse).
+  void clear() {
+    by_id.clear();
+    at_valid_ = false;
+  }
+
+  /// Remove `id` if present; returns whether it was.
+  bool remove(MsgId id) {
+    auto it = lower_bound(id);
+    if (it == by_id.end() || it->first != id) return false;
+    by_id.erase(it);
+    at_valid_ = false;
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<MsgId, DeliverableEntry>>::const_iterator
+  lower_bound(MsgId id) const {
+    return std::lower_bound(
+        by_id.begin(), by_id.end(), id,
+        [](const auto& p, MsgId v) { return p.first < v; });
+  }
+  std::vector<std::pair<MsgId, DeliverableEntry>>::iterator
+  lower_bound(MsgId id) {
+    return std::lower_bound(
+        by_id.begin(), by_id.end(), id,
+        [](const auto& p, MsgId v) { return p.first < v; });
+  }
+
+  mutable std::vector<std::pair<VirtualTime, MsgId>> by_at_;
+  mutable bool at_valid_ = false;
+};
+
+/// dst -> deliverable bucket; empty buckets are erased so iterating the
+/// index touches only destinations that actually have deliverable traffic.
+using DeliverableIndex = std::map<ProcessId, DeliverableBucket>;
+
+/// Observer of deliverable-set deltas. While the deliverable index is
+/// live, SimNetwork publishes an add/remove for every change to "which
+/// message may be delivered next" (submit, take, drop, duplicate, mutate,
+/// reinject). When the whole in-flight state is replaced (restore / load)
+/// the index is merely invalidated — no deltas fire — and the consumer
+/// detects the rebuild through deliv_epoch() and resyncs wholesale. The
+/// World maintains its enabled-event index from exactly this protocol —
+/// see docs/PERF.md for the invalidation contract.
+class DeliverableListener {
+ public:
+  virtual ~DeliverableListener() = default;
+  virtual void on_deliverable_add(ProcessId dst, MsgId id,
+                                  const DeliverableEntry& e) = 0;
+  virtual void on_deliverable_remove(ProcessId dst, MsgId id) = 0;
 };
 
 /// An immutable capture of in-flight network state. Per-message buffers
@@ -122,7 +240,55 @@ class SimNetwork {
 
   /// Ids currently eligible for delivery, in deterministic (ascending id
   /// within channel-order) sequence. FIFO mode: one per nonempty channel.
+  /// Recomputed from scratch per call — this is the verification oracle
+  /// for the incremental deliverable index below, mirroring the
+  /// digest/digest_uncached split.
   std::vector<MsgId> deliverable() const;
+
+  /// The incrementally maintained deliverable set, bucketed by
+  /// destination: updated in O(log) at every submit/take/drop/duplicate/
+  /// mutate/reinject while live, and *invalidated* (not copied) when the
+  /// whole in-flight state is replaced (restore / load) — the accessors
+  /// below rebuild it lazily on first use afterwards, so the explorer's
+  /// restore-per-transition loop pays one rebuild per expansion at most
+  /// and a live run pays none. Contains the same ids as deliverable(),
+  /// keyed with their ready times, regardless of whether the destination
+  /// can currently receive (receivability is the World's concern — it
+  /// masks whole buckets by process lifecycle state).
+  const DeliverableIndex& deliv_index() const {
+    ensure_deliv_index();
+    return deliv_index_;
+  }
+
+  /// Bucket for one destination (nullptr when it has no deliverable
+  /// traffic) and its size; O(log buckets).
+  const DeliverableBucket* deliv_bucket(ProcessId dst) const {
+    ensure_deliv_index();
+    auto it = deliv_index_.find(dst);
+    return it == deliv_index_.end() ? nullptr : &it->second;
+  }
+  std::size_t deliv_bucket_size(ProcessId dst) const {
+    const DeliverableBucket* b = deliv_bucket(dst);
+    return b ? b->size() : 0;
+  }
+
+  /// Rebuild the deliverable index now if a restore/load invalidated it.
+  /// Idempotent and cheap when already valid; bumps deliv_epoch() on an
+  /// actual rebuild.
+  void ensure_deliv_index() const;
+
+  /// False between a wholesale state replacement and the next rebuild.
+  /// While false, mutations skip index upkeep entirely (no deltas fire).
+  bool deliv_index_valid() const { return deliv_valid_; }
+
+  /// Incremented on every wholesale index rebuild. A consumer mirroring
+  /// the index through deltas compares epochs to detect that it must
+  /// resync from scratch instead.
+  std::uint64_t deliv_epoch() const { return deliv_epoch_; }
+
+  /// Install the deliverable-delta observer (one per network; the owning
+  /// World). Pass nullptr to detach.
+  void set_deliverable_listener(DeliverableListener* l) { listener_ = l; }
 
   /// All in-flight messages (deliverable or queued behind channel heads).
   std::vector<const Message*> pending() const;
@@ -202,6 +368,15 @@ class SimNetwork {
   void enqueue(Message msg);
   VirtualTime draw_latency();
 
+  /// Deliverable-index deltas (publish to the listener); no-ops while the
+  /// index is invalidated. idx_add_head re-adds the new head of a FIFO
+  /// channel after its old head left.
+  void idx_add(ProcessId dst, MsgId id, const DeliverableEntry& e);
+  void idx_remove(ProcessId dst, MsgId id);
+  void idx_add_head(const std::deque<MsgId>& q);
+  /// Drop the index (wholesale state replacement; rebuilt lazily).
+  void idx_invalidate();
+
   /// Any state changed (stats/RNG included): drop the whole-network memo
   /// and the snapshot cache.
   void touch();
@@ -221,6 +396,12 @@ class SimNetwork {
   NetStats stats_;
   /// Incremental content-multiset accumulator (see content_digest_acc).
   std::uint64_t content_acc_ = 0;
+  /// Incremental deliverable index (see deliv_index()); mutable for the
+  /// lazy rebuild under const accessors, like the digest memos.
+  mutable DeliverableIndex deliv_index_;
+  mutable bool deliv_valid_ = true;
+  mutable std::uint64_t deliv_epoch_ = 0;
+  DeliverableListener* listener_ = nullptr;
   /// Per-channel digest cache; presence of a key == valid.
   mutable std::map<ChannelKey, std::uint64_t> channel_digest_cache_;
   mutable std::optional<std::uint64_t> digest_memo_;

@@ -43,8 +43,14 @@ class TimerQueue {
 
   const Timer* find(TimerId id) const;
 
-  /// All armed timers, sorted by (deadline, id).
+  /// All armed timers, sorted by (deadline, id). Returns a copy; prefer
+  /// view() on hot paths.
   std::vector<Timer> armed() const;
+
+  /// Zero-copy view of the armed timers, sorted by (deadline, id). The
+  /// sorted order doubles as the at-keyed ordering the timed-mode
+  /// enabled-set selection iterates (prefix of ready deadlines).
+  const std::vector<Timer>& view() const { return timers_; }
 
   std::optional<VirtualTime> earliest_deadline() const;
 

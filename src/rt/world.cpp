@@ -169,15 +169,21 @@ class World::Ctx final : public Context {
   }
 
   TimerId set_timer(VirtualTime delay, std::uint32_t kind) override {
-    return w_.infos_[pid_].timers.arm(w_.now_, delay, kind);
+    TimerId id = w_.infos_[pid_].timers.arm(w_.now_, delay, kind);
+    w_.eidx_sync_timers(pid_);
+    return id;
   }
 
   bool cancel_timer(TimerId id) override {
-    return w_.infos_[pid_].timers.cancel(id);
+    bool ok = w_.infos_[pid_].timers.cancel(id);
+    if (ok) w_.eidx_sync_timers(pid_);
+    return ok;
   }
 
   std::size_t cancel_timers(std::uint32_t kind) override {
-    return w_.infos_[pid_].timers.cancel_by_kind(kind);
+    std::size_t n = w_.infos_[pid_].timers.cancel_by_kind(kind);
+    if (n > 0) w_.eidx_sync_timers(pid_);
+    return n;
   }
 
   SpecId spec_begin(std::string_view assumption) override {
@@ -212,6 +218,7 @@ class World::Ctx final : public Context {
     auto& pi = w_.infos_[pid_];
     pi.halted = true;
     pi.timers.clear();
+    w_.eidx_sync_proc(pid_);
   }
 
  private:
@@ -226,7 +233,10 @@ class World::Ctx final : public Context {
 World::World(WorldOptions opts)
     : opts_(opts),
       net_(opts.net),
-      scheduler_(std::make_unique<FifoScheduler>()) {}
+      scheduler_(std::make_unique<FifoScheduler>()) {
+  // The enabled-event index consumes the network's deliverable deltas.
+  net_.set_deliverable_listener(this);
+}
 
 World::~World() = default;
 
@@ -241,6 +251,7 @@ ProcessId World::add_process(std::unique_ptr<Process> p) {
   infos_.push_back(std::move(pi));
   dcache_.push_back({});
   ckpt_cache_.push_back(nullptr);
+  eidx_.push_back({});
   return pid;
 }
 
@@ -248,7 +259,10 @@ void World::seal() {
   if (sealed_) return;
   sealed_ = true;
   for (auto& pi : infos_) pi.vclock = VectorClock(procs_.size());
-  for (ProcessId pid = 0; pid < procs_.size(); ++pid) mark_state_dirty(pid);
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    mark_state_dirty(pid);
+    eidx_sync_proc(pid);  // builds the enabled-event index from scratch
+  }
 }
 
 Process& World::process(ProcessId pid) {
@@ -300,6 +314,8 @@ const TimerQueue& World::timers_of(ProcessId pid) const {
 void World::set_crashed(ProcessId pid, bool crashed) {
   info(pid).crashed = crashed;
   mark_state_dirty(pid);
+  // Crash (or uncrash) enables/masks every bucket of this process at once.
+  eidx_sync_proc(pid);
 }
 
 void World::add_observer(RuntimeObserver* obs) {
@@ -329,7 +345,7 @@ void World::record_violation(Violation v) {
   violations_.push_back(std::move(v));
 }
 
-std::vector<EventDesc> World::enabled_events() const {
+std::vector<EventDesc> World::enabled_events_uncached() const {
   FIXD_CHECK_MSG(sealed_, "world not sealed");
   std::vector<EventDesc> cand;
 
@@ -385,6 +401,137 @@ std::vector<EventDesc> World::enabled_events() const {
     if (e.at == tmin) ready.push_back(e);
   }
   return ready;
+}
+
+namespace {
+
+/// The canonical enabled-event order the uncached scan produces: starts
+/// by pid, then deliveries by ascending message id, then timers by
+/// (pid, deadline, id). The timed-mode selection collects ready events
+/// bucket by bucket and re-sorts with this key.
+bool enabled_order_less(const EventDesc& a, const EventDesc& b) {
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+  switch (a.kind) {
+    case EventKind::kStart:
+      return a.pid < b.pid;
+    case EventKind::kDeliver:
+      return a.msg < b.msg;
+    case EventKind::kTimer:
+      if (a.pid != b.pid) return a.pid < b.pid;
+      if (a.at != b.at) return a.at < b.at;
+      return a.timer < b.timer;
+  }
+  return false;
+}
+
+EventDesc make_start(ProcessId pid) {
+  EventDesc e;
+  e.kind = EventKind::kStart;
+  e.pid = pid;
+  e.at = 0;
+  return e;
+}
+
+EventDesc make_deliver(ProcessId pid, MsgId id, VirtualTime at) {
+  EventDesc e;
+  e.kind = EventKind::kDeliver;
+  e.pid = pid;
+  e.msg = id;
+  e.at = at;
+  return e;
+}
+
+EventDesc make_timer(ProcessId pid, const Timer& t) {
+  EventDesc e;
+  e.kind = EventKind::kTimer;
+  e.pid = pid;
+  e.timer = t.id;
+  e.at = t.deadline;
+  return e;
+}
+
+}  // namespace
+
+std::vector<EventDesc> World::enabled_events() const {
+  FIXD_CHECK_MSG(sealed_, "world not sealed");
+  if (!use_enabled_index_) return enabled_events_uncached();
+  eidx_ensure();
+  std::vector<EventDesc> out;
+
+  if (opts_.abstract_time) {
+    // Materialize the whole index: every contributor set holds exactly
+    // the processes with enabled events of that kind, so this loop is
+    // O(enabled), never O(world).
+    out.reserve(eidx_starts_.size() + eidx_n_delivs_ + eidx_n_timers_);
+    for (ProcessId pid : eidx_starts_) out.push_back(make_start(pid));
+    const std::size_t deliv_begin = out.size();
+    for (ProcessId pid : eidx_deliv_procs_) {
+      const net::DeliverableBucket* b = net_.deliv_bucket(pid);
+      for (const auto& [id, e] : b->by_id) {
+        out.push_back(make_deliver(pid, id, e.at));
+      }
+    }
+    if (eidx_deliv_procs_.size() > 1) {
+      // Per-bucket runs are id-sorted; the canonical order is globally
+      // ascending message id across destinations.
+      std::sort(out.begin() + deliv_begin, out.end(),
+                [](const EventDesc& a, const EventDesc& b) {
+                  return a.msg < b.msg;
+                });
+    }
+    for (ProcessId pid : eidx_timer_procs_) {
+      for (const Timer& t : infos_[pid].timers.view()) {
+        out.push_back(make_timer(pid, t));
+      }
+    }
+    return out;
+  }
+
+  // Timed mode. The ready set is {e : e.at <= now}; when that is empty,
+  // time warps to the earliest upcoming group {e : e.at == tmin}. Both
+  // reduce to a prefix scan at a single cutoff over each bucket's
+  // at-keyed ordering: since tmin is the global minimum, at <= tmin is
+  // the same set as at == tmin.
+  if (eidx_starts_.empty() && eidx_n_delivs_ == 0 && eidx_n_timers_ == 0) {
+    return out;
+  }
+  VirtualTime tmin = ~VirtualTime{0};
+  if (!eidx_starts_.empty()) tmin = 0;  // start events are ready at 0
+  for (ProcessId pid : eidx_deliv_procs_) {
+    tmin = std::min(tmin, net_.deliv_bucket(pid)->min_at());
+  }
+  for (ProcessId pid : eidx_timer_procs_) {
+    tmin = std::min(tmin, infos_[pid].timers.view().front().deadline);
+  }
+  const VirtualTime cutoff = tmin <= now_ ? now_ : tmin;
+
+  for (ProcessId pid : eidx_starts_) out.push_back(make_start(pid));
+  for (ProcessId pid : eidx_deliv_procs_) {
+    const auto& by_at = net_.deliv_bucket(pid)->at_view();
+    for (auto it = by_at.begin(); it != by_at.end() && it->first <= cutoff;
+         ++it) {
+      out.push_back(make_deliver(pid, it->second, it->first));
+    }
+  }
+  for (ProcessId pid : eidx_timer_procs_) {
+    for (const Timer& t : infos_[pid].timers.view()) {
+      if (t.deadline > cutoff) break;  // (deadline, id) sorted
+      out.push_back(make_timer(pid, t));
+    }
+  }
+  std::sort(out.begin(), out.end(), enabled_order_less);
+  return out;
+}
+
+bool World::quiescent() const {
+  FIXD_CHECK_MSG(sealed_, "world not sealed");
+  if (!use_enabled_index_) return enabled_events_uncached().empty();
+  eidx_ensure();
+  // In timed mode a nonempty candidate set always produces a nonempty
+  // ready set (the warp), so the abstract counters decide both modes.
+  return eidx_starts_.empty() && eidx_n_delivs_ == 0 && eidx_n_timers_ == 0;
 }
 
 bool World::step() {
@@ -479,12 +626,14 @@ void World::dispatch(const EventDesc& ev) {
     switch (ev.kind) {
       case EventKind::kStart:
         infos_[ev.pid].started = true;
+        eidx_sync_proc(ev.pid);
         break;
       case EventKind::kDeliver:
-        net_.drop(ev.msg, /*forced=*/true);
+        net_.drop(ev.msg, /*forced=*/true);  // index delta via the listener
         break;
       case EventKind::kTimer:
         infos_[ev.pid].timers.cancel(ev.timer);
+        eidx_sync_timers(ev.pid);
         break;
     }
     ++step_;
@@ -499,6 +648,9 @@ void World::dispatch(const EventDesc& ev) {
   switch (ev.kind) {
     case EventKind::kStart: {
       pi.started = true;
+      // Unmask before the handler runs: its sends/timer arms must land in
+      // an index that already sees the process as started.
+      eidx_sync_proc(ev.pid);
       pi.lamport.tick();
       pi.vclock.tick(ev.pid);
       run_handler(ev.pid,
@@ -517,6 +669,7 @@ void World::dispatch(const EventDesc& ev) {
     }
     case EventKind::kTimer: {
       Timer t = pi.timers.take(ev.timer);
+      eidx_sync_timers(ev.pid);
       pi.lamport.tick();
       pi.vclock.tick(ev.pid);
       run_handler(ev.pid,
@@ -632,6 +785,98 @@ void World::notify_spec_aborted(ProcessId pid, SpecId spec,
 }
 
 // ---------------------------------------------------------------------------
+// Enabled-event index maintenance
+// ---------------------------------------------------------------------------
+//
+// Each resync recomputes one process's eligibility and bucket size from
+// the authoritative state (flags, TimerQueue, network deliverable index),
+// diffs against the cached contribution (EIdxProc), and adjusts the
+// global sets/counters by the delta — so a resync never needs to look at
+// any other process.
+
+void World::eidx_sync_start(ProcessId pid) const {
+  if (pid >= eidx_.size() || !eidx_valid_) return;
+  EIdxProc& e = eidx_[pid];
+  const bool member = start_eligible(infos_[pid]);
+  if (member == e.start) return;
+  if (member) {
+    eidx_starts_.insert(pid);
+  } else {
+    eidx_starts_.erase(pid);
+  }
+  e.start = member;
+}
+
+void World::eidx_sync_delivs(ProcessId pid) const {
+  if (pid >= eidx_.size() || !eidx_valid_) return;
+  // While the network index is invalidated (a restore/load replaced the
+  // in-flight state), contributions are deliberately left stale: querying
+  // the bucket here would force the rebuild per touched process, and
+  // eidx_ensure() resyncs everyone wholesale at the next materialization.
+  if (!net_.deliv_index_valid()) return;
+  EIdxProc& e = eidx_[pid];
+  const std::size_t n =
+      deliv_eligible(infos_[pid]) ? net_.deliv_bucket_size(pid) : 0;
+  const bool member = n > 0;
+  if (member != e.deliv) {
+    if (member) {
+      eidx_deliv_procs_.insert(pid);
+    } else {
+      eidx_deliv_procs_.erase(pid);
+    }
+    e.deliv = member;
+  }
+  eidx_n_delivs_ += n - e.delivs;
+  e.delivs = n;
+}
+
+void World::eidx_sync_timers(ProcessId pid) const {
+  if (pid >= eidx_.size() || !eidx_valid_) return;
+  EIdxProc& e = eidx_[pid];
+  const std::size_t n =
+      timer_eligible(infos_[pid]) ? infos_[pid].timers.size() : 0;
+  const bool member = n > 0;
+  if (member != e.timer) {
+    if (member) {
+      eidx_timer_procs_.insert(pid);
+    } else {
+      eidx_timer_procs_.erase(pid);
+    }
+    e.timer = member;
+  }
+  eidx_n_timers_ += n - e.timers;
+  e.timers = n;
+}
+
+void World::on_deliverable_add(ProcessId dst, MsgId id,
+                               const net::DeliverableEntry& e) {
+  (void)id;
+  (void)e;
+  eidx_sync_delivs(dst);
+}
+
+void World::on_deliverable_remove(ProcessId dst, MsgId id) {
+  (void)id;
+  eidx_sync_delivs(dst);
+}
+
+void World::eidx_ensure() const {
+  net_.ensure_deliv_index();
+  if (eidx_valid_ && eidx_net_epoch_ == net_.deliv_epoch()) return;
+  // Something was invalidated wholesale — the network index (restore/
+  // load) and/or the per-process contributions (a process restore, which
+  // can flip lifecycle flags and so stale all three kinds). Re-derive
+  // every process against the current truth. The aggregates stay
+  // internally consistent throughout (they always equal the sum of the
+  // cached contributions), so per-process resyncs in any order land on
+  // the exact index. O(processes · log); once per invalidation burst,
+  // not per call.
+  eidx_valid_ = true;  // re-arm the per-site resyncs before using them
+  for (ProcessId pid = 0; pid < eidx_.size(); ++pid) eidx_sync_proc(pid);
+  eidx_net_epoch_ = net_.deliv_epoch();
+}
+
+// ---------------------------------------------------------------------------
 // State capture
 // ---------------------------------------------------------------------------
 
@@ -701,6 +946,11 @@ void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   }
   BinaryReader ir(ckpt.info);
   infos_[pid].load(ir);
+  // The restored info may have flipped lifecycle flags and replaced the
+  // timer set wholesale. Flag-only invalidation: this rides the
+  // explorer's restore-per-transition path, so the full resync is
+  // deferred to eidx_ensure() at the next enabled-set materialization.
+  eidx_valid_ = false;
   // Adopt the checkpoint's memo: it matches the content just restored
   // (cold components stay cold, which is the conservative direction).
   dcache_[pid] = ckpt.digest_memo;
@@ -798,7 +1048,7 @@ std::uint64_t World::proc_mc_digest(ProcessId pid) const {
   h.update(w.bytes());
   h.update_u64(pi.env_count);
   // Armed timers: kinds in armed order (ids/deadlines are path noise).
-  for (const Timer& t : pi.timers.armed()) h.update_u64(t.kind);
+  for (const Timer& t : pi.timers.view()) h.update_u64(t.kind);
   return h.digest();
 }
 

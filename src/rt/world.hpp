@@ -19,6 +19,7 @@
 // which is exactly what the Scroll records and the Investigator explores.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -145,7 +146,7 @@ struct RunResult {
   std::uint64_t steps = 0;
 };
 
-class World {
+class World : private net::DeliverableListener {
  public:
   explicit World(WorldOptions opts = {});
   ~World();
@@ -249,7 +250,30 @@ class World {
 
   // --- execution --------------------------------------------------------------
   /// Events currently eligible to run (deterministic order).
+  ///
+  /// Materialized from the incrementally maintained enabled-event index:
+  /// the network publishes deliverable-message deltas, timer mutations and
+  /// process lifecycle flips resync their per-process buckets, so this
+  /// call touches only processes that actually have enabled events — it
+  /// never rescans all processes/messages/timers. In timed mode the
+  /// ready/warp selection runs over the buckets' at-keyed orderings
+  /// instead of filtering a fully built candidate set. Bit-identical
+  /// (order included) to enabled_events_uncached() by contract.
   std::vector<EventDesc> enabled_events() const;
+
+  /// From-scratch rescan of processes, deliverable messages, and armed
+  /// timers, bypassing the enabled-event index. Verification oracle for
+  /// tests and bench/fig9_digest, exactly like the digest layers.
+  std::vector<EventDesc> enabled_events_uncached() const;
+
+  /// Verification hook: when off, enabled_events()/quiescent() route
+  /// through the uncached rescan (the index keeps being maintained), and
+  /// index consumers like the explorer's environment-model action
+  /// enumeration fall back to their rescan paths too. The differential
+  /// explorer tests flip this to prove the index changes no visited
+  /// state set.
+  void set_use_enabled_index(bool on) { use_enabled_index_ = on; }
+  bool use_enabled_index() const { return use_enabled_index_; }
 
   /// Execute one scheduler-chosen event. False iff no event is enabled.
   bool step();
@@ -261,7 +285,11 @@ class World {
   /// Execute a specific enabled event (the Investigator's transition).
   void execute_event(const EventDesc& ev);
 
-  bool quiescent() const { return enabled_events().empty(); }
+  /// True iff no event is enabled. O(1) from the enabled-event index
+  /// counters (in timed mode a nonempty candidate set always yields a
+  /// nonempty ready set via the time warp, so the counters decide both
+  /// modes).
+  bool quiescent() const;
   bool all_halted() const;
 
   // --- state capture ------------------------------------------------------------
@@ -373,6 +401,81 @@ class World {
     }
   }
 
+  // --- enabled-event index ------------------------------------------------
+  /// Sorted flat set of process ids. Process counts are small and
+  /// membership flips ride the explorer's per-transition path, so a flat
+  /// vector (binary-search insert/erase, no node allocations) beats a
+  /// tree set.
+  class PidSet {
+   public:
+    void insert(ProcessId pid) {
+      auto it = std::lower_bound(v_.begin(), v_.end(), pid);
+      if (it == v_.end() || *it != pid) v_.insert(it, pid);
+    }
+    void erase(ProcessId pid) {
+      auto it = std::lower_bound(v_.begin(), v_.end(), pid);
+      if (it != v_.end() && *it == pid) v_.erase(it);
+    }
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+    auto begin() const { return v_.begin(); }
+    auto end() const { return v_.end(); }
+
+   private:
+    std::vector<ProcessId> v_;
+  };
+
+  /// Per-process cached contributions to the enabled-event index: which
+  /// aggregate sets the process is a member of and how many events it
+  /// currently contributes. The cache is what lets one resync adjust the
+  /// global counters without rescanning other processes.
+  struct EIdxProc {
+    bool start = false;       ///< member of eidx_starts_
+    bool deliv = false;       ///< member of eidx_deliv_procs_
+    bool timer = false;       ///< member of eidx_timer_procs_
+    std::size_t delivs = 0;   ///< contribution to eidx_n_delivs_
+    std::size_t timers = 0;   ///< contribution to eidx_n_timers_
+  };
+
+  bool start_eligible(const ProcInfo& pi) const {
+    return !pi.started && !pi.crashed && !pi.halted;
+  }
+  bool deliv_eligible(const ProcInfo& pi) const {
+    // A halted process still receives (it just initiates nothing).
+    return pi.started && !pi.crashed;
+  }
+  bool timer_eligible(const ProcInfo& pi) const {
+    return pi.started && !pi.crashed && !pi.halted;
+  }
+
+  /// Resync one process's index contributions after its start flag /
+  /// lifecycle flags / deliverable bucket / timer set changed. Each is
+  /// O(log processes-with-events); callers use the narrowest one that
+  /// covers the mutation (see docs/PERF.md for the site table). Const
+  /// (mutable index state) because the lazy resync below runs under the
+  /// const enabled_events()/quiescent() — same idiom as the digest memos.
+  void eidx_sync_start(ProcessId pid) const;
+  void eidx_sync_delivs(ProcessId pid) const;
+  void eidx_sync_timers(ProcessId pid) const;
+  void eidx_sync_proc(ProcessId pid) const {
+    eidx_sync_start(pid);
+    eidx_sync_delivs(pid);
+    eidx_sync_timers(pid);
+  }
+
+  /// Bring the index current before materialization: rebuilds the
+  /// network's deliverable index if a restore/load invalidated it, and
+  /// re-derives per-process contributions when either a process restore
+  /// invalidated the aggregates (eidx_valid_) or the network index was
+  /// rebuilt wholesale (epoch mismatch). O(1) when nothing was
+  /// invalidated, which is every call in a live run.
+  void eidx_ensure() const;
+
+  // net::DeliverableListener (the network's deliverable-set deltas).
+  void on_deliverable_add(ProcessId dst, MsgId id,
+                          const net::DeliverableEntry& e) override;
+  void on_deliverable_remove(ProcessId dst, MsgId id) override;
+
   /// True iff ckpt_cache_[pid] still describes the process bit-exactly.
   /// The dirty bit covers every World-mediated mutation; heap content can
   /// additionally change through a stashed PagedHeap pointer, so the
@@ -415,6 +518,28 @@ class World {
   /// Reused serialization scratch for digest computation (avoids one
   /// BinaryWriter allocation per process per digest call).
   mutable BinaryWriter digest_scratch_;
+
+  /// Enabled-event index aggregates (see EIdxProc): the sorted sets hold
+  /// exactly the processes that contribute enabled events of each kind,
+  /// so materialization iterates contributors only, and the counters make
+  /// quiescent() O(1). Maintained by the eidx_sync_* resyncs; timer and
+  /// deliverable buckets themselves live in the TimerQueues and the
+  /// network's deliverable index — the world holds no per-event copies.
+  mutable std::vector<EIdxProc> eidx_;
+  mutable PidSet eidx_starts_;
+  mutable PidSet eidx_deliv_procs_;
+  mutable PidSet eidx_timer_procs_;
+  mutable std::size_t eidx_n_delivs_ = 0;
+  mutable std::size_t eidx_n_timers_ = 0;
+  /// Last network deliverable-index epoch the aggregates were derived
+  /// against; a mismatch in eidx_ensure() triggers the wholesale resync.
+  mutable std::uint64_t eidx_net_epoch_ = 0;
+  /// False after a process restore: contributions may be stale across the
+  /// board, so the per-site resyncs early-out (O(1) on the explorer's
+  /// restore-per-transition path) and eidx_ensure() resyncs everyone at
+  /// the next materialization. Live runs never clear it.
+  mutable bool eidx_valid_ = true;
+  bool use_enabled_index_ = true;
 };
 
 }  // namespace fixd::rt

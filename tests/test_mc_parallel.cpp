@@ -184,6 +184,168 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDifferential,
                          ::testing::Values(5, 17, 43, 91));
 
 // ---------------------------------------------------------------------------
+// Differential: the enabled-event index changes no visited state set
+// ---------------------------------------------------------------------------
+
+// Every model × order × frontier × worker-count combination must visit the
+// same canonical state set whether enabled_events() materializes from the
+// incremental index or rescans from scratch (World::set_use_enabled_index
+// routes it through the uncached oracle; the installer hook reaches every
+// scratch/worker world the explorer creates).
+TEST(EnabledIndexDifferential, VisitedSetsUnchangedByIndex) {
+  const auto models = small_models();
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const ModelCase& mc = models[mi];
+    for (SearchOrder order : {SearchOrder::kBfs, SearchOrder::kDfs}) {
+      for (std::size_t workers : {1u, 4u}) {
+        SCOPED_TRACE(std::string(mc.name) + " " + to_string(order) +
+                     " workers=" + std::to_string(workers));
+        auto w = mc.make();
+        auto opts = differential_opts(order, /*trail=*/false, workers);
+        // The reordering kv model also exercises the environment-model
+        // action enumeration (drop actions come off the deliverable
+        // index when it is in use, off the rescan when bypassed).
+        opts.model_message_loss = mi == 4;
+        opts.install_invariants = mc.installer;
+        SystemExplorer with_index(*w, opts);
+        auto ref = with_index.explore();
+        ASSERT_FALSE(ref.stats.truncated);
+
+        auto no_idx_opts = opts;
+        no_idx_opts.install_invariants = [&mc](rt::World& world) {
+          mc.installer(world);
+          world.set_use_enabled_index(false);
+        };
+        SystemExplorer without_index(*w, no_idx_opts);
+        auto got = without_index.explore();
+        EXPECT_EQ(got.stats.states, ref.stats.states);
+        EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+        EXPECT_EQ(got.stats.duplicates, ref.stats.duplicates);
+        EXPECT_EQ(got.visited, ref.visited);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel random walk: sharded walks == sequential walks
+// ---------------------------------------------------------------------------
+
+// Each walk draws from an RNG derived from (seed, walk index), so worker
+// count cannot change any trajectory. With an unbounded violation budget
+// every walk runs on both sides: stats and the walk-ordered violation
+// report must match the sequential explorer exactly.
+class ParallelRandomWalk : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelRandomWalk, MatchesSequentialWalks) {
+  const std::size_t workers = GetParam();
+  TokenRingConfig cfg;
+  cfg.target_rounds = 2;
+  auto w = make_token_ring_world(3, /*version=*/1, cfg);
+
+  auto walk_opts = [&](std::size_t nw) {
+    SysExploreOptions o;
+    o.order = SearchOrder::kRandomWalk;
+    o.max_depth = 40;
+    o.walk_restarts = 48;
+    o.seed = 9;
+    o.max_violations = ~std::size_t{0};  // run every walk on both sides
+    o.workers = nw;
+    o.install_invariants = apps::install_token_ring_invariants;
+    return o;
+  };
+
+  SystemExplorer seq(*w, walk_opts(1));
+  auto ref = seq.explore();
+  ASSERT_TRUE(ref.found_violation());  // buggy ring: walks do hit it
+
+  SystemExplorer par(*w, walk_opts(workers));
+  auto got = par.explore();
+  EXPECT_EQ(got.stats.states, ref.stats.states);
+  EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+  EXPECT_EQ(got.stats.max_depth, ref.stats.max_depth);
+  EXPECT_EQ(got.stats.workers, workers);
+  ASSERT_EQ(got.violations.size(), ref.violations.size());
+  for (std::size_t i = 0; i < ref.violations.size(); ++i) {
+    EXPECT_EQ(got.violations[i].violation.invariant,
+              ref.violations[i].violation.invariant);
+    EXPECT_EQ(got.violations[i].depth, ref.violations[i].depth);
+    EXPECT_EQ(got.violations[i].trail.length(),
+              ref.violations[i].trail.length());
+  }
+  // Parallel-found trails replay on a fresh sequential world.
+  for (std::size_t i = 0; i < std::min<std::size_t>(got.violations.size(), 4);
+       ++i) {
+    auto reproduced = SystemExplorer::replay_trail(
+        *w, got.violations[i].trail, apps::install_token_ring_invariants);
+    EXPECT_FALSE(reproduced.empty()) << got.violations[i].trail.render();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelRandomWalk,
+                         ::testing::Values(2u, 4u, 8u));
+
+// A violation-budgeted parallel walk still stops early and stays sound.
+TEST(ParallelRandomWalk, BudgetedStopStaysSound) {
+  TokenRingConfig cfg;
+  cfg.target_rounds = 2;
+  auto w = make_token_ring_world(3, 1, cfg);
+  SysExploreOptions o;
+  o.order = SearchOrder::kRandomWalk;
+  o.max_depth = 40;
+  o.walk_restarts = 200;
+  o.seed = 9;
+  o.max_violations = 2;
+  o.workers = 4;
+  o.install_invariants = apps::install_token_ring_invariants;
+  SystemExplorer ex(*w, o);
+  auto res = ex.explore();
+  ASSERT_TRUE(res.found_violation());
+  for (const auto& v : res.violations) {
+    auto reproduced = SystemExplorer::replay_trail(
+        *w, v.trail, apps::install_token_ring_invariants);
+    EXPECT_FALSE(reproduced.empty()) << v.trail.render();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel frontier metering: restored peak_frontier_bytes at workers > 1
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFrontierMeter, SumOfPeaksReportedAtEveryWorkerCount) {
+  TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = make_two_pc_world(4, 2, cfg);
+
+  auto opts = differential_opts(SearchOrder::kBfs, /*trail=*/false, 1);
+  opts.install_invariants = apps::install_two_pc_invariants;
+  SystemExplorer seq(*w, opts);
+  auto ref = seq.explore();
+  ASSERT_GT(ref.stats.peak_frontier_bytes, 0u);
+  EXPECT_EQ(ref.stats.peak_frontier_bytes_max_worker, 0u);
+
+  // The merged parallel number bounds *that run's* retained frontier from
+  // above (it is not comparable to the sequential run's peak: workers
+  // drain the frontier while it is produced, so the parallel frontier can
+  // genuinely stand lower). What must hold: metering is on (nonzero), the
+  // per-worker max is a consistent share of the sum, and a single node's
+  // worth of frontier is always covered.
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto par_opts =
+        differential_opts(SearchOrder::kBfs, /*trail=*/false, workers);
+    par_opts.install_invariants = apps::install_two_pc_invariants;
+    SystemExplorer par(*w, par_opts);
+    auto got = par.explore();
+    EXPECT_EQ(got.stats.states, ref.stats.states);
+    EXPECT_GT(got.stats.peak_frontier_bytes, 0u);
+    EXPECT_GT(got.stats.peak_frontier_bytes_max_worker, 0u);
+    EXPECT_LE(got.stats.peak_frontier_bytes_max_worker,
+              got.stats.peak_frontier_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Violation trails from any worker replay sequentially
 // ---------------------------------------------------------------------------
 

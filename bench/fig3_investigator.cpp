@@ -5,7 +5,11 @@
 // states/transitions explored, wall time, time-to-first-violation, and the
 // blowup with process count — the paper's observation that model checking
 // a global state space is "often prohibitively expensive, memory-wise ...
-// more than 5-10 processes" (§2.1), here made concrete.
+// more than 5-10 processes" (§2.1), here made concrete. Since the
+// memory-lean-frontier PR the frontier section also gates the explorer's
+// memory trajectory: peak frontier and visited-set bytes for snapshot,
+// cold-trail, and (replay-warmed) trail frontiers, against the recorded
+// pre-compaction baselines.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -19,16 +23,29 @@ namespace {
 
 using namespace fixd;
 
+// Pre-compaction (PR 4) sequential-BFS baselines for the frontier-memory
+// gate below, measured at the enabled-index PR head on the x86-64 Linux
+// CI image (g++, Release, libstdc++): peak_frontier_bytes of the same
+// 2pc-v2 sweeps this file runs. Byte peaks are deterministic for a fixed
+// ABI (no timing in them), so the gate divides the recorded constant by
+// the measured peak and is skipped on non-LP64 platforms where struct
+// layouts differ.
+constexpr std::uint64_t kPr4TrailPeakN6 = 9650552;
+constexpr std::uint64_t kPr4TrailPeakN4 = 101252;
+constexpr std::uint64_t kPr4SnapPeakN6 = 10240920;
+constexpr double kTrailMemGate = 1.8;  // required n=6 trail reduction
+
 void header_row() {
-  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %8s %9s %10s", "app",
-             "N", "order", "states", "trans", "bug?", "depth", "ms",
-             "dig.ms", "snap.ms", "peak KiB", "states/s");
+  bench::row("%-12s %3s %-8s %9s %11s %7s %8s %9s %8s %8s %9s %8s %10s",
+             "app", "N", "order", "states", "trans", "bug?", "depth", "ms",
+             "dig.ms", "snap.ms", "peak KiB", "vis KiB", "states/s");
 }
 
-void explore_row(const char* app, std::size_t n, const char* order_name,
-                 mc::SearchOrder order, rt::World& w,
-                 const std::function<void(rt::World&)>& installer,
-                 std::size_t max_states, bool trail_frontier = false) {
+mc::SysExploreResult explore_row(
+    const char* app, std::size_t n, const char* order_name,
+    mc::SearchOrder order, rt::World& w,
+    const std::function<void(rt::World&)>& installer, std::size_t max_states,
+    bool trail_frontier = false, bool replay_warm = true) {
   mc::SysExploreOptions o;
   o.order = order;
   o.max_states = max_states;
@@ -36,17 +53,27 @@ void explore_row(const char* app, std::size_t n, const char* order_name,
   o.walk_restarts = 256;
   o.trail_frontier = trail_frontier;
   o.install_invariants = installer;
+  if (!replay_warm) {
+    // The cold-trail comparison row: same search, replay warming off on
+    // every world the explorer creates (the installer hook reaches them
+    // all, like the enabled-index differential).
+    o.install_invariants = [installer](rt::World& world) {
+      installer(world);
+      world.set_replay_warm(false);
+    };
+  }
   mc::SystemExplorer ex(w, o);
   auto res = ex.explore();
   bench::row("%-12s %3zu %-8s %9llu %11llu %7s %8zu %9.1f %8.1f %8.1f "
-             "%9.1f %10.0f",
+             "%9.1f %8.1f %10.0f",
              app, n, order_name, (unsigned long long)res.stats.states,
              (unsigned long long)res.stats.transitions,
              res.found_violation() ? "YES" : "no",
              res.found_violation() ? res.violations[0].depth : 0,
              res.stats.wall_ms, res.stats.digest_ms, res.stats.snapshot_ms,
              res.stats.peak_frontier_bytes / 1024.0,
-             res.stats.states_per_sec());
+             res.stats.visited_bytes / 1024.0, res.stats.states_per_sec());
+  return res;
 }
 
 }  // namespace
@@ -94,17 +121,44 @@ int main() {
                 apps::install_two_pc_invariants, 120000);
   }
 
+  // Frontier-memory comparison: snapshot frontier, cold trail (replay
+  // warming off — every re-anchor captures fresh, the PR 4 behavior on
+  // the compact node layout), and the default warmed trail, at n=4 and
+  // n=6. The three visit the identical state set (asserted), so the
+  // peak/visited columns are directly comparable.
+  struct FrontierRec {
+    std::size_t n;
+    const char* mode;
+    mc::ExploreStats stats;
+  };
+  std::vector<FrontierRec> frontier;
   bench::header(
-      "Frontier representation at the feasibility wall (2pc n=6, BFS)");
+      "Frontier representation at the feasibility wall (2pc, BFS: snapshot "
+      "vs cold trail vs replay-warmed trail)");
   header_row();
   bench::rule();
-  for (bool trail : {false, true}) {
-    apps::TwoPcConfig cfg;
-    cfg.total_txns = 1;
-    auto w = apps::make_two_pc_world(6, 2, cfg);
-    explore_row(trail ? "2pc-trail" : "2pc-snap", 6, "bfs",
-                mc::SearchOrder::kBfs, *w, apps::install_two_pc_invariants,
-                120000, trail);
+  for (std::size_t n : {std::size_t{4}, std::size_t{6}}) {
+    std::uint64_t want_states = 0;
+    for (int mode = 0; mode < 3; ++mode) {
+      apps::TwoPcConfig cfg;
+      cfg.total_txns = 1;
+      auto w = apps::make_two_pc_world(n, 2, cfg);
+      const bool trail = mode != 0;
+      const bool warm = mode == 2;
+      const char* name =
+          mode == 0 ? "2pc-snap" : (mode == 1 ? "2pc-trail-c" : "2pc-trail");
+      auto res = explore_row(name, n, "bfs", mc::SearchOrder::kBfs, *w,
+                             apps::install_two_pc_invariants, 120000, trail,
+                             warm);
+      if (mode == 0) {
+        want_states = res.stats.states;
+      } else if (res.stats.states != want_states) {
+        std::fprintf(stderr,
+                     "FATAL: frontier mode visited a different state set\n");
+        return 1;
+      }
+      frontier.push_back({n, name, res.stats});
+    }
   }
 
   bench::header(
@@ -143,6 +197,40 @@ int main() {
     prows.push_back({wk, res.stats});
   }
 
+  // Sharded-kPriority scaling: per-worker heaps with best-effort top
+  // steal replaced the single mutex-guarded global heap, so the
+  // heuristic search shards like the deque orders do. The 4-worker run
+  // must visit exactly the 1-worker states (pop order cannot change a
+  // dedup'd exhaustive search's set) and show actual cross-shard pops.
+  bench::header(
+      "Sharded best-effort priority search (2pc-v2 n=5, kPriority)");
+  bench::row("%-12s %3s %9s %11s %9s %7s %10s", "app", "wk", "states",
+             "trans", "ms", "steals", "states/s");
+  bench::rule();
+  std::vector<ParRow> krows;
+  for (std::size_t wk : {1u, 4u}) {
+    apps::TwoPcConfig cfg;
+    cfg.total_txns = 1;
+    auto w = apps::make_two_pc_world(5, 2, cfg);
+    mc::SysExploreOptions o;
+    o.order = mc::SearchOrder::kPriority;
+    o.max_states = 120000;
+    o.max_depth = 80;
+    o.workers = wk;
+    o.priority = [](const rt::World& world) {
+      return static_cast<double>(world.network().pending_count());
+    };
+    o.install_invariants = apps::install_two_pc_invariants;
+    mc::SystemExplorer ex(*w, o);
+    auto res = ex.explore();
+    bench::row("%-12s %3zu %9llu %11llu %9.1f %7llu %10.0f", "2pc-kpri",
+               wk, (unsigned long long)res.stats.states,
+               (unsigned long long)res.stats.transitions, res.stats.wall_ms,
+               (unsigned long long)res.stats.steals,
+               res.stats.states_per_sec());
+    krows.push_back({wk, res.stats});
+  }
+
   bench::header("Exploration from a mid-run (Time Machine restored) state");
   header_row();
   bench::rule();
@@ -155,8 +243,8 @@ int main() {
                 apps::install_token_ring_invariants, 200000);
   }
 
-  // Machine-readable parallel-scaling record (BENCH_fig3.json, archived
-  // by the scheduled perf workflow so the trajectory is inspectable).
+  // Machine-readable record (BENCH_fig3.json, archived by the scheduled
+  // perf workflow so the scaling AND memory trajectories are inspectable).
   const unsigned hw = std::thread::hardware_concurrency();
   double speedup_4w = 0.0;
   for (const auto& r : prows) {
@@ -164,6 +252,19 @@ int main() {
       speedup_4w = r.stats.states_per_sec() / base_sps;
     }
   }
+  const mc::ExploreStats* trail_n6 = nullptr;
+  const mc::ExploreStats* trail_cold_n6 = nullptr;
+  for (const auto& f : frontier) {
+    if (f.n == 6 && std::string(f.mode) == "2pc-trail") trail_n6 = &f.stats;
+    if (f.n == 6 && std::string(f.mode) == "2pc-trail-c") {
+      trail_cold_n6 = &f.stats;
+    }
+  }
+  const double trail_mem_reduction =
+      trail_n6 && trail_n6->peak_frontier_bytes > 0
+          ? static_cast<double>(kPr4TrailPeakN6) /
+                static_cast<double>(trail_n6->peak_frontier_bytes)
+          : 0.0;
   FILE* f = std::fopen("BENCH_fig3.json", "w");
   if (f) {
     std::fprintf(f, "{\n  \"hw_threads\": %u,\n  \"parallel_2pc_n6\": [\n",
@@ -183,7 +284,40 @@ int main() {
                    r.stats.states_per_sec(), speedup,
                    i + 1 < prows.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"speedup_4w\": %.3f\n}\n", speedup_4w);
+    std::fprintf(f, "  ],\n  \"speedup_4w\": %.3f,\n  \"frontier\": [\n",
+                 speedup_4w);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const auto& fr = frontier[i];
+      std::fprintf(f,
+                   "    {\"n\": %zu, \"mode\": \"%s\", "
+                   "\"peak_frontier_bytes\": %llu, \"visited_bytes\": %llu, "
+                   "\"states_per_sec\": %.0f}%s\n",
+                   fr.n, fr.mode,
+                   (unsigned long long)fr.stats.peak_frontier_bytes,
+                   (unsigned long long)fr.stats.visited_bytes,
+                   fr.stats.states_per_sec(),
+                   i + 1 < frontier.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"pr4_trail_peak_n6\": %llu,\n"
+                 "  \"pr4_trail_peak_n4\": %llu,\n"
+                 "  \"pr4_snap_peak_n6\": %llu,\n"
+                 "  \"trail_mem_reduction_n6\": %.3f,\n"
+                 "  \"kpriority_2pc_n5\": [\n",
+                 (unsigned long long)kPr4TrailPeakN6,
+                 (unsigned long long)kPr4TrailPeakN4,
+                 (unsigned long long)kPr4SnapPeakN6, trail_mem_reduction);
+    for (std::size_t i = 0; i < krows.size(); ++i) {
+      const auto& r = krows[i];
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"states\": %llu, "
+                   "\"steals\": %llu, \"states_per_sec\": %.0f}%s\n",
+                   r.workers, (unsigned long long)r.stats.states,
+                   (unsigned long long)r.stats.steals,
+                   r.stats.states_per_sec(), i + 1 < krows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_fig3.json\n");
   }
@@ -193,6 +327,53 @@ int main() {
       "bugs plain runs miss; state counts grow steeply with N (the 5-10\n"
       "process feasibility wall); BFS gives the shortest trails.\n");
 
+  bool ok = true;
+
+  // Frontier-memory gate: the warmed trail frontier must hold the same
+  // n=6 state set in <= 1/1.8 of the PR 4 trail frontier's bytes. Byte
+  // peaks are deterministic, so this gates everywhere struct layout
+  // matches the recorded baseline (LP64).
+  if (sizeof(void*) == 8) {
+    std::printf("frontier-memory gate: n=6 trail peak %.1f KiB vs PR4 "
+                "%.1f KiB -> %.2fx reduction (need >= %.2fx) -> %s\n",
+                trail_n6 ? trail_n6->peak_frontier_bytes / 1024.0 : 0.0,
+                kPr4TrailPeakN6 / 1024.0, trail_mem_reduction, kTrailMemGate,
+                trail_mem_reduction >= kTrailMemGate ? "OK" : "FAIL");
+    if (trail_mem_reduction < kTrailMemGate) ok = false;
+    if (trail_cold_n6 && trail_n6 &&
+        trail_n6->peak_frontier_bytes > trail_cold_n6->peak_frontier_bytes) {
+      std::printf("frontier-memory gate: warmed trail (%.1f KiB) must not "
+                  "exceed cold trail (%.1f KiB) -> FAIL\n",
+                  trail_n6->peak_frontier_bytes / 1024.0,
+                  trail_cold_n6->peak_frontier_bytes / 1024.0);
+      ok = false;
+    }
+  } else {
+    std::printf("frontier-memory gate skipped: non-LP64 platform, "
+                "recorded reduction %.2fx\n",
+                trail_mem_reduction);
+  }
+
+  // Sharded-kPriority gate: identical visit set at 4 workers (always
+  // enforceable — it is deterministic), and actual cross-shard pops on
+  // hardware that can interleave workers (recorded elsewhere).
+  if (krows.size() == 2) {
+    const bool same = krows[0].stats.states == krows[1].stats.states &&
+                      krows[0].stats.transitions ==
+                          krows[1].stats.transitions;
+    std::printf("kPriority gate: 4-worker states %llu vs 1-worker %llu -> "
+                "%s; steals %llu%s\n",
+                (unsigned long long)krows[1].stats.states,
+                (unsigned long long)krows[0].stats.states,
+                same ? "OK" : "FAIL",
+                (unsigned long long)krows[1].stats.steals,
+                hw >= 2 ? (krows[1].stats.steals > 0 ? " (> 0: OK)"
+                                                     : " (need > 0: FAIL)")
+                        : " (steal gate skipped: 1 hw thread)");
+    if (!same) ok = false;
+    if (hw >= 2 && krows[1].stats.steals == 0) ok = false;
+  }
+
   // Parallel-scaling gate: ≥1.7x states/sec at 4 workers vs 1 on the n=6
   // trail frontier. Only enforced when the hardware can actually run 4
   // workers (single/dual-core machines record the numbers but cannot
@@ -201,10 +382,11 @@ int main() {
     std::printf("parallel gate (hw=%u): 4-worker speedup %.2fx (need "
                 ">= 1.70x) -> %s\n",
                 hw, speedup_4w, speedup_4w >= 1.7 ? "OK" : "FAIL");
-    return speedup_4w >= 1.7 ? 0 : 1;
+    if (speedup_4w < 1.7) ok = false;
+  } else {
+    std::printf("parallel gate skipped: only %u hardware thread(s); "
+                "4-worker speedup recorded as %.2fx\n",
+                hw, speedup_4w);
   }
-  std::printf("parallel gate skipped: only %u hardware thread(s); "
-              "4-worker speedup recorded as %.2fx\n",
-              hw, speedup_4w);
-  return 0;
+  return ok ? 0 : 1;
 }

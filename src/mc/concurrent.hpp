@@ -1,14 +1,18 @@
 // Concurrency primitives for the parallel SystemExplorer (mc/sysmodel).
 //
 // The parallel explorer shards the frontier across worker threads, each
-// owning a private scratch world. Two shared structures coordinate them:
+// owning a private scratch world. The shared structures coordinating them:
 //
-//  - StripedVisitedSet: the canonical-state dedup set, lock-striped so
-//    concurrent inserts of (well-mixed) digests rarely contend. Insertion
-//    is linearizable per stripe; exactly one worker wins each digest, so
-//    every unique state is expanded exactly once — the property the
-//    differential tests (tests/test_mc_parallel.cpp) pin against the
-//    sequential explorer.
+//  - CompactDigestSet / StripedVisitedSet: the canonical-state dedup set.
+//    The storage is a compact open-addressing table of raw u64 digests
+//    (~10 bytes per entry at the 0.7 load factor vs ~40+ for a node-based
+//    unordered_set) — the visited set is the one explorer structure that
+//    only ever grows, so its bytes are reported (`visited_bytes`) and kept
+//    small. The striped wrapper lock-stripes inserts so concurrent
+//    (well-mixed) digests rarely contend. Insertion is linearizable per
+//    stripe; exactly one worker wins each digest, so every unique state is
+//    expanded exactly once — the property the differential tests
+//    (tests/test_mc_parallel.cpp) pin against the sequential explorer.
 //
 //  - StealableDeque: a per-worker frontier deque. The owner pushes and
 //    pops at its preferred end (back for DFS, front for BFS); idle workers
@@ -17,21 +21,96 @@
 //    each deque: the owner touches it once per node, so contention is
 //    bounded by steal traffic, and the lock gives the happens-before edge
 //    that publishes a node's COW snapshot graph to the stealing thread.
+//
+//  - PriorityShard: a per-worker max-heap for kPriority searches, with a
+//    lock-free top-priority hint. Workers keep the heuristic *best-effort
+//    global*: before popping locally they compare their own top against
+//    every other shard's hint and take from the best-looking shard. Hints
+//    are published without the shard lock, so a worker can momentarily
+//    pick a slightly worse node than the true global best — the search
+//    stays exhaustive and the visited set provably identical (pop order
+//    never changes *which* states a dedup'd search visits, only when);
+//    only the heuristic's tie-breaking differs from the old single
+//    mutex-guarded global heap, which serialized every push and pop.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
 
 namespace fixd::mc {
 
-/// Lock-striped set of 64-bit state digests.
+/// Open-addressing set of 64-bit state digests: a flat power-of-two slot
+/// array with linear probing, grown at a 0.7 load factor. Digests are
+/// hasher outputs (already well mixed), so the raw value indexes the
+/// table; 0 is the empty sentinel and the (astronomically rare) digest 0
+/// is carried in a side flag. No tombstones — the visited set never
+/// erases.
+class CompactDigestSet {
+ public:
+  /// Insert a digest; true iff it was not present.
+  bool insert(std::uint64_t h) {
+    if (h == 0) {
+      if (has_zero_) return false;
+      has_zero_ = true;
+      return true;
+    }
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == h) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = h;
+    ++size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
+
+  /// Retained table bytes (the `visited_bytes` stat).
+  std::uint64_t bytes() const {
+    return sizeof(*this) + slots_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Visit every stored digest (unordered).
+  template <typename F>
+  void for_each(F&& f) const {
+    if (has_zero_) f(std::uint64_t{0});
+    for (std::uint64_t v : slots_) {
+      if (v != 0) f(v);
+    }
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(cap, 0);
+    const std::size_t mask = cap - 1;
+    for (std::uint64_t v : old) {
+      if (v == 0) continue;
+      std::size_t i = static_cast<std::size_t>(v) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = v;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+/// Lock-striped set of 64-bit state digests over compact tables.
 class StripedVisitedSet {
  public:
   explicit StripedVisitedSet(std::size_t stripes = 64) {
@@ -50,7 +129,18 @@ class StripedVisitedSet {
   bool insert(std::uint64_t h) {
     Stripe& s = *stripes_[stripe_of(h)];
     std::lock_guard<std::mutex> lk(s.mu);
-    return s.set.insert(h).second;
+    return s.set.insert(h);
+  }
+
+  /// Total retained bytes across stripes (the `visited_bytes` stat; call
+  /// with the workers quiescent or joined for an exact figure).
+  std::uint64_t bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      n += s->set.bytes();
+    }
+    return n;
   }
 
   /// Sorted copy of the whole set (test/differential hook; call after the
@@ -59,7 +149,7 @@ class StripedVisitedSet {
     std::vector<std::uint64_t> out;
     for (const auto& s : stripes_) {
       std::lock_guard<std::mutex> lk(s->mu);
-      out.insert(out.end(), s->set.begin(), s->set.end());
+      s->set.for_each([&out](std::uint64_t v) { out.push_back(v); });
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -68,12 +158,13 @@ class StripedVisitedSet {
  private:
   struct Stripe {
     mutable std::mutex mu;
-    std::unordered_set<std::uint64_t> set;
+    CompactDigestSet set;
   };
 
   std::size_t stripe_of(std::uint64_t h) const {
-    // Digests are already well mixed; fold the high bits in anyway so a
-    // biased low byte cannot serialize the stripes.
+    // Stripe selection re-mixes so a biased low byte cannot serialize the
+    // stripes; the in-stripe table probes on the raw digest, so the two
+    // index streams stay independent.
     return static_cast<std::size_t>(mix64(h)) & mask_;
   }
 
@@ -127,6 +218,57 @@ class StealableDeque {
  private:
   mutable std::mutex mu_;
   std::deque<T> q_;
+};
+
+/// One worker's shard of the best-effort sharded priority frontier: a
+/// mutex-guarded binary max-heap of (priority, T) plus an atomic hint
+/// publishing the current top priority (-inf when empty). Owners push to
+/// their own shard; any worker pops the top of whichever shard's hint
+/// looks best (see the header comment for the ordering guarantee). The
+/// shard mutex provides the happens-before edge publishing a node's COW
+/// snapshot graph to a stealing thread, exactly like StealableDeque's.
+template <typename T>
+class PriorityShard {
+ public:
+  void push(double pri, T&& v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    heap_.push_back(Entry{pri, std::move(v)});
+    std::push_heap(heap_.begin(), heap_.end(), less);
+    top_.store(heap_.front().pri, std::memory_order_relaxed);
+  }
+
+  /// Pop the shard's best node (owner pop and thief steal are the same
+  /// operation: the top is both the owner's preferred node and the
+  /// coarsest-grained work to hand a thief).
+  bool pop_top(T& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), less);
+    out = std::move(heap_.back().v);
+    heap_.pop_back();
+    top_.store(heap_.empty() ? kEmptyHint : heap_.front().pri,
+               std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Lock-free view of the top priority; kEmptyHint when (probably)
+  /// empty. May be momentarily stale — callers treat it as a routing
+  /// hint, never as ground truth (pop_top re-checks under the lock).
+  double top_hint() const { return top_.load(std::memory_order_relaxed); }
+
+  static constexpr double kEmptyHint =
+      -std::numeric_limits<double>::infinity();
+
+ private:
+  struct Entry {
+    double pri;
+    T v;
+  };
+  static bool less(const Entry& a, const Entry& b) { return a.pri < b.pri; }
+
+  mutable std::mutex mu_;
+  std::vector<Entry> heap_;
+  std::atomic<double> top_{kEmptyHint};
 };
 
 }  // namespace fixd::mc

@@ -52,13 +52,17 @@ struct ExploreStats {
   /// message payloads) counted once (SystemExplorer only). Exact for
   /// sequential searches; with workers > 1 it is the sum of per-worker
   /// meter peaks — an upper bound (worker peaks need not be simultaneous,
-  /// buffers shared across workers are charged once per worker, and in
-  /// deque orders stolen nodes stay charged on the worker that pushed
-  /// them; kPriority pairs every charge/refund under the heap mutex).
+  /// buffers shared across workers are charged once per worker, and
+  /// stolen nodes — deque or priority-shard — stay charged on the worker
+  /// that pushed them).
   std::uint64_t peak_frontier_bytes = 0;
   /// Parallel searches: the largest single-worker contribution to the
   /// peak_frontier_bytes sum (0 when workers == 1).
   std::uint64_t peak_frontier_bytes_max_worker = 0;
+  /// Retained bytes of the visited (dedup) set at the end of the search —
+  /// the one explorer structure that only grows (SystemExplorer graph
+  /// searches; 0 for random walks and dedup-off runs).
+  std::uint64_t visited_bytes = 0;
   /// Actions re-executed to rebuild popped states from their anchors
   /// (trail-frontier mode only; 0 in snapshot mode).
   std::uint64_t replayed_actions = 0;
@@ -66,8 +70,9 @@ struct ExploreStats {
   /// digest_ms/snapshot_ms are CPU time summed across workers, so they can
   /// legitimately exceed wall_ms.
   std::uint64_t workers = 1;
-  /// Frontier nodes a worker stole from another worker's deque (parallel
-  /// SystemExplorer only; load-balance observability).
+  /// Frontier nodes a worker took from another worker's shard (deque
+  /// steal, or a priority-shard pop routed to a better-looking victim;
+  /// parallel SystemExplorer only; load-balance observability).
   std::uint64_t steals = 0;
 
   /// Exploration throughput (the Investigator's headline number).

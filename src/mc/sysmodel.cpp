@@ -5,10 +5,8 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/hash.hpp"
 #include "mc/concurrent.hpp"
@@ -34,20 +32,23 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
 
 }  // namespace
 
-/// Peak-frontier accounting with sharing awareness: COW checkpoint and
-/// message buffers referenced by several frontier nodes are charged once
+/// Peak-frontier accounting with sharing awareness: every buffer a node
+/// can reach — its snapshot shell, COW checkpoints, heap pages, message
+/// objects, the net table — is charged once per unique pointer
 /// (pointer-keyed refcounts), so snapshot-mode and trail-mode numbers are
-/// honestly comparable. The sequential search keeps one exact meter. The
-/// parallel search gives each worker a private meter (Node::owner tags
-/// the pusher). Deque orders: a worker charges at push and refunds only
-/// nodes it both pushed and popped, so the rare stolen node stays
-/// charged on its victim's meter — per-worker peaks are upper bounds
-/// with slack bounded by steal traffic. kPriority: every pop comes from
-/// the shared heap, so charge AND refund both run under pq_mu against
-/// the owner's meter and always pair. Either way the merged
-/// peak_frontier_bytes (sum of peaks) bounds that run's shared-aware
-/// peak from above, with no cross-thread meter access outside pq_mu and
-/// no shared refcounts.
+/// honestly comparable and entries shared across sibling anchors by the
+/// replay-warm machinery show up as real savings. The variant Node has
+/// exactly one snapshot field, so a single node can no longer reach the
+/// same checkpoint through two routes (the old snap-vs-anchor shape
+/// could, and double-counted the per-node proc-table term for it); the
+/// refcounts still dedupe any aliasing *across* nodes. The sequential
+/// search keeps one exact meter. The parallel search gives each worker a
+/// private meter (Node::owner tags the pusher): a worker charges at push
+/// and refunds only nodes it both pushed and popped, so the rare stolen
+/// node (deque or priority shard) stays charged on its victim's meter —
+/// per-worker peaks are upper bounds with slack bounded by steal
+/// traffic, and the merged peak_frontier_bytes (sum of peaks) bounds the
+/// run's shared-aware peak from above with no cross-thread meter access.
 class SystemExplorer::FrontierMeter {
  public:
   void push(const Node& n) {
@@ -98,10 +99,22 @@ class SystemExplorer::FrontierMeter {
   }
 
   std::uint64_t node_cost(const Node& n, int dir) {
-    std::uint64_t c = sizeof(Node) + n.sleep.size() * sizeof(SleepEntry) +
-                      n.snap.procs.size() * sizeof(void*);
-    std::uint64_t shared = snapshot_cost(n.snap, dir);
-    if (n.anchor) shared += snapshot_cost(*n.anchor, dir);
+    std::uint64_t c = sizeof(Node);
+    if (n.sleep) {
+      c += sizeof(*n.sleep) + n.sleep->capacity() * sizeof(SleepEntry);
+    }
+    std::uint64_t shared = 0;
+    if (n.state) {
+      // The snapshot shell (struct + proc pointer table) is itself shared:
+      // one per anchor in trail mode (all descendants charge it once), one
+      // per node in snapshot mode.
+      const std::uint64_t shell =
+          sizeof(rt::WorldSnapshot) +
+          n.state->procs.capacity() *
+              sizeof(std::shared_ptr<const rt::ProcessCheckpoint>);
+      shared += charge(n.state.get(), shell, dir);
+      shared += snapshot_cost(*n.state, dir);
+    }
     return c + shared;
   }
 
@@ -132,25 +145,19 @@ struct SystemExplorer::Shared {
   std::mutex err_mu;
   std::string error;
 
-  /// kPriority: one mutex-guarded max-heap shared by every worker (the
-  /// priority contract is global, so per-worker heaps would change which
-  /// node is "best"; the lock is the price of keeping the heuristic exact).
-  std::mutex pq_mu;
-  std::vector<Node> heap;
-  static bool pri_less(const Node& a, const Node& b) {
-    return a.priority < b.priority;
-  }
-
   std::vector<std::unique_ptr<Worker>> workers;
 };
 
 /// One worker: a private scratch world (cloned from the investigated
-/// state), a stealable frontier shard, and private stats/violations merged
-/// by the coordinator after join.
+/// state), a stealable frontier shard (deque for kBfs/kDfs, priority
+/// shard for kPriority — the old single mutex-guarded global heap
+/// serialized every push and pop across workers), and private
+/// stats/violations merged by the coordinator after join.
 struct SystemExplorer::Worker {
   std::size_t id = 0;
   std::unique_ptr<rt::World> world;
   StealableDeque<Node> deque;
+  PriorityShard<Node> pq;
   /// Private frontier meter (owner-paired charges; see FrontierMeter).
   FrontierMeter meter;
   /// This worker's reachability-graph edges. Only the owner appends
@@ -179,11 +186,9 @@ SystemExplorer::~SystemExplorer() = default;
 
 void SystemExplorer::materialize(rt::World& w, const Node& n,
                                  ExploreStats& stats) const {
-  if (!opts_.trail_frontier) {
-    w.restore(n.snap);
-    return;
-  }
-  w.restore(*n.anchor);
+  // Snapshot mode: n.state is the node's exact state (replay_len == 0).
+  // Trail mode: n.state is the anchor; re-execute the suffix after it.
+  w.restore(*n.state);
   if (n.replay_len == 0) return;
   // The path chain stores the route youngest-first; collect the suffix,
   // then re-execute oldest-first. Determinism makes this bit-identical to
@@ -202,7 +207,8 @@ void SystemExplorer::materialize(rt::World& w, const Node& n,
   stats.replayed_actions += n.replay_len;
 }
 
-std::vector<SysAction> SystemExplorer::enabled_actions(rt::World& w) const {
+std::vector<SysAction> SystemExplorer::enabled_actions(
+    const rt::World& w) const {
   std::vector<SysAction> out;
   for (const rt::EventDesc& ev : w.enabled_events()) {
     SysAction a;
@@ -252,10 +258,13 @@ void SystemExplorer::apply_action(rt::World& w, const SysAction& a) {
       w.execute_event(a.event);
       break;
     case SysAction::Kind::kDropMessage:
-      w.network().drop(a.msg, /*forced=*/true);
+      // The model_* wrappers advance the replay-warm key chain (the
+      // raw network() accessor would break it — these are legitimate
+      // replayed trail actions, not exogenous surgery).
+      w.model_drop_message(a.msg);
       break;
     case SysAction::Kind::kDupMessage:
-      w.network().duplicate(a.msg);
+      w.model_duplicate_message(a.msg);
       break;
   }
 }
@@ -324,13 +333,20 @@ bool SystemExplorer::probe_root(SysExploreResult& res) {
 
 SysExploreResult SystemExplorer::graph_search() {
   SysExploreResult res;
-  std::unordered_set<std::uint64_t> visited;
+  CompactDigestSet visited;
   std::deque<PathNode> arena;  // reachability-graph edges, freed at return
 
-  auto cmp = [](const Node& a, const Node& b) {
-    return a.priority < b.priority;
+  // kPriority frontier: a plain binary heap of (priority, Node) so pops
+  // move the node out (std::priority_queue::top forces a copy, and Node
+  // is move-only now that its sleep set lives behind a unique_ptr).
+  struct HeapEntry {
+    double pri;
+    Node n;
   };
-  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> pq(cmp);
+  auto heap_less = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.pri < b.pri;
+  };
+  std::vector<HeapEntry> pq;
   std::deque<Node> fifo;
 
   if (!probe_root(res)) return res;
@@ -341,28 +357,27 @@ SysExploreResult SystemExplorer::graph_search() {
   root.depth = 0;
   {
     auto t0 = SteadyClock::now();
-    if (opts_.trail_frontier) {
-      root.anchor = std::make_shared<const rt::WorldSnapshot>(
-          scratch_->snapshot(/*cow=*/true));
-    } else {
-      root.snap = scratch_->snapshot(/*cow=*/true);
-    }
+    root.state = std::make_shared<const rt::WorldSnapshot>(
+        scratch_->snapshot(/*cow=*/true));
     res.stats.snapshot_ms += ms_since(t0);
   }
   if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats));
 
   meter.push(root);
   if (opts_.order == SearchOrder::kPriority) {
-    if (opts_.priority) root.priority = opts_.priority(*scratch_);
-    pq.push(std::move(root));
+    double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
+    pq.push_back({pri, std::move(root)});
+    std::push_heap(pq.begin(), pq.end(), heap_less);
   } else {
     fifo.push_back(std::move(root));
   }
 
   auto finish = [&]() {
     res.stats.peak_frontier_bytes = meter.peak();
+    if (opts_.dedup) res.stats.visited_bytes = visited.bytes();
     if (opts_.collect_visited) {
-      res.visited.assign(visited.begin(), visited.end());
+      visited.for_each(
+          [&](std::uint64_t v) { res.visited.push_back(v); });
       std::sort(res.visited.begin(), res.visited.end());
     }
   };
@@ -371,8 +386,9 @@ SysExploreResult SystemExplorer::graph_search() {
     Node cur;
     if (opts_.order == SearchOrder::kPriority) {
       if (pq.empty()) break;
-      cur = pq.top();
-      pq.pop();
+      std::pop_heap(pq.begin(), pq.end(), heap_less);
+      cur = std::move(pq.back().n);
+      pq.pop_back();
     } else if (opts_.order == SearchOrder::kBfs) {
       if (fifo.empty()) break;
       cur = std::move(fifo.front());
@@ -400,7 +416,7 @@ SysExploreResult SystemExplorer::graph_search() {
     if (opts_.trail_frontier &&
         cur.replay_len + 1 >= opts_.anchor_interval && !actions.empty()) {
       auto t0 = SteadyClock::now();
-      cur.anchor = std::make_shared<const rt::WorldSnapshot>(
+      cur.state = std::make_shared<const rt::WorldSnapshot>(
           scratch_->snapshot(/*cow=*/true));
       cur.replay_len = 0;
       res.stats.snapshot_ms += ms_since(t0);
@@ -411,9 +427,9 @@ SysExploreResult SystemExplorer::graph_search() {
       const std::uint64_t akey = action_key(a);
       const std::uint32_t afp = fingerprint(a);
 
-      if (opts_.sleep_sets) {
+      if (opts_.sleep_sets && cur.sleep) {
         bool slept = false;
-        for (const SleepEntry& e : cur.sleep) {
+        for (const SleepEntry& e : *cur.sleep) {
           if (e.key == akey) {
             slept = true;
             break;
@@ -443,7 +459,7 @@ SysExploreResult SystemExplorer::graph_search() {
 
       if (opts_.dedup) {
         std::uint64_t h = timed_mc_digest(*scratch_, res.stats);
-        if (!visited.insert(h).second) {
+        if (!visited.insert(h)) {
           ++res.stats.duplicates;
           arena.pop_back();  // never published; nothing references it
           continue;
@@ -460,32 +476,41 @@ SysExploreResult SystemExplorer::graph_search() {
 
       Node child;
       child.path = path;
-      child.depth = depth;
+      child.depth = static_cast<std::uint32_t>(depth);
       if (!opts_.trail_frontier) {
         auto t0 = SteadyClock::now();
-        child.snap = scratch_->snapshot(/*cow=*/true);
+        child.state = std::make_shared<const rt::WorldSnapshot>(
+            scratch_->snapshot(/*cow=*/true));
         res.stats.snapshot_ms += ms_since(t0);
       } else {
         // The expansion loop re-anchored the parent when its children
         // would exceed the interval, so extending by one is always valid.
-        child.anchor = cur.anchor;
+        child.state = cur.state;
         child.replay_len = cur.replay_len + 1;
       }
       if (opts_.sleep_sets) {
-        for (const SleepEntry& e : cur.sleep) {
-          if (independent(e.fp, afp)) child.sleep.push_back(e);
+        std::vector<SleepEntry> sleep;
+        if (cur.sleep) {
+          for (const SleepEntry& e : *cur.sleep) {
+            if (independent(e.fp, afp)) sleep.push_back(e);
+          }
         }
         for (std::size_t j = 0; j < i; ++j) {
           std::uint32_t fpj = fingerprint(actions[j]);
           if (independent(fpj, afp)) {
-            child.sleep.push_back({action_key(actions[j]), fpj});
+            sleep.push_back({action_key(actions[j]), fpj});
           }
+        }
+        if (!sleep.empty()) {
+          child.sleep =
+              std::make_unique<std::vector<SleepEntry>>(std::move(sleep));
         }
       }
       meter.push(child);
       if (opts_.order == SearchOrder::kPriority) {
-        if (opts_.priority) child.priority = opts_.priority(*scratch_);
-        pq.push(std::move(child));
+        double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
+        pq.push_back({pri, std::move(child)});
+        std::push_heap(pq.begin(), pq.end(), heap_less);
       } else {
         fifo.push_back(std::move(child));
       }
@@ -527,7 +552,7 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     auto anchor = std::make_shared<const rt::WorldSnapshot>(
         w.snapshot(/*cow=*/true));
     anchor->share_across_threads();
-    cur.anchor = std::move(anchor);
+    cur.state = std::move(anchor);
     cur.replay_len = 0;
     stats.snapshot_ms += ms_since(t0);
   }
@@ -538,9 +563,9 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     const std::uint64_t akey = action_key(a);
     const std::uint32_t afp = fingerprint(a);
 
-    if (opts_.sleep_sets) {
+    if (opts_.sleep_sets && cur.sleep) {
       bool slept = false;
-      for (const SleepEntry& e : cur.sleep) {
+      for (const SleepEntry& e : *cur.sleep) {
         if (e.key == akey) {
           slept = true;
           break;
@@ -594,26 +619,34 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
       path = &me.arena.back();
     }
     child.path = path;
-    child.depth = depth;
+    child.depth = static_cast<std::uint32_t>(depth);
     if (!opts_.trail_frontier) {
       auto t0 = SteadyClock::now();
-      child.snap = w.snapshot(/*cow=*/true);
+      child.state = std::make_shared<const rt::WorldSnapshot>(
+          w.snapshot(/*cow=*/true));
       // Publish before the push below makes the node stealable.
-      child.snap.share_across_threads();
+      child.state->share_across_threads();
       stats.snapshot_ms += ms_since(t0);
     } else {
-      child.anchor = cur.anchor;
+      child.state = cur.state;
       child.replay_len = cur.replay_len + 1;
     }
     if (opts_.sleep_sets) {
-      for (const SleepEntry& e : cur.sleep) {
-        if (independent(e.fp, afp)) child.sleep.push_back(e);
+      std::vector<SleepEntry> sleep;
+      if (cur.sleep) {
+        for (const SleepEntry& e : *cur.sleep) {
+          if (independent(e.fp, afp)) sleep.push_back(e);
+        }
       }
       for (std::size_t j = 0; j < i; ++j) {
         std::uint32_t fpj = fingerprint(actions[j]);
         if (independent(fpj, afp)) {
-          child.sleep.push_back({action_key(actions[j]), fpj});
+          sleep.push_back({action_key(actions[j]), fpj});
         }
+      }
+      if (!sleep.empty()) {
+        child.sleep =
+            std::make_unique<std::vector<SleepEntry>>(std::move(sleep));
       }
     }
 
@@ -621,17 +654,14 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     // can never observe "no work anywhere" while this child is in flight.
     child.owner = static_cast<std::uint32_t>(me.id);
     sh.active.fetch_add(1);
+    me.meter.push(child);
     if (opts_.order == SearchOrder::kPriority) {
-      if (opts_.priority) child.priority = opts_.priority(w);
-      // kPriority meter ops all run under pq_mu (see worker_loop): every
-      // pop comes from the shared heap, so the popper refunds the
-      // *owner's* meter there — charge/refund always pair.
-      std::lock_guard<std::mutex> lk(sh.pq_mu);
-      me.meter.push(child);
-      sh.heap.push_back(std::move(child));
-      std::push_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
+      // Own shard; other workers route their pops here when this shard's
+      // top hint looks best. Meter pairing follows the deque rule: the
+      // pusher charged, only the pusher refunds (worker_loop).
+      double pri = opts_.priority ? opts_.priority(w) : 0.0;
+      me.pq.push(pri, std::move(child));
     } else {
-      me.meter.push(child);
       me.deque.push_back(std::move(child));
     }
   }
@@ -646,15 +676,31 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
     Node cur;
     bool got = false;
     if (opts_.order == SearchOrder::kPriority) {
-      std::lock_guard<std::mutex> lk(sh.pq_mu);
-      if (!sh.heap.empty()) {
-        std::pop_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
-        cur = std::move(sh.heap.back());
-        sh.heap.pop_back();
+      // Best-effort global best-first over the per-worker shards: compare
+      // the own shard's top with every other shard's lock-free hint and
+      // pop from the best-looking one. Hints can be momentarily stale, so
+      // this may briefly pick a worse node than the true global best —
+      // which changes pop order only, never the visited set (differential
+      // tests) — and a failed routed pop falls back to the own shard,
+      // then to a full sweep (a hint can also be stale-empty).
+      double bestp = me.pq.top_hint();
+      std::size_t best = me.id;
+      for (std::size_t k = 1; k < n; ++k) {
+        const std::size_t vid = (me.id + k) % n;
+        const double hp = sh.workers[vid]->pq.top_hint();
+        if (hp > bestp) {
+          bestp = hp;
+          best = vid;
+        }
+      }
+      if (best != me.id && sh.workers[best]->pq.pop_top(cur)) {
         got = true;
-        // Every kPriority pop is from the shared heap; refund the meter
-        // that charged this node, under the same mutex its push used.
-        sh.workers[cur.owner]->meter.pop(cur);
+        ++me.stats.steals;
+      }
+      if (!got) got = me.pq.pop_top(cur);
+      for (std::size_t k = 1; k < n && !got; ++k) {
+        got = sh.workers[(me.id + k) % n]->pq.pop_top(cur);
+        if (got) ++me.stats.steals;
       }
     } else {
       got = lifo ? me.deque.pop_back(cur) : me.deque.pop_front(cur);
@@ -664,11 +710,11 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
         }
         if (got) ++me.stats.steals;
       }
-      if (got && cur.owner == me.id) {
-        // Refund only nodes this worker's meter charged; a stolen node
-        // stays charged on its victim (the merged peak is an upper bound).
-        me.meter.pop(cur);
-      }
+    }
+    if (got && cur.owner == me.id) {
+      // Refund only nodes this worker's meter charged; a stolen node
+      // stays charged on its victim (the merged peak is an upper bound).
+      me.meter.pop(cur);
     }
     if (!got) {
       if (sh.active.load(std::memory_order_acquire) == 0) return;
@@ -720,11 +766,9 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
 
   Node root;
   root.depth = 0;
-  if (opts_.trail_frontier) {
-    root.anchor = root_ws;
-  } else {
-    root.snap = *root_ws;
-  }
+  // Both modes share the one root snapshot object (snapshot mode nodes
+  // are "anchor + zero replay" in the unified representation).
+  root.state = root_ws;
 
   for (std::size_t i = 0; i < n_workers; ++i) {
     auto wk = std::make_unique<Worker>();
@@ -738,9 +782,8 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   root.owner = 0;
   sh.workers[0]->meter.push(root);
   if (opts_.order == SearchOrder::kPriority) {
-    if (opts_.priority) root.priority = opts_.priority(*scratch_);
-    sh.heap.push_back(std::move(root));
-    std::push_heap(sh.heap.begin(), sh.heap.end(), Shared::pri_less);
+    double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
+    sh.workers[0]->pq.push(pri, std::move(root));
   } else {
     sh.workers[0]->deque.push_back(std::move(root));
   }
@@ -785,6 +828,7 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
                      if (a.depth != b.depth) return a.depth < b.depth;
                      return a.violation.invariant < b.violation.invariant;
                    });
+  if (opts_.dedup) res.stats.visited_bytes = sh.visited.bytes();
   if (opts_.collect_visited) res.visited = sh.visited.sorted_contents();
   return res;
 }

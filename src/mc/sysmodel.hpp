@@ -63,12 +63,13 @@ struct SysExploreOptions {
 
   /// Worker threads. 1 = the sequential explorer. For graph searches
   /// (kDfs/kBfs/kPriority) the frontier is sharded across workers (one
-  /// private scratch world each, work-stealing deques, a lock-striped
-  /// visited set; kPriority shares one mutex-guarded heap). kRandomWalk
-  /// shards the walk budget instead: each walk draws from an RNG derived
-  /// from (seed, walk index), so any worker count runs the exact same
-  /// trajectories — results match the sequential walk modulo the early
-  /// stop when max_violations fills mid-flight.
+  /// private scratch world each, work-stealing deques — per-worker
+  /// best-effort-top priority heaps for kPriority — and a lock-striped
+  /// visited set). kRandomWalk shards the walk budget instead: each walk
+  /// draws from an RNG derived from (seed, walk index), so any worker
+  /// count runs the exact same trajectories — results match the
+  /// sequential walk modulo the early stop when max_violations fills
+  /// mid-flight.
   ///
   /// Determinism contract (tested by tests/test_mc_parallel.cpp): with
   /// dedup on, no sleep sets, and budgets that don't truncate, the
@@ -79,7 +80,11 @@ struct SysExploreOptions {
   /// budgets are traversal-order-sensitive, so only the *soundness* of the
   /// result (a subset of the reachable graph) is guaranteed for them.
   /// Priority/install_invariants callbacks must be thread-safe (stateless
-  /// lambdas are; every in-tree installer qualifies).
+  /// lambdas are; every in-tree installer qualifies). kPriority's pop
+  /// order is best-effort global across the per-worker heaps (stale top
+  /// hints can momentarily pick a worse node); the visited-set contract
+  /// above holds regardless, because pop order never changes *which*
+  /// states a dedup'd exhaustive search visits.
   std::size_t workers = 1;
 
   /// Test hook: return the visited canonical-digest set (sorted) in
@@ -141,20 +146,33 @@ class SystemExplorer {
     SysAction action;
   };
 
+  /// A frontier node, variant-compressed to 48 bytes: one shared-snapshot
+  /// field serves both frontier representations (snapshot mode: the
+  /// node's exact captured state, replay_len == 0 always; trail mode: the
+  /// nearest ancestor anchor plus `replay_len` actions read off the path
+  /// chain and re-executed on pop). The old shape carried an inline
+  /// WorldSnapshot shell *and* an anchor pointer (~136 bytes, the shell
+  /// empty in trail mode), a priority that only kPriority reads (now
+  /// stored in the heap entries), and an inline sleep vector that is
+  /// empty unless sleep sets are on (now one pointer, null when empty).
+  /// Unifying the two state fields also removes the meter's snap-vs-
+  /// anchor aliasing hazard structurally: there is exactly one route from
+  /// a node to its snapshot graph, and every buffer behind it is charged
+  /// once by pointer identity. Move-only: frontier containers and the
+  /// priority shards move nodes, never copy them.
   struct Node {
-    /// Snapshot mode: this node's captured state. Trail mode: empty.
-    rt::WorldSnapshot snap;
-    /// Trail mode: the nearest ancestor snapshot; the path from it to this
-    /// node (`replay_len` actions, read off the path chain) is re-executed
-    /// on pop. A node with replay_len == 0 *is* its anchor.
-    std::shared_ptr<const rt::WorldSnapshot> anchor;
-    std::size_t replay_len = 0;
+    /// Snapshot mode: this node's state. Trail mode: its anchor; a node
+    /// with replay_len == 0 *is* its anchor.
+    std::shared_ptr<const rt::WorldSnapshot> state;
     /// The action path from the investigated root to this node (arena
     /// storage owned by the search that created the node).
     const PathNode* path = nullptr;
-    std::size_t depth = 0;
-    double priority = 0.0;
-    std::vector<SleepEntry> sleep;
+    /// Sleep set (sleep-set POR only; null == empty — the common case
+    /// costs one pointer, not an inline vector).
+    std::unique_ptr<std::vector<SleepEntry>> sleep;
+    /// Trail mode: actions to re-execute from `state` (0 in snapshot mode).
+    std::uint32_t replay_len = 0;
+    std::uint32_t depth = 0;
     /// Parallel searches: index of the worker that pushed this node, so
     /// frontier-meter refunds pair with the meter that charged it.
     std::uint32_t owner = 0;
@@ -164,11 +182,11 @@ class SystemExplorer {
   struct Shared;
   struct Worker;
 
-  /// Bring `w` to `n`'s state: restore its snapshot, or (trail mode)
-  /// restore the anchor and deterministically re-execute the suffix.
+  /// Bring `w` to `n`'s state: restore its snapshot and (trail mode)
+  /// deterministically re-execute the replay suffix.
   void materialize(rt::World& w, const Node& n, ExploreStats& stats) const;
 
-  std::vector<SysAction> enabled_actions(rt::World& w) const;
+  std::vector<SysAction> enabled_actions(const rt::World& w) const;
   static void apply_action(rt::World& w, const SysAction& a);
   /// Process-touched fingerprint; actions with different fingerprints
   /// (different target processes) commute in this runtime.

@@ -96,6 +96,43 @@ void SimNetwork::ensure_deliv_index() const {
   ++deliv_epoch_;  // delta-mirroring consumers must resync wholesale
 }
 
+std::shared_ptr<const Message> SimNetwork::warm_or_make(Message&& msg) {
+  if (warm_step_key_ == 0) {
+    // Created non-const (as everywhere): take()'s uniquely-owned move-out
+    // path sheds const, which is only defined for non-const objects.
+    return std::make_shared<Message>(std::move(msg));
+  }
+  if (warm_ring_.empty()) warm_ring_.resize(kWarmRingSlots);
+  const std::uint64_t k =
+      hash_combine(warm_step_key_, ++warm_ordinal_);
+  WarmMsgSlot& slot = warm_ring_[static_cast<std::size_t>(k) &
+                                 (kWarmRingSlots - 1)];
+  if (slot.key == k && slot.msg) {
+    // Reuse only on full equality — the key narrows the search, the
+    // compare decides, so a collision can never share wrong content.
+    const Message& c = *slot.msg;
+    if (c.id == msg.id && c.src == msg.src && c.dst == msg.dst &&
+        c.tag == msg.tag && c.sent_at == msg.sent_at &&
+        c.latency == msg.latency && c.lamport == msg.lamport &&
+        c.control == msg.control && c.vclock == msg.vclock &&
+        c.spec_taints == msg.spec_taints && c.payload == msg.payload) {
+      ++warm_hits_;
+      return slot.msg;
+    }
+  }
+  std::shared_ptr<const Message> sp =
+      std::make_shared<Message>(std::move(msg));
+  slot = {k, sp};
+  return sp;
+}
+
+void SimNetwork::set_replay_warm(bool on) {
+  warm_on_ = on;
+  warm_step_key_ = 0;
+  warm_ring_.clear();
+  warm_hits_ = 0;
+}
+
 void SimNetwork::enqueue(Message msg) {
   MsgId id = msg.id;
   // Every pending message carries warm digest memos, so state hashing over
@@ -111,7 +148,7 @@ void SimNetwork::enqueue(Message msg) {
   if (!options_.fifo || q.size() == 1) {
     idx_add(msg.dst, id, {msg.sent_at + msg.latency, msg.control});
   }
-  messages_.emplace(id, std::make_shared<Message>(std::move(msg)));
+  messages_.emplace(id, warm_or_make(std::move(msg)));
 }
 
 std::optional<MsgId> SimNetwork::submit(Message msg) {
@@ -390,10 +427,21 @@ std::shared_ptr<const NetSnapshot> SimNetwork::snapshot() const {
     s->options = options_;
     s->rng = rng_;
     s->next_id = next_id_;
-    s->messages = messages_;
-    s->channels = channels_;
+    // The live maps iterate in key order, so the flat vectors come out
+    // sorted in one pass (restore relies on that for its end-hint
+    // rebuild).
+    s->messages.reserve(messages_.size());
+    for (const auto& [id, m] : messages_) s->messages.emplace_back(id, m);
+    s->channels.reserve(channels_.size());
+    for (const auto& [key, q] : channels_) {
+      s->channels.emplace_back(
+          key, std::vector<MsgId>(q.begin(), q.end()));
+    }
     s->stats = stats_;
-    s->channel_digests = channel_digest_cache_;
+    s->channel_digests.reserve(channel_digest_cache_.size());
+    for (const auto& [key, d] : channel_digest_cache_) {
+      s->channel_digests.emplace_back(key, d);
+    }
     s->digest_memo = digest_memo_;
     s->content_acc = content_acc_;
     snap_cache_ = std::move(s);
@@ -407,11 +455,24 @@ void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
   options_ = snap->options;
   rng_ = snap->rng;
   next_id_ = snap->next_id;
-  messages_ = snap->messages;
-  channels_ = snap->channels;
+  // The snapshot's vectors are key-sorted, so inserting with an end hint
+  // rebuilds each map in O(entries) — the same cost the old wholesale
+  // map-to-map copy paid.
+  messages_.clear();
+  for (const auto& [id, m] : snap->messages) {
+    messages_.emplace_hint(messages_.end(), id, m);
+  }
+  channels_.clear();
+  for (const auto& [key, q] : snap->channels) {
+    channels_.emplace_hint(channels_.end(), key,
+                           std::deque<MsgId>(q.begin(), q.end()));
+  }
   stats_ = snap->stats;
   // Adopt whatever was warm at capture (cold stays cold — conservative).
-  channel_digest_cache_ = snap->channel_digests;
+  channel_digest_cache_.clear();
+  for (const auto& [key, d] : snap->channel_digests) {
+    channel_digest_cache_.emplace_hint(channel_digest_cache_.end(), key, d);
+  }
   digest_memo_ = snap->digest_memo;
   content_acc_ = snap->content_acc;
   // The deliverable index is rebuilt lazily at the next enabled-set

@@ -203,11 +203,21 @@ struct NetSnapshot {
   NetworkOptions options;
   Rng rng;
   MsgId next_id = 1;
-  std::map<MsgId, std::shared_ptr<const Message>> messages;
-  std::map<ChannelKey, std::deque<MsgId>> channels;
+  /// Pending messages, ascending id. Flat sorted vectors instead of maps:
+  /// a trail-frontier explorer retains one NetSnapshot per live anchor,
+  /// and the map/deque representation cost ~48 B of node overhead per
+  /// entry (plus ~600 B of deque blocks per channel) that a flat copy of
+  /// the same data doesn't — capture iterates the live maps in order, so
+  /// building the vectors is one pass, and restore rebuilds the maps with
+  /// an end hint at the same O(entries) cost as the old wholesale map
+  /// copy.
+  std::vector<std::pair<MsgId, std::shared_ptr<const Message>>> messages;
+  /// Channel queues in FIFO order, ascending channel key.
+  std::vector<std::pair<ChannelKey, std::vector<MsgId>>> channels;
   NetStats stats;
-  /// Digest caches valid for this snapshot's content (adopted on restore).
-  std::map<ChannelKey, std::uint64_t> channel_digests;
+  /// Digest caches valid for this snapshot's content (adopted on
+  /// restore), ascending channel key.
+  std::vector<std::pair<ChannelKey, std::uint64_t>> channel_digests;
   std::optional<std::uint64_t> digest_memo;
   /// Order-independent accumulator over pending message content digests
   /// (see SimNetwork::content_digest_acc), adopted on restore.
@@ -361,12 +371,37 @@ class SimNetwork {
   /// memos. Verification oracle for tests.
   std::uint64_t content_digest_acc_uncached() const;
 
+  // --- replay-warmed message objects (driven by rt::World) -----------------
+  /// While a deterministically keyed event executes (rt::World::dispatch
+  /// brackets it with begin/end), every message enqueued is keyed by
+  /// (event key, enqueue ordinal) against a small direct-mapped ring: a
+  /// re-execution of the same prefix re-derives the same key and — after a
+  /// full field-equality check, so reuse is bit-exact by construction, not
+  /// by hash — shares the previously allocated immutable Message object
+  /// instead of duplicating it. Sibling trail-frontier anchors then hold
+  /// the same message pointers for replay-created traffic, which is where
+  /// most of a trail frontier's memory went. Bounded retention:
+  /// kWarmRingSlots shared messages, overwritten direct-mapped.
+  void begin_warm_step(std::uint64_t key) {
+    warm_step_key_ = warm_on_ ? key : 0;
+    warm_ordinal_ = 0;
+  }
+  void end_warm_step() { warm_step_key_ = 0; }
+  /// Toggle the ring (rt::World::set_replay_warm forwards); clears it.
+  void set_replay_warm(bool on);
+  /// Messages served shared from the ring (observability for tests).
+  std::uint64_t warm_hits() const { return warm_hits_; }
+
  private:
   using ChannelKey = std::pair<ProcessId, ProcessId>;
 
   bool is_deliverable(MsgId id) const;
   void enqueue(Message msg);
   VirtualTime draw_latency();
+  /// Share from the warm ring when an identical message was created under
+  /// the same replay key before; else allocate and publish. See
+  /// begin_warm_step.
+  std::shared_ptr<const Message> warm_or_make(Message&& msg);
 
   /// Deliverable-index deltas (publish to the listener); no-ops while the
   /// index is invalidated. idx_add_head re-adds the new head of a FIFO
@@ -407,6 +442,21 @@ class SimNetwork {
   mutable std::optional<std::uint64_t> digest_memo_;
   /// The snapshot describing the current state, if one is warm.
   mutable std::shared_ptr<const NetSnapshot> snap_cache_;
+
+  /// Replay-warm message ring (see begin_warm_step). Direct-mapped: the
+  /// slot is the key's low bits, so lookup and insert are one probe; a
+  /// colliding insert simply evicts (sharing degrades, correctness can't —
+  /// reuse requires full equality).
+  static constexpr std::size_t kWarmRingSlots = 2048;
+  struct WarmMsgSlot {
+    std::uint64_t key = 0;
+    std::shared_ptr<const Message> msg;
+  };
+  bool warm_on_ = true;
+  std::uint64_t warm_step_key_ = 0;
+  std::uint64_t warm_ordinal_ = 0;
+  std::uint64_t warm_hits_ = 0;
+  std::vector<WarmMsgSlot> warm_ring_;
 };
 
 }  // namespace fixd::net

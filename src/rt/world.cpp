@@ -1,10 +1,34 @@
 #include "rt/world.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/hash.hpp"
 
 namespace fixd::rt {
+
+namespace {
+
+/// World-wide unique WorldSnapshot serials (cross-thread: parallel
+/// explorer workers snapshot concurrently).
+std::atomic<std::uint64_t> g_snapshot_serial{0};
+
+/// Seed of a replay-warm key chain for one snapshot identity.
+std::uint64_t replay_chain_seed(std::uint64_t serial) {
+  return hash_combine(0x52e91a77c0ffeeull, serial);
+}
+
+/// Fold one dispatched event's identity into the chain. The identity
+/// (kind + pid + msg + timer) pins the transition exactly: ids are unique
+/// while pending/armed, so equal keys mean equal deterministic prefixes.
+std::uint64_t replay_fold_event(std::uint64_t acc, const EventDesc& ev) {
+  acc = hash_combine(acc, static_cast<std::uint64_t>(ev.kind));
+  acc = hash_combine(acc, ev.pid);
+  acc = hash_combine(acc, ev.msg);
+  return hash_combine(acc, ev.timer);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ProcessCheckpoint
@@ -251,6 +275,8 @@ ProcessId World::add_process(std::unique_ptr<Process> p) {
   infos_.push_back(std::move(pi));
   dcache_.push_back({});
   ckpt_cache_.push_back(nullptr);
+  warm_key_.push_back(0);
+  warm_ring_.emplace_back();
   eidx_.push_back({});
   return pid;
 }
@@ -269,7 +295,10 @@ Process& World::process(ProcessId pid) {
   FIXD_CHECK_MSG(pid < procs_.size(), "bad process id");
   // Conservative: the caller may mutate the process through this reference
   // (fault injection's corrupt_state, the Healer's patches, test pokes).
+  // An external mutation also ends replay purity for *downstream* state
+  // (later handlers observe its effects), hence the chain break.
   mark_state_dirty(pid);
+  replay_break();
   return *procs_[pid];
 }
 
@@ -286,6 +315,7 @@ std::unique_ptr<Process> World::swap_process(ProcessId pid,
   fresh->id_ = pid;
   std::swap(procs_[pid], fresh);
   mark_state_dirty(pid);
+  replay_break();
   return fresh;  // now holds the old process
 }
 
@@ -314,6 +344,7 @@ const TimerQueue& World::timers_of(ProcessId pid) const {
 void World::set_crashed(ProcessId pid, bool crashed) {
   info(pid).crashed = crashed;
   mark_state_dirty(pid);
+  replay_break();
   // Crash (or uncrash) enables/masks every bucket of this process at once.
   eidx_sync_proc(pid);
 }
@@ -613,6 +644,32 @@ void World::dispatch(const EventDesc& ev) {
   // capture/digest caches with the (still-unmutated) pre-event state, and
   // marking first would let that warmth survive the handler's mutations.
 
+  // Replay warming: this event extends the deterministic prefix executed
+  // since the last snapshot restore, so derive its key up front (sends
+  // inside the handler key their messages against it) and commit it at
+  // the end — unless something mid-event broke purity (a spec rollback, a
+  // hook mutating through the public accessors), in which case the chain
+  // is already dead and the key is discarded.
+  const std::uint64_t acc0 = replay_acc_;
+  const std::uint64_t rk =
+      replay_keyable() ? replay_fold_event(acc0, ev) : 0;
+  if (rk) {
+    net_.begin_warm_step(rk);
+  } else {
+    // Clear any stale step key (a prior dispatch that ended by
+    // exception, or a chain broken mid-event, must not key this event's
+    // sends under the old identity).
+    net_.end_warm_step();
+  }
+  const auto commit_replay_key = [&] {
+    if (!rk) return;
+    net_.end_warm_step();
+    if (replay_acc_ == acc0) {
+      replay_acc_ = rk;
+      warm_key_[ev.pid] = rk;
+    }
+  };
+
   bool suppressed = false;
   for (auto* ic : interceptors_) {
     if (!ic->before_event(*this, ev)) {
@@ -638,6 +695,7 @@ void World::dispatch(const EventDesc& ev) {
     }
     ++step_;
     for (auto* ic : interceptors_) ic->after_event(*this, ev);
+    commit_replay_key();  // unreachable while keyed (interceptors present)
     return;
   }
 
@@ -683,6 +741,7 @@ void World::dispatch(const EventDesc& ev) {
   if (spec_hooks_) spec_hooks_->apply_deferred(*this);
   check_invariants(ev.pid, ev);
   for (auto* ic : interceptors_) ic->after_event(*this, ev);
+  commit_replay_key();
 }
 
 void World::recheck_invariants() {
@@ -777,6 +836,7 @@ void World::notify_spec_aborted(ProcessId pid, SpecId spec,
                                 const std::string& assumption) {
   ProcInfo& pi = infos_[pid];
   mark_state_dirty(pid);
+  replay_break();
   pi.lamport.tick();
   pi.vclock.tick(pid);
   run_handler(pid, [&](Context& c) {
@@ -921,18 +981,139 @@ bool World::capture_cache_valid(ProcessId pid) const {
   return true;
 }
 
+std::shared_ptr<const ProcessCheckpoint> World::warm_lookup(
+    ProcessId pid) const {
+  const std::uint64_t key = warm_key_[pid];
+  for (const ReplayWarmSlot& s : warm_ring_[pid].slots) {
+    if (s.key != key || !s.ckpt) continue;
+    // The key is content-addressed by construction (determinism makes
+    // (snapshot, prefix) → state a function), but a hash collision must
+    // degrade to a fresh capture, never a wrong share: validate the cheap
+    // invariant fields, and the heap through its self-invalidating digest
+    // (which also covers stashed-pointer heap writes the dirty bit
+    // misses — the same guard capture_cache_valid uses).
+    if (s.ckpt->vclock != infos_[pid].vclock) continue;
+    if (s.ckpt->lamport != infos_[pid].lamport.now()) continue;
+    if (const mem::PagedHeap* h = procs_[pid]->cow_heap()) {
+      if (!s.ckpt->heap_snap || s.ckpt->heap_snap->digest() != h->digest()) {
+        continue;
+      }
+    }
+    return s.ckpt;
+  }
+  return nullptr;
+}
+
+void World::warm_insert(ProcessId pid,
+                        const std::shared_ptr<const ProcessCheckpoint>& ckpt) {
+  ReplayWarmRing& r = warm_ring_[pid];
+  r.slots[r.next] = {warm_key_[pid], ckpt};
+  r.next = static_cast<std::uint8_t>((r.next + 1) % kReplayWarmSlots);
+}
+
 std::shared_ptr<const ProcessCheckpoint> World::capture_process_shared(
     ProcessId pid) {
   FIXD_CHECK_MSG(pid < procs_.size(), "capture: bad id");
   if (capture_cache_valid(pid)) return ckpt_cache_[pid];
+  // Replay-warmed path: a previous deterministic replay of the same
+  // prefix already captured exactly this content — share its checkpoint
+  // instead of allocating a bit-identical copy (this is what makes
+  // sibling trail anchors share entries).
+  if (replay_warm_on_ && warm_key_[pid] != 0) {
+    if (auto hit = warm_lookup(pid)) {
+      ++warm_hits_;
+      // The hit's memo describes this very content; adopt any component
+      // the live cache lost (conservative: valid-only, like restore).
+      ProcDigestMemo& d = dcache_[pid];
+      if (!d.full_valid && hit->digest_memo.full_valid) {
+        d.full = hit->digest_memo.full;
+        d.full_valid = true;
+      }
+      if (!d.mc_valid && hit->digest_memo.mc_valid) {
+        d.mc = hit->digest_memo.mc;
+        d.mc_valid = true;
+      }
+      ckpt_cache_[pid] = hit;
+      return hit;
+    }
+    ++warm_misses_;
+  }
   auto sp = std::make_shared<const ProcessCheckpoint>(
       capture_process(pid, /*cow=*/true));
   ckpt_cache_[pid] = sp;
+  if (replay_warm_on_ && warm_key_[pid] != 0) warm_insert(pid, sp);
   return sp;
+}
+
+void World::set_replay_warm(bool on) {
+  replay_warm_on_ = on;
+  // Toggling either way clears all warm state: rings drop their retained
+  // checkpoints, keys die, and the chain re-seeds at the next restore.
+  replay_acc_ = 0;
+  std::fill(warm_key_.begin(), warm_key_.end(), 0);
+  for (ReplayWarmRing& r : warm_ring_) r = ReplayWarmRing{};
+  net_.set_replay_warm(on);
+}
+
+bool World::model_drop_message(MsgId id) {
+  if (replay_keyable()) {
+    replay_acc_ = hash_combine(replay_acc_, 0xd40bull ^ mix64(id));
+  }
+  return net_.drop(id, /*forced=*/true);
+}
+
+std::optional<MsgId> World::model_duplicate_message(MsgId id) {
+  const std::uint64_t rk =
+      replay_keyable() ? hash_combine(replay_acc_, 0xd0b1ull ^ mix64(id)) : 0;
+  if (rk) net_.begin_warm_step(rk);
+  auto r = net_.duplicate(id);
+  if (rk) {
+    net_.end_warm_step();
+    replay_acc_ = rk;
+  }
+  return r;
+}
+
+bool World::verify_capture_cache(ProcessId pid) const {
+  FIXD_CHECK_MSG(pid < procs_.size(), "verify: bad id");
+  const auto& c = ckpt_cache_[pid];
+  if (!c) return true;  // a cold cache is trivially consistent
+  BinaryWriter w;
+  procs_[pid]->save_root(w);
+  auto equals = [](const std::vector<std::byte>& a,
+                   const std::vector<std::byte>& b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  };
+  if (!equals(w.bytes(), c->root)) return false;
+  BinaryWriter iw;
+  infos_[pid].save(iw);
+  if (!equals(iw.bytes(), c->info)) return false;
+  if (c->vclock != infos_[pid].vclock) return false;
+  if (c->lamport != infos_[pid].lamport.now()) return false;
+  const mem::PagedHeap* h = procs_[pid]->cow_heap();
+  if (h != nullptr) {
+    if (!c->heap_snap && c->heap_bytes.empty()) return false;
+    // Bit-exact content compare through the shared wire format (a
+    // HeapSnapshot serializes identically to the heap it captured).
+    BinaryWriter hw;
+    h->save(hw);
+    if (c->heap_snap) {
+      BinaryWriter sw;
+      c->heap_snap->save(sw);
+      if (!equals(hw.bytes(), sw.bytes())) return false;
+    } else if (!equals(hw.bytes(), c->heap_bytes)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   FIXD_CHECK_MSG(pid < procs_.size(), "restore: bad id");
+  // State motion outside the dispatched-event stream: the replay chain
+  // dies here; restore(WorldSnapshot) re-seeds it after the last process.
+  replay_break();
   BinaryReader rr(ckpt.root);
   procs_[pid]->load_root(rr);
   mem::PagedHeap* h = procs_[pid]->cow_heap();
@@ -957,6 +1138,7 @@ void World::restore_process(ProcessId pid, const ProcessCheckpoint& ckpt) {
   // The content changed; a by-value checkpoint cannot re-warm the capture
   // cache (no shared handle) — the shared overload below re-warms it.
   ckpt_cache_[pid].reset();
+  warm_key_[pid] = 0;  // content no longer matches any replay key
 }
 
 void World::restore_process(
@@ -989,6 +1171,7 @@ WorldSnapshot World::snapshot(bool cow) {
   s.net = net_.snapshot();
   s.now = now_;
   s.step = step_;
+  s.serial = g_snapshot_serial.fetch_add(1, std::memory_order_relaxed) + 1;
   return s;
 }
 
@@ -1001,6 +1184,13 @@ void World::restore(const WorldSnapshot& snap) {
   net_.restore(snap.net);
   now_ = snap.now;
   step_ = snap.step;
+  // Re-seed the replay-warm chain on this snapshot's identity: the world
+  // now holds exactly its content, so a deterministic re-execution from
+  // here derives content-faithful per-event keys. Hand-built snapshots
+  // (serial 0) and disabled warming leave the chain dead.
+  replay_acc_ = (replay_warm_on_ && snap.serial != 0)
+                    ? replay_chain_seed(snap.serial)
+                    : 0;
 }
 
 std::unique_ptr<World> World::clone() {

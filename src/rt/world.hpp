@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -119,6 +120,13 @@ struct WorldSnapshot {
   std::shared_ptr<const net::NetSnapshot> net;
   VirtualTime now = 0;
   std::uint64_t step = 0;
+  /// Globally unique capture identity (assigned by World::snapshot; 0 for
+  /// hand-built snapshots). Restoring seeds the replay-warm key chain from
+  /// it: deterministic re-executions from the same snapshot object derive
+  /// the same per-event keys, which is what lets sibling trail replays
+  /// share their captures. Copies keep the serial — identical content, so
+  /// the keys stay content-faithful. Not serialized.
+  std::uint64_t serial = 0;
 
   /// Approximate retained size; shared entries are charged in full (see
   /// ProcessCheckpoint::size_bytes). Callers that account for sharing
@@ -208,8 +216,22 @@ class World : private net::DeliverableListener {
   std::unique_ptr<Process> swap_process(ProcessId pid,
                                         std::unique_ptr<Process> fresh);
 
-  net::SimNetwork& network() { return net_; }
+  /// Mutable network access conservatively breaks the replay-warm key
+  /// chain (direct surgery makes later states no longer a pure function of
+  /// (snapshot, dispatched events)); use the model_* wrappers below when
+  /// the mutation is itself a deterministic replayed action.
+  net::SimNetwork& network() {
+    replay_break();
+    return net_;
+  }
   const net::SimNetwork& network() const { return net_; }
+
+  /// Environment-model network actions (the Investigator's drop/duplicate
+  /// transitions). Semantically identical to network().drop/duplicate but
+  /// advance the replay-warm key chain instead of breaking it, so trails
+  /// containing them stay warmable.
+  bool model_drop_message(MsgId id);
+  std::optional<MsgId> model_duplicate_message(MsgId id);
 
   VirtualTime now() const { return now_; }
   std::uint64_t step_count() const { return step_; }
@@ -321,6 +343,33 @@ class World : private net::DeliverableListener {
   WorldSnapshot snapshot(bool cow = true);
   void restore(const WorldSnapshot& snap);
 
+  // --- replay-warmed captures ---------------------------------------------
+  /// Toggle replay warming (default on). While on, a deterministic
+  /// re-execution after restore(WorldSnapshot) keys every dispatched
+  /// event against the snapshot's identity; capture_process_shared then
+  /// reuses the bit-identical shared checkpoint a previous replay of the
+  /// same prefix produced (and SimNetwork reuses replay-created message
+  /// objects the same way), so sibling trail-frontier anchors share
+  /// entries instead of deep-copying identical content. Any mutation
+  /// outside dispatched events (process()/set_crashed/swap/network()
+  /// surgery/spec aborts) breaks the chain; interceptors, spec hooks, or
+  /// an env source disable keying entirely (their state is not covered by
+  /// world snapshots, so re-execution purity cannot be assumed). Toggling
+  /// clears all warm state.
+  void set_replay_warm(bool on);
+  bool replay_warm() const { return replay_warm_on_; }
+  /// Captures served from / inserted into the replay-warm ring
+  /// (observability; tests assert the machinery engages).
+  std::uint64_t replay_warm_hits() const { return warm_hits_; }
+  std::uint64_t replay_warm_misses() const { return warm_misses_; }
+
+  /// Verification oracle: true iff the capture cache entry for `pid` (and
+  /// therefore anything replay warming may have put there) describes the
+  /// live process bit-exactly — root bytes, runtime info bytes, and heap
+  /// content compared in full. A cold cache is trivially consistent. The
+  /// replay-warm property suites call this after every materialization.
+  bool verify_capture_cache(ProcessId pid) const;
+
   /// Clone the entire world (processes, network, clocks). Hooks, observers
   /// and invariants are NOT cloned; the clone gets a FIFO scheduler.
   std::unique_ptr<World> clone();
@@ -398,8 +447,27 @@ class World : private net::DeliverableListener {
       dcache_[pid].full_valid = false;
       dcache_[pid].mc_valid = false;
       ckpt_cache_[pid].reset();
+      // The content is about to change, so it no longer matches the last
+      // replay key; dispatch re-establishes the key after the event.
+      warm_key_[pid] = 0;
     }
   }
+
+  // --- replay-warm key chain ----------------------------------------------
+  /// An exogenous mutation happened: downstream states are no longer a
+  /// pure function of (restored snapshot, dispatched events), so the key
+  /// chain dies until the next full-snapshot restore re-seeds it.
+  void replay_break() { replay_acc_ = 0; }
+  /// True while dispatched events may be keyed: warming on and no hook
+  /// whose state lives outside world snapshots.
+  bool replay_keyable() const {
+    return replay_warm_on_ && replay_acc_ != 0 && interceptors_.empty() &&
+           spec_hooks_ == nullptr && env_source_ == nullptr;
+  }
+  /// Look up / publish the capture for `pid` under its current warm key.
+  std::shared_ptr<const ProcessCheckpoint> warm_lookup(ProcessId pid) const;
+  void warm_insert(ProcessId pid,
+                   const std::shared_ptr<const ProcessCheckpoint>& ckpt);
 
   // --- enabled-event index ------------------------------------------------
   /// Sorted flat set of process ids. Process counts are small and
@@ -518,6 +586,34 @@ class World : private net::DeliverableListener {
   /// Reused serialization scratch for digest computation (avoids one
   /// BinaryWriter allocation per process per digest call).
   mutable BinaryWriter digest_scratch_;
+
+  // --- replay-warm state (see set_replay_warm) ----------------------------
+  bool replay_warm_on_ = true;
+  /// Running key of the deterministic event prefix executed since the last
+  /// restore(WorldSnapshot): H(snapshot serial, event identities...).
+  /// 0 = no pure-replay base (never restored, or broken by an exogenous
+  /// mutation).
+  std::uint64_t replay_acc_ = 0;
+  /// Per process: the key of the last keyed event that mutated it (its
+  /// content is the deterministic function of that key), 0 when unknown.
+  /// Zeroed by mark_state_dirty, re-set by dispatch after the event.
+  std::vector<std::uint64_t> warm_key_;
+  /// Per process: small ring of recent (key → shared capture) pairs. A
+  /// sibling replay of the same prefix re-derives the same key and shares
+  /// the checkpoint instead of capturing a bit-identical copy. Bounded
+  /// retention: kReplayWarmSlots entries per process, FIFO eviction.
+  static constexpr std::size_t kReplayWarmSlots = 16;
+  struct ReplayWarmSlot {
+    std::uint64_t key = 0;
+    std::shared_ptr<const ProcessCheckpoint> ckpt;
+  };
+  struct ReplayWarmRing {
+    std::array<ReplayWarmSlot, kReplayWarmSlots> slots;
+    std::uint8_t next = 0;
+  };
+  mutable std::vector<ReplayWarmRing> warm_ring_;
+  mutable std::uint64_t warm_hits_ = 0;
+  mutable std::uint64_t warm_misses_ = 0;
 
   /// Enabled-event index aggregates (see EIdxProc): the sorted sets hold
   /// exactly the processes that contribute enabled events of each kind,

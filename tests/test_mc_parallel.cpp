@@ -109,20 +109,35 @@ class ParallelDifferential
 TEST_P(ParallelDifferential, VisitedSetAndCountsMatchSequential) {
   auto [model_idx, order_idx, trail] = GetParam();
   const ModelCase mc = small_models()[model_idx];
-  const SearchOrder order =
-      order_idx == 0 ? SearchOrder::kBfs : SearchOrder::kDfs;
+  const SearchOrder order = order_idx == 0   ? SearchOrder::kBfs
+                            : order_idx == 1 ? SearchOrder::kDfs
+                                             : SearchOrder::kPriority;
+
+  auto configure = [&](SysExploreOptions& o) {
+    o.install_invariants = mc.installer;
+    if (order == SearchOrder::kPriority) {
+      // A deterministic, thread-safe heuristic: the sharded best-effort
+      // heaps may pop in a different order than the sequential heap, but
+      // a dedup'd exhaustive search must visit the identical set anyway
+      // — exactly what this differential pins.
+      o.priority = [](const rt::World& world) {
+        return static_cast<double>(world.network().pending_count());
+      };
+    }
+  };
 
   auto w = mc.make();
   auto seq_opts = differential_opts(order, trail, 1);
-  seq_opts.install_invariants = mc.installer;
+  configure(seq_opts);
   SystemExplorer seq(*w, seq_opts);
   auto ref = seq.explore();
   ASSERT_FALSE(ref.stats.truncated) << mc.name << ": budget too small";
   ASSERT_GT(ref.stats.states, 1u);
+  EXPECT_GT(ref.stats.visited_bytes, 0u);
 
   for (std::size_t workers : {2u, 4u, 8u}) {
     auto par_opts = differential_opts(order, trail, workers);
-    par_opts.install_invariants = mc.installer;
+    configure(par_opts);
     SystemExplorer par(*w, par_opts);
     auto got = par.explore();
     SCOPED_TRACE(std::string(mc.name) + " workers=" +
@@ -141,7 +156,7 @@ TEST_P(ParallelDifferential, VisitedSetAndCountsMatchSequential) {
 
 INSTANTIATE_TEST_SUITE_P(
     Models, ParallelDifferential,
-    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(0, 1),
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(0, 1, 2),
                        ::testing::Bool()));
 
 // Randomized differential: seed-perturbed variants of the kv model (the

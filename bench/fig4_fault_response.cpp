@@ -3,14 +3,21 @@
 // End-to-end pipeline cost, per phase: run-until-detection, rollback to a
 // consistent line, collection of checkpoints+models from the other
 // processes (control-plane messages and bytes — the Fig. 4 exchange),
-// investigation, and healing. One row per application.
+// investigation, and healing. One row per application, including the
+// timeout-fault scenario where recovery is a TimeoutTuner configuration
+// heal rather than a registry code swap (docs/ROBUSTNESS.md).
+//
+// Emits BENCH_fault.json (archived by the scheduled perf workflow).
 #include <cstdio>
+#include <vector>
 
+#include "apps/kv_lag.hpp"
 #include "apps/kv_store.hpp"
 #include "apps/leader_election.hpp"
 #include "apps/rep_counter.hpp"
 #include "bench_util.hpp"
 #include "core/fixd.hpp"
+#include "fault/injector.hpp"
 
 namespace {
 
@@ -20,31 +27,74 @@ struct Case {
   const char* name;
   std::function<std::unique_ptr<rt::World>()> make;
   std::function<void(rt::World&)> installer;
-  heal::UpdatePatch patch;
+  heal::UpdatePatch patch;  ///< registry heal (empty target_type = none)
   mc::SearchOrder order = mc::SearchOrder::kRandomWalk;
+  /// Extra controller configuration (timeout tuning, TM policy, ...).
+  std::function<void(core::FixdOptions&)> tweak;
+  /// Environment misbehaviour driving the fault (attached before the run).
+  std::function<void(fault::FaultInjector&)> inject;
 };
 
-void run_case(const Case& c) {
+struct Row {
+  const char* name;
+  bool completed = false;
+  std::size_t faults = 0;
+  std::uint64_t detect_step = 0;  ///< world step at first detection
+  core::PhaseBreakdown phases;
+  std::uint64_t ctl_msgs = 0;
+  std::uint64_t ctl_bytes = 0;
+  std::size_t heals = 0;
+  std::size_t timeout_heals = 0;
+  std::size_t restarts = 0;
+  std::size_t tuner_probes = 0;
+  std::uint64_t tuner_states = 0;
+  std::uint64_t healed_value = 0;
+};
+
+Row run_case(const Case& c) {
   auto w = c.make();
+  fault::FaultInjector inj;
+  if (c.inject) {
+    c.inject(inj);
+    inj.attach(*w);
+  }
   heal::PatchRegistry patches;
-  patches.add(c.patch);
+  if (!c.patch.target_type.empty()) patches.add(c.patch);
   core::FixdOptions o;
   o.install_invariants = c.installer;
   o.investigate.order = c.order;
   o.investigate.max_states = 20000;
   o.investigate.max_depth = 160;
   o.investigate.walk_restarts = 64;
+  if (c.tweak) c.tweak(o);
   core::FixdController fixd(*w, o, patches);
   core::FixdReport rep = fixd.run_protected();
 
-  const core::BugReport* bug = rep.bugs.empty() ? nullptr : &rep.bugs[0];
+  Row row;
+  row.name = c.name;
+  row.completed = rep.completed;
+  row.faults = rep.faults_detected;
+  row.phases = rep.phases;
+  row.heals = rep.heals_applied;
+  row.timeout_heals = rep.timeout_heals;
+  row.restarts = rep.restarts;
+  if (!rep.bugs.empty()) {
+    row.detect_step = rep.bugs[0].violation.step;
+    row.ctl_msgs = rep.bugs[0].collect.control_messages;
+    row.ctl_bytes = rep.bugs[0].collect.control_bytes;
+  }
+  for (const heal::TunerResult& t : rep.tunes) {
+    row.tuner_probes += t.trajectory.size();
+    row.tuner_states += t.states_explored();
+    if (t.ok) row.healed_value = t.healed_value;
+  }
   bench::row("%-14s %5s %6zu %7.1f %8.1f %7.1f %11.1f %7.1f %8llu %9llu",
-             c.name, rep.completed ? "yes" : "NO", rep.faults_detected,
-             rep.phases.run_ms, rep.phases.rollback_ms,
-             rep.phases.collect_ms, rep.phases.investigate_ms,
-             rep.phases.heal_ms,
-             (unsigned long long)(bug ? bug->collect.control_messages : 0),
-             (unsigned long long)(bug ? bug->collect.control_bytes : 0));
+             c.name, row.completed ? "yes" : "NO", row.faults,
+             row.phases.run_ms, row.phases.rollback_ms,
+             row.phases.collect_ms, row.phases.investigate_ms,
+             row.phases.heal_ms, (unsigned long long)row.ctl_msgs,
+             (unsigned long long)row.ctl_bytes);
+  return row;
 }
 
 }  // namespace
@@ -59,13 +109,15 @@ int main() {
              "ctl-msgs", "ctl-bytes");
   bench::rule();
 
+  std::vector<Row> rows;
+
   Case counter{
       "rep-counter",
       [] { return apps::make_counter_world(4, 1, apps::CounterConfig{6}); },
       apps::install_counter_invariants,
       apps::counter_fix_patch(apps::CounterConfig{6}),
   };
-  run_case(counter);
+  rows.push_back(run_case(counter));
 
   Case election{
       "election",
@@ -79,7 +131,7 @@ int main() {
       apps::install_election_invariants,
       apps::election_fix_patch(apps::ElectionConfig{}),
   };
-  run_case(election);
+  rows.push_back(run_case(election));
 
   Case kv{
       "kv-store",
@@ -108,11 +160,76 @@ int main() {
         return cfg;
       }()),
   };
-  run_case(kv);
+  rows.push_back(run_case(kv));
+
+  // The timeout-fault scenario: the environment delays one delivery past
+  // the seeded (too short) retransmit timeout; recovery is a TimeoutTuner
+  // configuration heal, not a registry code swap.
+  apps::KvLagConfig lag_cfg;
+  lag_cfg.total_ops = 1;
+  Case lag{
+      "kv-lag(delay)",
+      [lag_cfg] { return apps::make_kv_lag_world(2, lag_cfg); },
+      apps::install_kv_lag_invariants,
+      heal::UpdatePatch{},  // no registry patch: the tuner synthesizes it
+      mc::SearchOrder::kBfs,
+      [lag_cfg](core::FixdOptions& o) {
+        o.investigate.order = mc::SearchOrder::kBfs;
+        o.tm.cic = false;  // initial checkpoints: rollback to the start
+        o.attempt_timeout_tuning = true;
+        o.timeout_site = apps::kv_lag_timeout_site(lag_cfg);
+        o.tuner.validate.order = mc::SearchOrder::kBfs;
+        o.tuner.validate.abstract_time = false;
+        o.tuner.validate.model_message_delay = true;
+        o.tuner.validate.max_states = 60000;
+      },
+      [](fault::FaultInjector& inj) {
+        fault::FaultSpec delay;
+        delay.kind = fault::FaultKind::kMessageDelay;
+        delay.target = 1;
+        delay.delay_min = 20;
+        delay.delay_max = 20;
+        inj.add(delay);
+      },
+  };
+  rows.push_back(run_case(lag));
+
+  // Machine-readable record (BENCH_fault.json, archived by the scheduled
+  // perf workflow): detection latency, phase breakdown, recovery outcome,
+  // and tuner convergence cost per scenario.
+  FILE* f = std::fopen("BENCH_fault.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"cases\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"app\": \"%s\", \"completed\": %s, \"faults\": %zu, "
+          "\"detect_step\": %llu, \"run_ms\": %.2f, \"rollback_ms\": %.2f, "
+          "\"collect_ms\": %.2f, \"investigate_ms\": %.2f, "
+          "\"heal_ms\": %.2f, \"ctl_msgs\": %llu, \"ctl_bytes\": %llu, "
+          "\"heals\": %zu, \"timeout_heals\": %zu, \"restarts\": %zu, "
+          "\"tuner_probes\": %zu, \"tuner_states\": %llu, "
+          "\"healed_value\": %llu}%s\n",
+          r.name, r.completed ? "true" : "false", r.faults,
+          (unsigned long long)r.detect_step, r.phases.run_ms,
+          r.phases.rollback_ms, r.phases.collect_ms,
+          r.phases.investigate_ms, r.phases.heal_ms,
+          (unsigned long long)r.ctl_msgs, (unsigned long long)r.ctl_bytes,
+          r.heals, r.timeout_heals, r.restarts, r.tuner_probes,
+          (unsigned long long)r.tuner_states,
+          (unsigned long long)r.healed_value,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fault.json\n");
+  }
 
   std::printf(
       "\nShape check (paper): detection is cheap; collection cost scales\n"
       "with checkpoint sizes (bytes column); investigation dominates the\n"
-      "pipeline — which is why FixD bounds it with budgets.\n");
+      "pipeline — which is why FixD bounds it with budgets. The kv-lag row\n"
+      "recovers by timeout tuning: heals==timeout_heals==1, restarts==0.\n");
   return 0;
 }

@@ -1,0 +1,142 @@
+// Replica-lag key-value store with a retransmit timeout: the timeout-bug
+// scenario for the TimeoutTuner.
+//
+// Pid 0 (the primary) replicates a deterministic stream of *delta* ops to
+// every backup and waits for acks. Each outstanding op is guarded by a
+// retransmit timer: if the acks do not arrive within
+// `retransmit_timeout`, the primary resends the op to the backups that
+// have not acked yet. Backups apply ops NON-idempotently (slot += delta)
+// and ack every copy they receive.
+//
+// The protocol is at-least-once delivery over non-idempotent state, so its
+// correctness rests entirely on a *timing* assumption: the retransmit
+// timeout must exceed the worst-case op+ack round trip. There is no code
+// bug — with a conservative timeout every schedule is clean. With a
+// timeout shorter than the network's worst case (the seeded configuration
+// bug), a delayed delivery makes the primary retransmit prematurely, a
+// backup applies the op twice, and the replicas silently diverge.
+//
+// The timeout is ordinary serialized configuration state, so the fix is a
+// dynamic update whose StateTransform rewrites the stored value — exactly
+// the patch shape the TimeoutTuner synthesizes (kv_lag_timeout_patch /
+// kv_lag_timeout_site below).
+//
+// Safety invariant (global): when the primary has finished and no lag
+// traffic is in flight, every replica's content digest matches the
+// primary's (a duplicate apply breaks this: slot sums are too high).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "heal/timeout_tuner.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum KvLagTag : net::Tag {
+  kLagOpTag = 311,
+  kLagAckTag = 312,
+  kLagStopTag = 313,
+};
+
+struct KvLagConfig {
+  std::uint64_t total_ops = 2;
+  std::uint64_t key_space = 4;  ///< slots; small => collisions irrelevant
+  /// The tunable: how long the primary waits for acks before resending.
+  /// The default is deliberately shorter than the worst-case round trip
+  /// under the explorer's delay model — the seeded timeout bug.
+  VirtualTime retransmit_timeout = 6;
+};
+
+/// Introspection surface for invariants / tests / benches.
+class ILagReplica {
+ public:
+  virtual ~ILagReplica() = default;
+  virtual std::uint64_t content_digest() const = 0;
+  virtual std::uint64_t ops_applied() const = 0;
+  virtual std::uint64_t retransmits() const = 0;
+  virtual bool finished() const = 0;
+  virtual VirtualTime retransmit_timeout() const = 0;
+};
+
+class KvLagReplica final : public rt::Process, public ILagReplica {
+ public:
+  /// `version` distinguishes timeout generations: the tuner's patch bumps
+  /// it so a patched process is not re-patched (Healer::applies_to keys on
+  /// (type, from_version)). Behaviour is identical across versions — only
+  /// the configured timeout differs.
+  explicit KvLagReplica(KvLagConfig cfg = {}, std::uint32_t version = 1)
+      : cfg_(cfg), version_(version) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "kv-lag-replica"; }
+  std::uint32_t version() const override { return version_; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<KvLagReplica>(*this);
+  }
+
+  std::uint64_t content_digest() const override;
+  std::uint64_t ops_applied() const override { return applied_; }
+  std::uint64_t retransmits() const override { return retransmits_; }
+  bool finished() const override { return finished_; }
+  VirtualTime retransmit_timeout() const override {
+    return cfg_.retransmit_timeout;
+  }
+
+  static constexpr std::uint32_t kRetransmitKind = 4;
+  static constexpr std::size_t kSlots = 8;
+
+ private:
+  bool is_primary(rt::Context& ctx) const { return ctx.self() == 0; }
+  /// Deterministic op stream: retransmission must resend the *same* op,
+  /// so the op is a pure function of its sequence number (no RNG state to
+  /// keep in sync across resends).
+  static std::uint64_t op_key(std::uint64_t seq, std::uint64_t key_space) {
+    return (seq * 7 + 3) % key_space;
+  }
+  static std::uint64_t op_delta(std::uint64_t seq) { return seq * 11 + 1; }
+
+  void apply(std::uint64_t key, std::uint64_t delta) {
+    slots_[key % kSlots] += delta;  // NON-idempotent by design
+    ++applied_;
+  }
+  void send_op(rt::Context& ctx, bool first_send);
+  void advance(rt::Context& ctx);
+
+  KvLagConfig cfg_;
+  std::uint32_t version_ = 1;
+  std::array<std::uint64_t, kSlots> slots_{};
+  std::uint64_t seq_ = 0;          ///< primary: current outstanding op
+  std::uint64_t applied_ = 0;
+  std::uint64_t retransmits_ = 0;  ///< primary: premature-timeout count
+  bool finished_ = false;
+  /// Primary: which backups acked the outstanding op (index 0 unused).
+  std::vector<bool> acked_;
+};
+
+std::unique_ptr<rt::World> make_kv_lag_world(std::size_t n,
+                                             KvLagConfig cfg = {},
+                                             rt::WorldOptions base = {});
+
+void install_kv_lag_invariants(rt::World& w);
+
+/// The timeout fix as a dynamic update: same behaviour, new configured
+/// retransmit timeout, version bumped so the patch is not re-applied.
+heal::UpdatePatch kv_lag_timeout_patch(KvLagConfig cfg,
+                                       VirtualTime new_timeout,
+                                       std::uint32_t from_version = 1);
+
+/// Where the tunable lives, for the TimeoutTuner.
+heal::TimeoutSite kv_lag_timeout_site(KvLagConfig cfg,
+                                      std::uint32_t from_version = 1);
+
+}  // namespace fixd::apps

@@ -1,0 +1,192 @@
+#include "apps/tpc_stall.hpp"
+
+namespace fixd::apps {
+
+namespace {
+struct StallTxnBody {
+  std::uint64_t txn = 0;
+  void save(BinaryWriter& w) const { w.write_u64(txn); }
+  void load(BinaryReader& r) { txn = r.read_u64(); }
+};
+}  // namespace
+
+void TpcStallParty::on_start(rt::Context& ctx) {
+  if (!is_coordinator(ctx)) return;
+  if (cfg_.total_txns == 0) {
+    for (ProcessId p = 1; p < ctx.world_size(); ++p)
+      ctx.send(p, kStallStopTag, {});
+    ctx.halt();
+    return;
+  }
+  begin_txn(ctx);
+}
+
+void TpcStallParty::begin_txn(rt::Context& ctx) {
+  votes_ = 0;
+  acks_ = 0;
+  StallTxnBody body{current_txn_};
+  for (ProcessId p = 1; p < ctx.world_size(); ++p) {
+    ctx.send_body(p, kStallPrepareTag, body);
+  }
+}
+
+void TpcStallParty::on_timer(rt::Context& ctx, const rt::Timer& timer) {
+  if (timer.kind != kDecisionTimerKind) return;
+  if (is_coordinator(ctx) || !waiting_decision_) return;
+  // The decision is late: presume abort unilaterally. Sound only if the
+  // timeout dominates the worst-case vote->decision latency — this firing
+  // while the coordinator decided COMMIT is the atomicity violation.
+  waiting_decision_ = false;
+  ++presumed_aborts_;
+  ctx.annotate("decision timeout for txn " + std::to_string(current_txn_) +
+               ": presuming abort");
+  record(current_txn_, TxnDecision::kAbort);
+}
+
+void TpcStallParty::on_message(rt::Context& ctx, const net::Message& msg) {
+  switch (msg.tag) {
+    case kStallPrepareTag: {
+      StallTxnBody body = msg.decode<StallTxnBody>();
+      current_txn_ = body.txn;
+      waiting_decision_ = true;
+      ctx.send_body(msg.src, kStallVoteTag, body);
+      ctx.set_timer(cfg_.decision_timeout, kDecisionTimerKind);
+      break;
+    }
+    case kStallVoteTag: {
+      if (!is_coordinator(ctx)) break;
+      StallTxnBody body = msg.decode<StallTxnBody>();
+      if (body.txn != current_txn_) break;
+      ++votes_;
+      if (votes_ == participant_count(ctx)) {
+        // Everyone votes YES by construction: the decision is COMMIT.
+        record(current_txn_, TxnDecision::kCommit);
+        for (ProcessId p = 1; p < ctx.world_size(); ++p) {
+          ctx.send_body(p, kStallCommitTag, body);
+        }
+      }
+      break;
+    }
+    case kStallCommitTag: {
+      StallTxnBody body = msg.decode<StallTxnBody>();
+      waiting_decision_ = false;
+      ctx.cancel_timers(kDecisionTimerKind);
+      // A participant that already presumed abort keeps its abort record:
+      // overwriting would *mask* the violation the invariant checks for.
+      if (decision_of(body.txn) == TxnDecision::kNone) {
+        record(body.txn, TxnDecision::kCommit);
+      }
+      ctx.send_body(msg.src, kStallAckTag, body);
+      break;
+    }
+    case kStallAckTag: {
+      if (!is_coordinator(ctx)) break;
+      StallTxnBody body = msg.decode<StallTxnBody>();
+      if (body.txn != current_txn_) break;
+      ++acks_;
+      if (acks_ == participant_count(ctx)) {
+        ++current_txn_;
+        if (current_txn_ >= cfg_.total_txns) {
+          for (ProcessId p = 1; p < ctx.world_size(); ++p)
+            ctx.send(p, kStallStopTag, {});
+          ctx.halt();
+        } else {
+          begin_txn(ctx);
+        }
+      }
+      break;
+    }
+    case kStallStopTag:
+      ctx.halt();
+      break;
+    default:
+      ctx.report_fault("tpc-stall: unknown tag " + std::to_string(msg.tag));
+  }
+}
+
+void TpcStallParty::save_root(BinaryWriter& w) const {
+  // The tunable leads the layout (after total_txns) so the tuner's
+  // StateTransform can rewrite it and raw-copy the rest.
+  w.write_u64(cfg_.total_txns);
+  w.write_u64(cfg_.decision_timeout);
+  w.write_varint(decisions_.size());
+  for (TxnDecision d : decisions_) w.write_u8(static_cast<std::uint8_t>(d));
+  w.write_u64(current_txn_);
+  w.write_u64(presumed_aborts_);
+  w.write_u32(votes_);
+  w.write_u32(acks_);
+  w.write_bool(waiting_decision_);
+}
+
+void TpcStallParty::load_root(BinaryReader& r) {
+  cfg_.total_txns = r.read_u64();
+  cfg_.decision_timeout = r.read_u64();
+  std::size_t n = static_cast<std::size_t>(r.read_varint());
+  decisions_.assign(n, TxnDecision::kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    decisions_[i] = static_cast<TxnDecision>(r.read_u8());
+  }
+  current_txn_ = r.read_u64();
+  presumed_aborts_ = r.read_u64();
+  votes_ = r.read_u32();
+  acks_ = r.read_u32();
+  waiting_decision_ = r.read_bool();
+}
+
+std::unique_ptr<rt::World> make_tpc_stall_world(std::size_t n,
+                                                TpcStallConfig cfg,
+                                                rt::WorldOptions base) {
+  FIXD_CHECK_MSG(n >= 2, "tpc-stall needs a coordinator and a participant");
+  auto w = std::make_unique<rt::World>(base);
+  for (std::size_t i = 0; i < n; ++i) {
+    w->add_process(std::make_unique<TpcStallParty>(cfg));
+  }
+  w->seal();
+  install_tpc_stall_invariants(*w);
+  return w;
+}
+
+void install_tpc_stall_invariants(rt::World& w) {
+  install_two_pc_invariants(w);
+}
+
+heal::UpdatePatch tpc_stall_timeout_patch(TpcStallConfig cfg,
+                                          VirtualTime new_timeout,
+                                          std::uint32_t from_version) {
+  heal::UpdatePatch p;
+  p.target_type = "tpc-stall-party";
+  p.from_version = from_version;
+  p.to_version = from_version + 1;
+  TpcStallConfig fixed = cfg;
+  fixed.decision_timeout = new_timeout;
+  std::uint32_t to = from_version + 1;
+  p.factory = [fixed, to]() {
+    return std::make_unique<TpcStallParty>(fixed, to);
+  };
+  p.transform = [new_timeout](BinaryReader& in, BinaryWriter& out) {
+    out.write_u64(in.read_u64());  // total_txns
+    in.read_u64();                 // old decision_timeout, replaced:
+    out.write_u64(new_timeout);
+    out.write_raw(in.read_raw(in.remaining()));
+    return true;
+  };
+  p.description = "tpc-stall: decision timeout -> " +
+                  std::to_string(new_timeout);
+  return p;
+}
+
+heal::TimeoutSite tpc_stall_timeout_site(TpcStallConfig cfg,
+                                         std::uint32_t from_version) {
+  heal::TimeoutSite site;
+  site.name = "tpc-stall/decision-timeout";
+  site.target_type = "tpc-stall-party";
+  site.from_version = from_version;
+  site.timer_kind = TpcStallParty::kDecisionTimerKind;
+  site.current = cfg.decision_timeout;
+  site.make_patch = [cfg, from_version](VirtualTime v) {
+    return tpc_stall_timeout_patch(cfg, v, from_version);
+  };
+  return site;
+}
+
+}  // namespace fixd::apps

@@ -1,0 +1,117 @@
+// Two-phase commit with a participant-side decision timeout: the second
+// timeout-bug scenario for the TimeoutTuner.
+//
+// Unlike apps/two_phase_commit.hpp (where the *coordinator's* vote timeout
+// presumes the wrong outcome — a code bug fixed by v2), here every process
+// runs correct code and the hazard is purely a configuration value: after
+// voting YES a participant arms a `decision_timeout`, and if the
+// coordinator's COMMIT/ABORT has not arrived when it fires, the
+// participant unilaterally presumes abort (the classic presumed-abort
+// escape from 2PC blocking). That is sound only if the timeout exceeds
+// the worst-case stall between vote and decision delivery. A coordinator
+// stall or a delayed COMMIT that outlives the timeout yields a
+// participant that recorded ABORT while the coordinator recorded COMMIT —
+// an atomicity violation with no buggy line of code to patch.
+//
+// The decision timeout is serialized configuration, so the heal is the
+// TimeoutTuner's patch shape: rewrite the stored value, bump the version.
+//
+// Everyone votes YES here (the vote function is constant), so every txn's
+// correct outcome is COMMIT; the only path to ABORT is the timeout.
+// Reuses ITwoPcParty and the 2pc/atomicity invariant installer from
+// apps/two_phase_commit.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/two_phase_commit.hpp"
+#include "heal/timeout_tuner.hpp"
+
+namespace fixd::apps {
+
+enum TpcStallTag : net::Tag {
+  kStallPrepareTag = 211,
+  kStallVoteTag = 212,
+  kStallCommitTag = 213,
+  kStallAckTag = 214,
+  kStallStopTag = 215,
+};
+
+struct TpcStallConfig {
+  std::uint64_t total_txns = 1;
+  /// The tunable: how long a YES-voting participant waits for the
+  /// coordinator's decision before presuming abort. The default undercuts
+  /// the worst-case decision latency under the delay model — the seeded
+  /// timeout bug.
+  VirtualTime decision_timeout = 6;
+};
+
+class TpcStallParty final : public rt::Process, public ITwoPcParty {
+ public:
+  explicit TpcStallParty(TpcStallConfig cfg = {}, std::uint32_t version = 1)
+      : cfg_(cfg), version_(version) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "tpc-stall-party"; }
+  std::uint32_t version() const override { return version_; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<TpcStallParty>(*this);
+  }
+
+  TxnDecision decision_of(std::uint64_t txn) const override {
+    return txn < decisions_.size() ? decisions_[txn] : TxnDecision::kNone;
+  }
+  std::uint64_t txn_count() const override { return cfg_.total_txns; }
+
+  VirtualTime decision_timeout() const { return cfg_.decision_timeout; }
+  std::uint64_t presumed_aborts() const { return presumed_aborts_; }
+
+  static constexpr std::uint32_t kDecisionTimerKind = 5;
+
+ private:
+  bool is_coordinator(rt::Context& ctx) const { return ctx.self() == 0; }
+  std::uint32_t participant_count(rt::Context& ctx) const {
+    return static_cast<std::uint32_t>(ctx.world_size() - 1);
+  }
+  void record(std::uint64_t txn, TxnDecision d) {
+    if (txn >= decisions_.size()) {
+      decisions_.resize(txn + 1, TxnDecision::kNone);
+    }
+    decisions_[txn] = d;
+  }
+  void begin_txn(rt::Context& ctx);
+
+  TpcStallConfig cfg_;
+  std::uint32_t version_ = 1;
+  std::vector<TxnDecision> decisions_;
+  std::uint64_t current_txn_ = 0;
+  std::uint64_t presumed_aborts_ = 0;  ///< participant: timeout fired count
+  std::uint32_t votes_ = 0;            ///< coordinator: YES votes this txn
+  std::uint32_t acks_ = 0;             ///< coordinator: acks this txn
+  bool waiting_decision_ = false;      ///< participant: voted, undecided
+};
+
+std::unique_ptr<rt::World> make_tpc_stall_world(std::size_t n,
+                                                TpcStallConfig cfg = {},
+                                                rt::WorldOptions base = {});
+
+/// Registers the shared 2pc/atomicity invariant (the parties implement
+/// ITwoPcParty, so apps/two_phase_commit.hpp's installer applies as-is).
+void install_tpc_stall_invariants(rt::World& w);
+
+heal::UpdatePatch tpc_stall_timeout_patch(TpcStallConfig cfg,
+                                          VirtualTime new_timeout,
+                                          std::uint32_t from_version = 1);
+
+heal::TimeoutSite tpc_stall_timeout_site(TpcStallConfig cfg,
+                                         std::uint32_t from_version = 1);
+
+}  // namespace fixd::apps

@@ -4,6 +4,28 @@
 
 namespace fixd::core {
 
+namespace {
+/// Does any trail step on a violation path involve timer behaviour — a
+/// timer event, a modelled timer cancellation, or a modelled delivery
+/// delay? That is the signal that the bug may be a timeout-configuration
+/// bug rather than a code bug.
+bool timer_implicated(const BugReport& bug) {
+  for (const mc::SysViolation& sv : bug.trails) {
+    for (const mc::SysAction& step : sv.trail.steps) {
+      if (step.kind == mc::SysAction::Kind::kCancelTimer ||
+          step.kind == mc::SysAction::Kind::kDelayMessage) {
+        return true;
+      }
+      if (step.kind == mc::SysAction::Kind::kRuntime &&
+          step.event.kind == rt::EventKind::kTimer) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+}  // namespace
+
 FixdController::FixdController(rt::World& world, FixdOptions opts,
                                heal::PatchRegistry patches)
     : world_(world),
@@ -133,6 +155,38 @@ BugReport FixdController::handle_fault(std::size_t attempt, FixdReport& rep) {
 
 bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
   auto t0 = Clock::now();
+
+  if (opts_.attempt_timeout_tuning && !opts_.timeout_site.target_type.empty()
+      && timer_implicated(bug)) {
+    heal::TunerOptions topts = opts_.tuner;
+    if (!topts.install_invariants) {
+      topts.install_invariants = opts_.install_invariants;
+    }
+    heal::TimeoutTuner tuner(world_, opts_.timeout_site, topts);
+    heal::TunerResult tr = tuner.tune();
+    const bool tuned = tr.ok;
+    const heal::UpdatePatch patch = tr.patch;
+    rep.tunes.push_back(std::move(tr));
+    if (tuned) {
+      heal::HealOptions hopts;
+      // A configuration-only update: old-state/new-state equivalence holds
+      // with traffic in flight, so the rolled-back (mid-run) state is an
+      // acceptable update point.
+      hopts.require_quiescent_inbound = false;
+      heal::Healer healer(world_, hopts);
+      heal::HealReport hr = healer.apply_all(patch);
+      if (hr.ok) {
+        ++rep.heals_applied;
+        ++rep.timeout_heals;
+        world_.clear_violations();
+        tm_.reset();  // old-config checkpoints are not valid restore points
+        rep.phases.heal_ms += ms_since(t0);
+        return true;
+      }
+    }
+    // Tuning failed (or the patch did not apply): fall through to the
+    // static patch registry / restart paths.
+  }
 
   if (opts_.attempt_heal && patches_.size() > 0) {
     // Pick the patch matching the faulty process (or any process if the

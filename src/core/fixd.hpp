@@ -33,6 +33,7 @@
 #include "ckpt/timemachine.hpp"
 #include "heal/healer.hpp"
 #include "heal/patch.hpp"
+#include "heal/timeout_tuner.hpp"
 #include "mc/sysmodel.hpp"
 #include "rt/world.hpp"
 #include "scroll/scroll.hpp"
@@ -52,6 +53,18 @@ struct FixdOptions {
   std::size_t max_recovery_attempts = 3;
   /// Registers the application's invariants on investigation worlds.
   std::function<void(rt::World&)> install_invariants;
+
+  /// Timeout healing (heal/timeout_tuner.hpp): when a bug report's trails
+  /// implicate timer behaviour (a timer fired, was cancelled, or a
+  /// delivery was delayed on the path to the violation) and a timeout
+  /// site is registered, recover() runs the TimeoutTuner on the
+  /// rolled-back state and applies the synthesized patch on success —
+  /// tried before the static patch registry, since a validated
+  /// configuration fix is cheaper than a code swap.
+  bool attempt_timeout_tuning = false;
+  /// The tunable the tuner searches (empty target_type = none registered).
+  heal::TimeoutSite timeout_site;
+  heal::TunerOptions tuner;
 };
 
 /// Fig. 4 exchange accounting.
@@ -89,6 +102,10 @@ struct FixdReport {
   rt::RunResult final_run;
   std::size_t faults_detected = 0;
   std::size_t heals_applied = 0;
+  /// Of heals_applied, how many were TimeoutTuner patches.
+  std::size_t timeout_heals = 0;
+  /// Every tuner run (successful or not), in recovery order.
+  std::vector<heal::TunerResult> tunes;
   std::size_t restarts = 0;
   std::vector<BugReport> bugs;
   PhaseBreakdown phases;

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <utility>
+
 namespace fixd::fault {
 
 std::size_t FaultInjector::add(FaultSpec spec) {
@@ -7,6 +9,15 @@ std::size_t FaultInjector::add(FaultSpec spec) {
   Armed a{std::move(spec), Rng(seed), false};
   faults_.push_back(std::move(a));
   return faults_.size() - 1;
+}
+
+void FaultInjector::reset() {
+  injected_.clear();
+  for (Armed& a : faults_) {
+    a.rng = Rng(a.spec.seed);
+    a.fired = false;
+    a.stall_until = 0;
+  }
 }
 
 bool FaultInjector::should_fire(Armed& a, const rt::World& w,
@@ -83,6 +94,99 @@ bool FaultInjector::before_event(rt::World& w, const rt::EventDesc& ev) {
           a.fired = true;
           injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
                                a.spec.note});
+        }
+        break;
+      }
+      case FaultKind::kMessageDelay: {
+        if (ev.kind != rt::EventKind::kDeliver) break;
+        const net::Message* m = std::as_const(w).network().peek(ev.msg);
+        if (m == nullptr || m->control) break;  // control plane stays timely
+        if (!should_fire(a, w, ev.pid)) break;
+        const VirtualTime lo = a.spec.delay_min;
+        const VirtualTime hi = a.spec.delay_max;
+        const VirtualTime extra =
+            hi > lo ? lo + a.rng.next_below(hi - lo + 1) : lo;
+        // Re-anchor at now: the message may have been ready for a while,
+        // and a delay that lands in the past would be dropped as a loss
+        // by the dispatch suppression path instead of deferred.
+        const VirtualTime cur = m->sent_at + m->latency;
+        const VirtualTime target_at = w.now() + extra;
+        if (target_at > cur && w.network().delay(ev.msg, target_at - cur)) {
+          a.fired = true;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+          allow = false;  // deferred, not dropped: stays pending
+        }
+        break;
+      }
+      case FaultKind::kStalledPeer: {
+        if (a.spec.target == kNoProcess || ev.pid != a.spec.target) break;
+        if (a.stall_until != 0 && w.now() >= a.stall_until) {
+          a.stall_until = 0;  // window over; may re-fire if !once
+        }
+        if (a.stall_until == 0) {
+          if (!should_fire(a, w, ev.pid)) break;
+          a.fired = true;
+          a.stall_until = w.now() + a.spec.stall_for;
+          injected_.push_back({a.spec.kind, ev.pid, w.step_count(),
+                               a.spec.note});
+        }
+        // Inside the window: defer real work past the window's end.
+        // Control traffic (liveness probes, FixD's own protocol) is still
+        // handled — the peer looks alive, it just does nothing useful.
+        if (ev.kind == rt::EventKind::kDeliver) {
+          const net::Message* m = std::as_const(w).network().peek(ev.msg);
+          if (m != nullptr && !m->control) {
+            const VirtualTime cur = m->sent_at + m->latency;
+            if (a.stall_until > cur &&
+                w.network().delay(ev.msg, a.stall_until - cur)) {
+              allow = false;
+            }
+          }
+        } else if (ev.kind == rt::EventKind::kTimer) {
+          if (w.retime_timer(ev.pid, ev.timer, a.stall_until)) {
+            allow = false;
+          }
+        }
+        break;
+      }
+      case FaultKind::kTimerMutation: {
+        if (a.fired && a.spec.once) break;
+        if (w.step_count() < a.spec.at_step) break;
+        for (ProcessId p = 0; p < w.size(); ++p) {
+          if (a.spec.target != kNoProcess && a.spec.target != p) continue;
+          const rt::Timer* hit = nullptr;
+          for (const rt::Timer& t : w.timers_of(p).view()) {
+            if (t.kind == a.spec.timer_kind) {
+              hit = &t;
+              break;
+            }
+          }
+          if (hit == nullptr) continue;
+          if (!should_fire(a, w, p)) break;
+          const rt::Timer t = *hit;  // view invalidated by the mutation
+          bool ok = false;
+          switch (a.spec.timer_op) {
+            case TimerOp::kStretch:
+              ok = w.retime_timer(p, t.id, t.deadline + a.spec.timer_delta);
+              break;
+            case TimerOp::kShrink:
+              ok = w.retime_timer(
+                  p, t.id,
+                  t.deadline >= a.spec.timer_delta
+                      ? t.deadline - a.spec.timer_delta
+                      : 0);
+              break;
+            case TimerOp::kCancel:
+              ok = w.cancel_timer(p, t.id);
+              break;
+          }
+          if (ok) {
+            a.fired = true;
+            injected_.push_back({a.spec.kind, p, w.step_count(),
+                                 a.spec.note});
+          }
+          break;
         }
         break;
       }

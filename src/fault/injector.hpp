@@ -25,6 +25,10 @@ enum class FaultKind : std::uint8_t {
   kMessageDuplicate,  ///< duplicate a message about to be delivered
   kStateCorruption,   ///< mutate the target's state in place
   kCustom,            ///< arbitrary action on the world
+  kMessageDelay,      ///< defer a delivery by a seeded extra delay
+  kStalledPeer,       ///< alive-but-unresponsive window: control traffic
+                      ///< still acked, real work deferred past the window
+  kTimerMutation,     ///< stretch/shrink/cancel an armed timer by kind
 };
 
 inline const char* to_string(FaultKind k) {
@@ -35,9 +39,19 @@ inline const char* to_string(FaultKind k) {
     case FaultKind::kMessageDuplicate: return "message-duplicate";
     case FaultKind::kStateCorruption: return "state-corruption";
     case FaultKind::kCustom: return "custom";
+    case FaultKind::kMessageDelay: return "message-delay";
+    case FaultKind::kStalledPeer: return "stalled-peer";
+    case FaultKind::kTimerMutation: return "timer-mutation";
   }
   return "?";
 }
+
+/// What kTimerMutation does to the matched armed timer.
+enum class TimerOp : std::uint8_t {
+  kStretch = 0,  ///< deadline += timer_delta (timeout fires late)
+  kShrink,       ///< deadline -= timer_delta, floored at 0 (fires early)
+  kCancel,       ///< disarm (timeout never fires)
+};
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kCrashStop;
@@ -56,6 +70,20 @@ struct FaultSpec {
   std::function<void(net::Message&)> corrupt_message;
   /// For kCustom.
   std::function<void(rt::World&)> custom;
+  /// For kMessageDelay: the extra delivery delay is drawn uniformly from
+  /// [delay_min, delay_max] (virtual time) and applied relative to the
+  /// current virtual time, so a delayed message is never retroactively
+  /// ready. Delays gate delivery only in timed mode.
+  VirtualTime delay_min = 1;
+  VirtualTime delay_max = 1;
+  /// For kStalledPeer: length of the unresponsive window (virtual time).
+  /// Requires an explicit target process.
+  VirtualTime stall_for = 50;
+  /// For kTimerMutation: the application timer kind to match, the
+  /// operation, and the stretch/shrink amount.
+  std::uint32_t timer_kind = 0;
+  TimerOp timer_op = TimerOp::kStretch;
+  VirtualTime timer_delta = 10;
   /// Shows up in reports.
   std::string note;
 };
@@ -81,13 +109,25 @@ class FaultInjector final : public rt::StepInterceptor {
 
   const std::vector<InjectionEvent>& injected() const { return injected_; }
   std::size_t fired_count() const { return injected_.size(); }
+
+  /// Clear the injection log only. `fired` flags and RNG positions are
+  /// kept, so a resumed run does NOT re-fire `once` faults — use reset()
+  /// before replaying a rolled-back execution from scratch.
   void reset_history() { injected_.clear(); }
+
+  /// Full re-arm: clear the log, reset `fired` flags and stall windows,
+  /// and reseed every per-fault RNG from its spec seed. After reset() a
+  /// replay of the same schedule reproduces the identical InjectionEvent
+  /// sequence.
+  void reset();
 
  private:
   struct Armed {
     FaultSpec spec;
     Rng rng;
     bool fired = false;
+    /// kStalledPeer: end of the active stall window (0 = not stalling).
+    VirtualTime stall_until = 0;
   };
 
   bool should_fire(Armed& a, const rt::World& w, ProcessId event_target);

@@ -22,10 +22,37 @@ double ms_since(SteadyClock::time_point t0) {
       .count();
 }
 
+/// mc_digest deliberately abstracts virtual time away (canonical dedup).
+/// In timed exploration the *relative* readiness layout — how far each
+/// pending delivery and armed timer is from now — decides which actions
+/// are co-enabled, so the dedup digest must fold it in or states that
+/// differ only by a delay would collapse into each other and the delayed
+/// subtree would be pruned. Order-independent wrapping sum, keyed by
+/// content (not path-dependent ids), relative to now (not absolute time,
+/// which grows monotonically and would make every state unique).
+std::uint64_t readiness_digest(const rt::World& w) {
+  std::uint64_t acc = 0;
+  const VirtualTime now = w.now();
+  for (const net::Message* m : w.network().pending()) {
+    const VirtualTime at = m->sent_at + m->latency;
+    const VirtualTime rel = at > now ? at - now : 0;
+    acc += mix64(hash_combine(mix64(m->content_digest()), rel));
+  }
+  for (ProcessId p = 0; p < w.size(); ++p) {
+    for (const rt::Timer& t : w.timers_of(p).view()) {
+      const VirtualTime rel = t.deadline > now ? t.deadline - now : 0;
+      acc += mix64(hash_combine(hash_combine(p, t.kind), rel));
+    }
+  }
+  return acc;
+}
+
 /// Time one state-digest call and charge it to stats.digest_ms.
-std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats) {
+std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats,
+                              bool abstract_time) {
   auto t0 = SteadyClock::now();
   std::uint64_t d = w.mc_digest();
+  if (!abstract_time) d = hash_combine(d, readiness_digest(w));
   stats.digest_ms += ms_since(t0);
   return d;
 }
@@ -176,7 +203,7 @@ struct SystemExplorer::Worker {
 SystemExplorer::SystemExplorer(rt::World& base, SysExploreOptions opts)
     : base_(base), opts_(std::move(opts)) {
   scratch_ = base_.clone();
-  scratch_->set_abstract_time(true);
+  scratch_->set_abstract_time(opts_.abstract_time);
   scratch_->set_check_global_invariants(true);
   scratch_->set_stop_on_violation(false);
   if (opts_.install_invariants) opts_.install_invariants(*scratch_);
@@ -249,6 +276,44 @@ std::vector<SysAction> SystemExplorer::enabled_actions(
       }
     }
   }
+  if (opts_.model_message_delay) {
+    std::vector<MsgId> deliv;
+    if (w.use_enabled_index()) {
+      for (const auto& [dst, b] : w.network().deliv_index()) {
+        for (const auto& [id, e] : b.by_id) deliv.push_back(id);
+      }
+      std::sort(deliv.begin(), deliv.end());
+    } else {
+      deliv = w.network().deliverable();
+    }
+    for (MsgId id : deliv) {
+      const net::Message* m = w.network().peek(id);
+      if (m->control) continue;
+      // The horizon bounds the accumulated latency a message can pick up
+      // through delay actions, keeping timed exploration finite — without
+      // it, enough stacked delays beat any finite timeout and the tuner
+      // could never converge.
+      if (m->latency >= opts_.model_delay_horizon) continue;
+      SysAction a;
+      a.kind = SysAction::Kind::kDelayMessage;
+      a.msg = id;
+      a.delay = opts_.model_delay_quantum;
+      out.push_back(a);
+    }
+  }
+  if (opts_.model_timer_mutation) {
+    // Cancel actions derive from the enabled timer events already in
+    // `out`, so cached and uncached enumeration agree automatically.
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i].kind != SysAction::Kind::kRuntime) continue;
+      if (out[i].event.kind != rt::EventKind::kTimer) continue;
+      SysAction a;
+      a.kind = SysAction::Kind::kCancelTimer;
+      a.event = out[i].event;
+      out.push_back(a);
+    }
+  }
   return out;
 }
 
@@ -266,6 +331,12 @@ void SystemExplorer::apply_action(rt::World& w, const SysAction& a) {
     case SysAction::Kind::kDupMessage:
       w.model_duplicate_message(a.msg);
       break;
+    case SysAction::Kind::kDelayMessage:
+      w.model_delay_message(a.msg, a.delay);
+      break;
+    case SysAction::Kind::kCancelTimer:
+      w.model_cancel_timer(a.event.pid, a.event.timer);
+      break;
   }
 }
 
@@ -273,8 +344,12 @@ std::uint32_t SystemExplorer::fingerprint(const SysAction& a) {
   switch (a.kind) {
     case SysAction::Kind::kRuntime:
       return a.event.pid;
+    case SysAction::Kind::kCancelTimer:
+      // Touches only the timer's owning process, like the timer event.
+      return a.event.pid;
     case SysAction::Kind::kDropMessage:
     case SysAction::Kind::kDupMessage:
+    case SysAction::Kind::kDelayMessage:
       // Touches the channel toward the message's destination; we cannot
       // cheaply know dst here, so callers pass the world-resolved value via
       // action construction order. Conservative: treat as touching the
@@ -292,6 +367,7 @@ std::uint64_t SystemExplorer::action_key(const SysAction& a) {
   h.update_u64(a.event.msg);
   h.update_u64(a.event.timer);
   h.update_u64(a.msg);
+  h.update_u64(a.delay);
   return h.digest();
 }
 
@@ -361,7 +437,7 @@ SysExploreResult SystemExplorer::graph_search() {
         scratch_->snapshot(/*cow=*/true));
     res.stats.snapshot_ms += ms_since(t0);
   }
-  if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats));
+  if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats, opts_.abstract_time));
 
   meter.push(root);
   if (opts_.order == SearchOrder::kPriority) {
@@ -458,7 +534,7 @@ SysExploreResult SystemExplorer::graph_search() {
       }
 
       if (opts_.dedup) {
-        std::uint64_t h = timed_mc_digest(*scratch_, res.stats);
+        std::uint64_t h = timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
         if (!visited.insert(h)) {
           ++res.stats.duplicates;
           arena.pop_back();  // never published; nothing references it
@@ -595,7 +671,7 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     }
 
     if (opts_.dedup) {
-      std::uint64_t h = timed_mc_digest(w, stats);
+      std::uint64_t h = timed_mc_digest(w, stats, opts_.abstract_time);
       if (!sh.visited.insert(h)) {
         ++stats.duplicates;
         // The edge (if allocated for the violation trail above) was never
@@ -758,7 +834,7 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   auto root_ws = std::make_shared<const rt::WorldSnapshot>(
       scratch_->snapshot(/*cow=*/true));
   root_ws->share_across_threads();
-  if (opts_.dedup) sh.visited.insert(timed_mc_digest(*scratch_, res.stats));
+  if (opts_.dedup) sh.visited.insert(timed_mc_digest(*scratch_, res.stats, opts_.abstract_time));
   sh.states.store(res.stats.states);  // the probed root
   // Root violations count against the budget exactly as in the
   // sequential search.
@@ -963,9 +1039,10 @@ SysExploreResult SystemExplorer::random_walk() {
 
 std::vector<rt::Violation> SystemExplorer::replay_trail(
     rt::World& base, const Trail& trail,
-    const std::function<void(rt::World&)>& install_invariants) {
+    const std::function<void(rt::World&)>& install_invariants,
+    bool abstract_time) {
   auto w = base.clone();
-  w->set_abstract_time(true);
+  w->set_abstract_time(abstract_time);
   w->set_check_global_invariants(true);
   w->set_stop_on_violation(false);
   if (install_invariants) install_invariants(*w);

@@ -40,6 +40,31 @@ struct SysExploreOptions {
   bool model_message_loss = false;
   bool model_message_duplication = false;
 
+  /// Timeout environment models. With model_message_delay, every pending
+  /// non-control message whose accumulated latency is still below
+  /// model_delay_horizon additionally yields a kDelayMessage action
+  /// (ready time += model_delay_quantum). With model_timer_mutation,
+  /// every enabled timer event additionally yields a kCancelTimer action
+  /// ("the timeout never fires"). Both are meant for *timed* exploration
+  /// (abstract_time = false): abstract time ignores ready times, so a
+  /// delay cannot change what is enabled there. The horizon keeps the
+  /// timed state space finite and is a pure function of world state, so
+  /// cached and uncached enumeration agree by construction.
+  bool model_message_delay = false;
+  bool model_timer_mutation = false;
+  VirtualTime model_delay_quantum = 8;
+  VirtualTime model_delay_horizon = 32;
+
+  /// Exploration time semantics. Abstract (default): every pending
+  /// message and armed timer is enabled regardless of virtual time — the
+  /// Investigator's usual view, where timer/message races are maximal.
+  /// Timed (false): enabledness gates on ready times and deadlines, which
+  /// is what makes the *value* of a timeout behaviorally meaningful —
+  /// the TimeoutTuner validates candidate timeouts in timed mode. Timed
+  /// dedup additionally folds the relative readiness layout into the
+  /// canonical digest (mc_digest abstracts virtual time away).
+  bool abstract_time = true;
+
   /// State deduplication via canonical digests (on = reachability graph;
   /// off = full tree — the ablation in bench/ablation_por).
   bool dedup = true;
@@ -118,9 +143,11 @@ class SystemExplorer {
 
   /// Re-execute a trail on a fresh clone of `base`; returns the violations
   /// observed at the end (empty = the trail did not reproduce).
+  /// `abstract_time` must match the exploration that produced the trail.
   static std::vector<rt::Violation> replay_trail(
       rt::World& base, const Trail& trail,
-      const std::function<void(rt::World&)>& install_invariants);
+      const std::function<void(rt::World&)>& install_invariants,
+      bool abstract_time = true);
 
  private:
   /// A slept action: identity key plus the commutation fingerprint needed

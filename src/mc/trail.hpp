@@ -20,11 +20,14 @@ struct SysAction {
     kRuntime = 0,    ///< a runtime event (start / deliver / timer)
     kDropMessage,    ///< environment model: the network loses a message
     kDupMessage,     ///< environment model: the network duplicates a message
+    kDelayMessage,   ///< environment model: a delivery is deferred (timed)
+    kCancelTimer,    ///< environment model: an armed timeout never fires
   };
 
   Kind kind = Kind::kRuntime;
-  rt::EventDesc event;  ///< kRuntime
-  MsgId msg = 0;        ///< kDropMessage / kDupMessage
+  rt::EventDesc event;      ///< kRuntime / kCancelTimer (pid + timer)
+  MsgId msg = 0;            ///< kDropMessage / kDupMessage / kDelayMessage
+  VirtualTime delay = 0;    ///< kDelayMessage: extra virtual time
 
   std::string describe() const {
     switch (kind) {
@@ -34,6 +37,12 @@ struct SysAction {
         return "env:drop(msg#" + std::to_string(msg) + ")";
       case Kind::kDupMessage:
         return "env:dup(msg#" + std::to_string(msg) + ")";
+      case Kind::kDelayMessage:
+        return "env:delay(msg#" + std::to_string(msg) + ",+" +
+               std::to_string(delay) + ")";
+      case Kind::kCancelTimer:
+        return "env:cancel-timer(t#" + std::to_string(event.timer) + "@p" +
+               std::to_string(event.pid) + ")";
     }
     return "?";
   }

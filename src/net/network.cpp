@@ -64,6 +64,26 @@ void SimNetwork::idx_add_head(const std::deque<MsgId>& q) {
   idx_add(m.dst, m.id, {m.sent_at + m.latency, m.control});
 }
 
+void SimNetwork::inflight_add(const Message& m) {
+  if (!m.control) ++inflight_[m.dst];
+}
+
+void SimNetwork::inflight_sub(const Message& m) {
+  if (m.control) return;
+  auto it = inflight_.find(m.dst);
+  FIXD_CHECK_MSG(it != inflight_.end() && it->second > 0,
+                 "inflight counter underflow");
+  if (--it->second == 0) inflight_.erase(it);
+}
+
+std::uint64_t SimNetwork::inflight_to_uncached(ProcessId dst) const {
+  std::uint64_t n = 0;
+  for (const auto& [id, m] : messages_) {
+    if (m->dst == dst && !m->control) ++n;
+  }
+  return n;
+}
+
 void SimNetwork::idx_invalidate() {
   // Flag-only: this rides the explorer's restore-per-transition path, and
   // most invalidations are superseded by the next one before any enabled-
@@ -139,6 +159,7 @@ void SimNetwork::enqueue(Message msg) {
   // the in-flight traffic never re-hashes payloads.
   msg.warm_digest_memo();
   content_acc_ += acc_term(msg.content_digest());
+  inflight_add(msg);
   ChannelKey key{msg.src, msg.dst};
   auto& q = channels_[key];
   q.push_back(id);
@@ -239,6 +260,7 @@ Message SimNetwork::take(MsgId id) {
   idx_remove(sp->dst, id);
   if (options_.fifo) idx_add_head(q);  // the next message becomes the head
   content_acc_ -= acc_term(sp->content_digest());
+  inflight_sub(*sp);
   ++stats_.delivered;
   stats_.bytes_delivered += sp->payload.size();
   if (sp.use_count() == 1 && !sp->cross_thread()) {
@@ -256,6 +278,7 @@ bool SimNetwork::drop(MsgId id, bool forced) {
   if (it == messages_.end()) return false;
   ChannelKey key{it->second->src, it->second->dst};
   content_acc_ -= acc_term(it->second->content_digest());
+  inflight_sub(*it->second);
   const ProcessId dst = it->second->dst;
   auto& q = channels_[key];
   const bool was_head = !q.empty() && q.front() == id;
@@ -328,6 +351,10 @@ bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   content_acc_ -= acc_term(it->second->content_digest());
   m.warm_digest_memo();  // re-pin after the mutation
   content_acc_ += acc_term(m.content_digest());
+  if (it->second->control != m.control) {
+    inflight_sub(*it->second);
+    inflight_add(m);
+  }
   touch_channel({m.src, m.dst});
   // Refresh the deliverable entry: the mutation may have changed the
   // ready time (sent_at/latency) or the control flag.
@@ -340,6 +367,13 @@ bool SimNetwork::mutate(MsgId id, const std::function<void(Message&)>& fn) {
   }
   it->second = std::make_shared<Message>(std::move(m));
   return true;
+}
+
+bool SimNetwork::delay(MsgId id, VirtualTime extra) {
+  // mutate() already does everything delaying needs: copy-on-write of the
+  // immutable pending object, digest upkeep, and the deliverable-entry
+  // refresh that republishes the new ready time to the enabled index.
+  return mutate(id, [extra](Message& m) { m.latency += extra; });
 }
 
 MsgId SimNetwork::reinject(Message msg) {
@@ -391,12 +425,14 @@ void SimNetwork::load(BinaryReader& r) {
   next_id_ = r.read_u64();
   messages_.clear();
   content_acc_ = 0;
+  inflight_.clear();
   std::size_t n = static_cast<std::size_t>(r.read_varint());
   for (std::size_t i = 0; i < n; ++i) {
     Message m;
     m.load(r);
     m.warm_digest_memo();  // restore the pending-message memo invariant
     content_acc_ += acc_term(m.content_digest());
+    inflight_add(m);
     MsgId id = m.id;
     messages_.emplace(id, std::make_shared<Message>(std::move(m)));
   }
@@ -459,7 +495,9 @@ void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
   // rebuilds each map in O(entries) — the same cost the old wholesale
   // map-to-map copy paid.
   messages_.clear();
+  inflight_.clear();
   for (const auto& [id, m] : snap->messages) {
+    inflight_add(*m);
     messages_.emplace_hint(messages_.end(), id, m);
   }
   channels_.clear();

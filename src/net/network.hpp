@@ -305,6 +305,26 @@ class SimNetwork {
 
   std::size_t pending_count() const { return messages_.size(); }
 
+  /// Apply an extra delivery delay to a pending message (timeout-fault
+  /// injection / the kDelayMessage model action): clones the immutable
+  /// message with `latency += extra` and refreshes its deliverable entry.
+  /// Returns false if the message is gone.
+  bool delay(MsgId id, VirtualTime extra);
+
+  /// In-flight non-control messages destined to `dst`, maintained
+  /// incrementally. Unlike deliv_bucket_size this also counts messages
+  /// queued behind FIFO channel heads — which is exactly the quiescence
+  /// question the Healer's update-point check asks. Bit-identical to
+  /// inflight_to_uncached() by contract.
+  std::uint64_t inflight_to(ProcessId dst) const {
+    auto it = inflight_.find(dst);
+    return it == inflight_.end() ? 0 : it->second;
+  }
+
+  /// From-scratch recount over the pending map; verification oracle for
+  /// tests, mirroring the digest/digest_uncached split.
+  std::uint64_t inflight_to_uncached(ProcessId dst) const;
+
   const Message* peek(MsgId id) const;
 
   /// Remove and return a deliverable message. Throws if not deliverable.
@@ -412,6 +432,10 @@ class SimNetwork {
   /// Drop the index (wholesale state replacement; rebuilt lazily).
   void idx_invalidate();
 
+  /// Maintain the per-destination in-flight counters (non-control only).
+  void inflight_add(const Message& m);
+  void inflight_sub(const Message& m);
+
   /// Any state changed (stats/RNG included): drop the whole-network memo
   /// and the snapshot cache.
   void touch();
@@ -431,6 +455,9 @@ class SimNetwork {
   NetStats stats_;
   /// Incremental content-multiset accumulator (see content_digest_acc).
   std::uint64_t content_acc_ = 0;
+  /// dst -> in-flight non-control message count (see inflight_to).
+  /// Rebuilt from the message map on load/restore; zero entries erased.
+  std::map<ProcessId, std::uint64_t> inflight_;
   /// Incremental deliverable index (see deliv_index()); mutable for the
   /// lazy rebuild under const accessors, like the digest memos.
   mutable DeliverableIndex deliv_index_;

@@ -44,6 +44,18 @@ Timer TimerQueue::take(TimerId id) {
   return t;
 }
 
+bool TimerQueue::retime(TimerId id, VirtualTime new_deadline) {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [&](const Timer& t) { return t.id == id; });
+  if (it == timers_.end()) return false;
+  Timer t = *it;
+  timers_.erase(it);
+  t.deadline = new_deadline;
+  auto pos = std::lower_bound(timers_.begin(), timers_.end(), t, timer_less);
+  timers_.insert(pos, t);
+  return true;
+}
+
 const Timer* TimerQueue::find(TimerId id) const {
   auto it = std::find_if(timers_.begin(), timers_.end(),
                          [&](const Timer& t) { return t.id == id; });

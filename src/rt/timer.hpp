@@ -41,6 +41,11 @@ class TimerQueue {
   /// Remove a fired timer (must be armed).
   Timer take(TimerId id);
 
+  /// Move an armed timer to a new absolute deadline, preserving id and
+  /// kind. Returns false if the timer is not armed. This is the hook the
+  /// timeout-fault injector uses to stretch/shrink a pending timeout.
+  bool retime(TimerId id, VirtualTime new_deadline);
+
   const Timer* find(TimerId id) const;
 
   /// All armed timers, sorted by (deadline, id). Returns a copy; prefer

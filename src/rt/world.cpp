@@ -685,13 +685,29 @@ void World::dispatch(const EventDesc& ev) {
         infos_[ev.pid].started = true;
         eidx_sync_proc(ev.pid);
         break;
-      case EventKind::kDeliver:
-        net_.drop(ev.msg, /*forced=*/true);  // index delta via the listener
+      case EventKind::kDeliver: {
+        // A timeout fault may have *deferred* this delivery (pushed its
+        // ready time past now_) rather than suppressed it; dropping would
+        // turn a delay into a loss. Deferred messages stay pending. For
+        // every pre-existing fault kind the message is still ready here
+        // (enabled events have at <= now_ after the warp), so the drop
+        // fires exactly as before.
+        const net::Message* m = net_.peek(ev.msg);
+        if (m != nullptr && m->sent_at + m->latency <= now_) {
+          net_.drop(ev.msg, /*forced=*/true);  // index delta via listener
+        }
         break;
-      case EventKind::kTimer:
-        infos_[ev.pid].timers.cancel(ev.timer);
+      }
+      case EventKind::kTimer: {
+        // Same for a retimed timer: a deadline now in the future means a
+        // fault stretched the timeout, and the timer must stay armed.
+        const Timer* t = infos_[ev.pid].timers.find(ev.timer);
+        if (t != nullptr && t->deadline <= now_) {
+          infos_[ev.pid].timers.cancel(ev.timer);
+        }
         eidx_sync_timers(ev.pid);
         break;
+      }
     }
     ++step_;
     for (auto* ic : interceptors_) ic->after_event(*this, ev);
@@ -1072,6 +1088,52 @@ std::optional<MsgId> World::model_duplicate_message(MsgId id) {
     replay_acc_ = rk;
   }
   return r;
+}
+
+bool World::model_delay_message(MsgId id, VirtualTime extra) {
+  if (replay_keyable()) {
+    replay_acc_ = hash_combine(replay_acc_,
+                               0xde1aull ^ hash_combine(mix64(id), extra));
+  }
+  return net_.delay(id, extra);
+}
+
+bool World::model_cancel_timer(ProcessId pid, TimerId id) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "model_cancel_timer: bad id");
+  const std::uint64_t rk =
+      replay_keyable()
+          ? hash_combine(replay_acc_, 0xca9cull ^ hash_combine(pid, id))
+          : 0;
+  mark_state_dirty(pid);
+  bool ok = infos_[pid].timers.cancel(id);
+  eidx_sync_timers(pid);
+  if (rk) {
+    // Commit like dispatch does: the new content is the deterministic
+    // function of (snapshot, actions...), so sibling replays may share
+    // the capture under this key.
+    replay_acc_ = rk;
+    warm_key_[pid] = rk;
+  }
+  return ok;
+}
+
+bool World::retime_timer(ProcessId pid, TimerId id,
+                         VirtualTime new_deadline) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "retime_timer: bad id");
+  replay_break();
+  mark_state_dirty(pid);
+  bool ok = infos_[pid].timers.retime(id, new_deadline);
+  eidx_sync_timers(pid);
+  return ok;
+}
+
+bool World::cancel_timer(ProcessId pid, TimerId id) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "cancel_timer: bad id");
+  replay_break();
+  mark_state_dirty(pid);
+  bool ok = infos_[pid].timers.cancel(id);
+  eidx_sync_timers(pid);
+  return ok;
 }
 
 bool World::verify_capture_cache(ProcessId pid) const {

@@ -233,6 +233,20 @@ class World : private net::DeliverableListener {
   bool model_drop_message(MsgId id);
   std::optional<MsgId> model_duplicate_message(MsgId id);
 
+  /// Timeout-class environment-model actions: defer a pending delivery by
+  /// `extra` virtual time / cancel an armed timer. Like drop/duplicate
+  /// above they advance the replay-warm key chain instead of breaking it.
+  /// Delays gate enabledness only in timed mode (abstract time ignores
+  /// ready times by construction).
+  bool model_delay_message(MsgId id, VirtualTime extra);
+  bool model_cancel_timer(ProcessId pid, TimerId id);
+
+  /// Exogenous timer surgery (timeout-fault injection: stretch/shrink an
+  /// armed timeout, or disarm it). Breaks the replay-warm chain like other
+  /// out-of-band mutations. Returns false when the timer is not armed.
+  bool retime_timer(ProcessId pid, TimerId id, VirtualTime new_deadline);
+  bool cancel_timer(ProcessId pid, TimerId id);
+
   VirtualTime now() const { return now_; }
   std::uint64_t step_count() const { return step_; }
   const VectorClock& vclock_of(ProcessId pid) const;

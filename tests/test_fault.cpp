@@ -1,8 +1,15 @@
 // Fault injection: every fault kind fires deterministically.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "apps/kv_lag.hpp"
 #include "apps/rep_counter.hpp"
 #include "apps/token_ring.hpp"
+#include "ckpt/timemachine.hpp"
 #include "fault/injector.hpp"
 
 namespace fixd::fault {
@@ -165,6 +172,232 @@ TEST(FaultInjector, RepeatedFaultsWhenOnceFalse) {
   inj.attach(*w);
   w->run(400);
   EXPECT_GT(inj.fired_count(), 1u);
+}
+
+// --- timeout-class faults ---------------------------------------------------
+
+TEST(FaultInjector, MessageDelayTriggersPrematureRetransmit) {
+  // Defer the op delivery past the (too short) retransmit timeout: the
+  // primary resends, the backup applies non-idempotently twice, and the
+  // replicas diverge — the timeout bug exhibited live.
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 1;
+  auto w = apps::make_kv_lag_world(2, cfg);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kMessageDelay;
+  spec.target = 1;
+  spec.delay_min = 20;
+  spec.delay_max = 20;
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(500);
+  EXPECT_EQ(inj.fired_count(), 1u);
+  // Deferred, not dropped: a delay must never silently become a loss.
+  EXPECT_EQ(w->network().stats().dropped_forced, 0u);
+  const auto& prim =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(0));
+  EXPECT_GE(prim.retransmits(), 1u);
+  EXPECT_TRUE(w->has_violation());
+}
+
+TEST(FaultInjector, StalledPeerDefersWorkButStaysLive) {
+  // A stalled peer is alive-but-unresponsive: with a conservative
+  // retransmit timeout the system just waits the window out and finishes
+  // cleanly — exactly once, no divergence.
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 1;
+  cfg.retransmit_timeout = 500;
+  auto w = apps::make_kv_lag_world(2, cfg);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kStalledPeer;
+  spec.target = 1;
+  spec.stall_for = 40;
+  inj.add(spec);
+  inj.attach(*w);
+  rt::RunResult res = w->run(500);
+  EXPECT_EQ(inj.fired_count(), 1u);
+  EXPECT_EQ(res.reason, rt::StopReason::kAllHalted);
+  EXPECT_FALSE(w->has_violation());
+  // The op was deferred past the stall window, then handled exactly once.
+  EXPECT_GE(w->now(), 40u);
+  const auto& backup =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(1));
+  EXPECT_EQ(backup.ops_applied(), 1u);
+}
+
+TEST(FaultInjector, TimerMutationShrinkFiresTimeoutEarly) {
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 1;
+  auto w = apps::make_kv_lag_world(2, cfg);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTimerMutation;
+  spec.target = 0;
+  spec.timer_kind = apps::KvLagReplica::kRetransmitKind;
+  spec.timer_op = TimerOp::kShrink;
+  spec.timer_delta = 5;  // deadline 6 -> 1: beats the ack round trip
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(500);
+  EXPECT_EQ(inj.fired_count(), 1u);
+  const auto& prim =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(0));
+  EXPECT_GE(prim.retransmits(), 1u);
+  EXPECT_TRUE(w->has_violation());
+}
+
+TEST(FaultInjector, TimerMutationCancelSuppressesRetransmit) {
+  // Lose the op AND cancel the retransmit timer: the timeout that would
+  // have recovered the loss never fires, so the system wedges quiescent.
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 1;
+  auto w = apps::make_kv_lag_world(2, cfg);
+  FaultInjector inj;
+  FaultSpec loss;
+  loss.kind = FaultKind::kMessageLoss;
+  loss.target = 1;
+  inj.add(loss);
+  FaultSpec cancel;
+  cancel.kind = FaultKind::kTimerMutation;
+  cancel.target = 0;
+  cancel.timer_kind = apps::KvLagReplica::kRetransmitKind;
+  cancel.timer_op = TimerOp::kCancel;
+  inj.add(cancel);
+  inj.attach(*w);
+  rt::RunResult res = w->run(500);
+  EXPECT_EQ(inj.fired_count(), 2u);
+  EXPECT_EQ(res.reason, rt::StopReason::kQuiescent);
+  const auto& backup =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(1));
+  EXPECT_EQ(backup.ops_applied(), 0u);
+  const auto& prim =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(0));
+  EXPECT_FALSE(prim.finished());
+}
+
+// --- reset / determinism under state motion ---------------------------------
+
+TEST(FaultInjector, ResetRearmsOnceFaults) {
+  auto w = make_counter_world(3, 2, CounterConfig{2});
+  rt::WorldSnapshot initial = w->snapshot();
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kMessageLoss;
+  spec.target = 2;
+  spec.at_step = 3;
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(400);
+  ASSERT_EQ(inj.fired_count(), 1u);
+  InjectionEvent first = inj.injected()[0];
+
+  // reset_history() clears the log only: the `once` fault stays consumed,
+  // so a resumed run does not re-fire it.
+  w->restore(initial);
+  inj.reset_history();
+  w->run(400);
+  EXPECT_EQ(inj.fired_count(), 0u);
+
+  // reset() re-arms: the replay reproduces the identical injection.
+  w->restore(initial);
+  inj.reset();
+  w->run(400);
+  ASSERT_EQ(inj.fired_count(), 1u);
+  EXPECT_EQ(inj.injected()[0].kind, first.kind);
+  EXPECT_EQ(inj.injected()[0].target, first.target);
+  EXPECT_EQ(inj.injected()[0].step, first.step);
+}
+
+namespace {
+void add_probabilistic_schedule(FaultInjector& inj) {
+  FaultSpec loss;
+  loss.kind = FaultKind::kMessageLoss;
+  loss.target = 1;
+  loss.probability = 0.3;
+  loss.once = false;
+  loss.seed = 11;
+  inj.add(loss);
+  FaultSpec delay;
+  delay.kind = FaultKind::kMessageDelay;
+  delay.target = 2;
+  delay.probability = 0.4;
+  delay.once = false;
+  delay.seed = 22;
+  delay.delay_min = 2;
+  delay.delay_max = 9;
+  inj.add(delay);
+}
+
+std::vector<std::tuple<FaultKind, ProcessId, std::uint64_t>> injection_keys(
+    const FaultInjector& inj) {
+  std::vector<std::tuple<FaultKind, ProcessId, std::uint64_t>> out;
+  for (const InjectionEvent& e : inj.injected()) {
+    out.emplace_back(e.kind, e.target, e.step);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(FaultInjector, InjectionSequenceDeterministicAcrossSnapshotRestore) {
+  // A probabilistic fault schedule replayed across snapshot/restore must
+  // reproduce the identical InjectionEvent sequence and world digest.
+  auto w = make_counter_world(3, 2, CounterConfig{3});
+  FaultInjector inj;
+  add_probabilistic_schedule(inj);
+  inj.attach(*w);
+  w->run(40);  // move mid-run before capturing
+  rt::WorldSnapshot snap = w->snapshot();
+
+  inj.reset();
+  w->run(300);
+  auto seq_a = injection_keys(inj);
+  std::uint64_t dig_a = w->digest();
+
+  w->restore(snap);
+  inj.reset();
+  w->run(300);
+  auto seq_b = injection_keys(inj);
+
+  EXPECT_FALSE(seq_a.empty());
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(dig_a, w->digest());
+}
+
+TEST(FaultInjector, InjectionSequenceDeterministicAcrossTimeMachineRollback) {
+  // Same property through the Time Machine: roll back to a mid-run
+  // recovery line, then two resumed executions under the same re-armed
+  // schedule are bit-identical.
+  auto w = make_counter_world(3, 2, CounterConfig{3});
+  ckpt::TimeMachineOptions topts;
+  topts.cic = true;
+  ckpt::TimeMachine tm(*w, topts);
+  tm.attach();
+  FaultInjector inj;
+  add_probabilistic_schedule(inj);
+  inj.attach(*w);
+  w->run(60);
+
+  const auto& entries = tm.store(0).entries();
+  ASSERT_GE(entries.size(), 2u);
+  tm.rollback_to(0, entries.size() / 2);
+  rt::WorldSnapshot snap = w->snapshot();
+
+  inj.reset();
+  w->run(300);
+  auto seq_a = injection_keys(inj);
+  std::uint64_t dig_a = w->digest();
+
+  w->restore(snap);
+  inj.reset();
+  w->run(300);
+  auto seq_b = injection_keys(inj);
+
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(dig_a, w->digest());
+
+  tm.detach();
 }
 
 TEST(FaultInjector, TokenLossRecoveredByV2Probe) {

@@ -1,6 +1,8 @@
 // The Healer: dynamic updates, state transforms, safety checks.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "apps/kv_store.hpp"
 #include "apps/rep_counter.hpp"
 #include "apps/token_ring.hpp"
@@ -168,6 +170,25 @@ TEST(Healer, HeapCarriedAcrossKvUpdate) {
   EXPECT_EQ(rep_after.content_digest(), digest);
   EXPECT_EQ(rep_after.keys_stored(), keys);
   EXPECT_EQ(w->process(1).version(), 2u);
+}
+
+TEST(Healer, InflightCounterMatchesOracle) {
+  // The update-point quiescence check reads the network's incremental
+  // per-destination in-flight counter; this walks a real run step by step
+  // and holds the counter to the from-scratch recount at every state.
+  auto w = make_counter_world(3, 1, CounterConfig{4});
+  w->set_stop_on_violation(false);
+  const auto& net = std::as_const(*w).network();
+  for (int i = 0; i < 200; ++i) {
+    for (ProcessId p = 0; p < w->size(); ++p) {
+      ASSERT_EQ(net.inflight_to(p), net.inflight_to_uncached(p))
+          << "step " << i << " dst p" << p;
+    }
+    if (!w->step()) break;
+  }
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    EXPECT_EQ(net.inflight_to(p), net.inflight_to_uncached(p));
+  }
 }
 
 TEST(PatchRegistry, FindsByTypeAndVersion) {

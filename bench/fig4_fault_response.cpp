@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "apps/elect_split.hpp"
 #include "apps/kv_lag.hpp"
 #include "apps/kv_store.hpp"
 #include "apps/leader_election.hpp"
@@ -49,6 +50,7 @@ struct Row {
   std::size_t tuner_probes = 0;
   std::uint64_t tuner_states = 0;
   std::uint64_t healed_value = 0;
+  std::size_t line_heals = 0;  ///< successful kRecoveryLine rungs
 };
 
 Row run_case(const Case& c) {
@@ -87,6 +89,11 @@ Row run_case(const Case& c) {
     row.tuner_probes += t.trajectory.size();
     row.tuner_states += t.states_explored();
     if (t.ok) row.healed_value = t.healed_value;
+  }
+  for (const core::RungOutcome& ro : rep.ladder) {
+    if (ro.rung == core::RecoveryRung::kRecoveryLine && ro.ok) {
+      ++row.line_heals;
+    }
   }
   bench::row("%-14s %5s %6zu %7.1f %8.1f %7.1f %11.1f %7.1f %8llu %9llu",
              c.name, row.completed ? "yes" : "NO", row.faults,
@@ -194,6 +201,67 @@ int main() {
   };
   rows.push_back(run_case(lag));
 
+  // Partition family: a live asymmetric cut split-brains the election.
+  // No registry patch applies, so recovery is the ladder's line rung —
+  // roll the whole system behind the partition onset, heal the cut,
+  // resume (docs/ROBUSTNESS.md, escalation ladder).
+  Case split{
+      "elect-split(cut)",
+      [] { return apps::make_elect_split_world(3, 1); },
+      apps::install_elect_split_invariants,
+      heal::UpdatePatch{},  // no patch: the line rung heals the cut
+      mc::SearchOrder::kBfs,
+      [](core::FixdOptions& o) {
+        o.investigate.order = mc::SearchOrder::kBfs;
+        o.investigate.max_states = 2000;
+        o.investigate.max_depth = 30;
+        o.investigate.model_partition = true;
+        o.line_budget = 2;
+        o.restart_on_heal_failure = false;
+      },
+      [](fault::FaultInjector& inj) {
+        fault::FaultSpec cut;
+        cut.kind = fault::FaultKind::kPartition;
+        cut.group_a = {0};
+        cut.group_b = {2};
+        cut.symmetric = false;  // the split-brain shape; never self-heals
+        inj.add(cut);
+      },
+  };
+  rows.push_back(run_case(split));
+
+  // Crash-restart family: the backup crashes before the op lands, the
+  // primary's retransmits pile up while it is down, and the durable
+  // restart applies every copy — at-least-once over non-idempotent state.
+  // No patch and no timeout site: recovery is the §3.4 restart.
+  apps::KvLagConfig cr_cfg;
+  cr_cfg.total_ops = 1;
+  cr_cfg.retransmit_timeout = 8;
+  Case crash_restart{
+      "kv-lag(restart)",
+      [cr_cfg] { return apps::make_kv_lag_world(2, cr_cfg); },
+      apps::install_kv_lag_invariants,
+      heal::UpdatePatch{},
+      mc::SearchOrder::kBfs,
+      [](core::FixdOptions& o) {
+        o.investigate.order = mc::SearchOrder::kBfs;
+        o.investigate.max_states = 4000;
+        o.investigate.max_depth = 60;
+        o.investigate.model_restart = true;
+        o.tm.cic = false;  // initial checkpoints: rollback to the start
+      },
+      [](fault::FaultInjector& inj) {
+        fault::FaultSpec cr;
+        cr.kind = fault::FaultKind::kCrashRestart;
+        cr.target = 1;
+        cr.at_step = 2;
+        cr.restart_min = 25;
+        cr.restart_max = 25;
+        inj.add(cr);
+      },
+  };
+  rows.push_back(run_case(crash_restart));
+
   // Machine-readable record (BENCH_fault.json, archived by the scheduled
   // perf workflow): detection latency, phase breakdown, recovery outcome,
   // and tuner convergence cost per scenario.
@@ -209,15 +277,15 @@ int main() {
           "\"collect_ms\": %.2f, \"investigate_ms\": %.2f, "
           "\"heal_ms\": %.2f, \"ctl_msgs\": %llu, \"ctl_bytes\": %llu, "
           "\"heals\": %zu, \"timeout_heals\": %zu, \"restarts\": %zu, "
-          "\"tuner_probes\": %zu, \"tuner_states\": %llu, "
-          "\"healed_value\": %llu}%s\n",
+          "\"line_heals\": %zu, \"tuner_probes\": %zu, "
+          "\"tuner_states\": %llu, \"healed_value\": %llu}%s\n",
           r.name, r.completed ? "true" : "false", r.faults,
           (unsigned long long)r.detect_step, r.phases.run_ms,
           r.phases.rollback_ms, r.phases.collect_ms,
           r.phases.investigate_ms, r.phases.heal_ms,
           (unsigned long long)r.ctl_msgs, (unsigned long long)r.ctl_bytes,
-          r.heals, r.timeout_heals, r.restarts, r.tuner_probes,
-          (unsigned long long)r.tuner_states,
+          r.heals, r.timeout_heals, r.restarts, r.line_heals,
+          r.tuner_probes, (unsigned long long)r.tuner_states,
           (unsigned long long)r.healed_value,
           i + 1 < rows.size() ? "," : "");
     }
@@ -230,6 +298,9 @@ int main() {
       "\nShape check (paper): detection is cheap; collection cost scales\n"
       "with checkpoint sizes (bytes column); investigation dominates the\n"
       "pipeline — which is why FixD bounds it with budgets. The kv-lag row\n"
-      "recovers by timeout tuning: heals==timeout_heals==1, restarts==0.\n");
+      "recovers by timeout tuning: heals==timeout_heals==1, restarts==0.\n"
+      "The elect-split row recovers by the ladder's line rung\n"
+      "(line_heals==1, restarts==0); the kv-lag(restart) row by the §3.4\n"
+      "restart (restarts==1).\n");
   return 0;
 }

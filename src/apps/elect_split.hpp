@@ -1,0 +1,127 @@
+// Heartbeat-lease leader election that split-brains under a partition.
+//
+// Process 0 starts as leader and broadcasts a bounded stream of heartbeats;
+// every follower runs a watchdog that suspects the leader when a whole
+// watchdog window passes without a fresh beat.
+//
+//   v1 (buggy):  a suspicious follower fails over *unilaterally* — it
+//                declares itself leader the moment its watchdog starves.
+//                An asymmetric partition (leader→victim cut, victim→leader
+//                open) starves exactly one watchdog while the old leader
+//                keeps running: two leaders.
+//   v2 (fixed):  a suspicious follower first asks the others for votes and
+//                declares only with a majority behind it. Followers grant a
+//                vote only while their own watchdog is starving, so a cut
+//                that isolates a minority can never elect a second leader.
+//
+// Safety invariant (global): at most one process leading.
+//
+// In *timed* exploration the violation is unreachable without an
+// environment action: beats (latency ~1, period beat_period) always land
+// before the watchdog (watchdog > beat_period) fires. A kPartitionLinks
+// cut deferring the beats is what unlocks it — this scenario is the
+// partition analogue of kv_lag's delay-unlocked duplicate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum ElectSplitTag : net::Tag {
+  kBeatTag = 411,
+  kVoteReqTag = 412,
+  kVoteAckTag = 413,
+};
+
+struct ElectSplitConfig {
+  /// Leader heartbeat period (virtual time).
+  VirtualTime beat_period = 4;
+  /// Follower watchdog window; must exceed beat_period + delivery latency
+  /// or followers suspect a healthy leader.
+  VirtualTime watchdog = 10;
+  /// Heartbeats the leader sends before going quiet (bounds the run).
+  std::uint32_t max_beats = 6;
+};
+
+class IElectSplit {
+ public:
+  virtual ~IElectSplit() = default;
+  virtual bool leading() const = 0;
+  virtual bool suspicious() const = 0;
+  virtual std::uint32_t beats_seen() const = 0;
+};
+
+namespace detail {
+class ElectSplitBase : public rt::Process, public IElectSplit {
+ public:
+  static constexpr std::uint32_t kBeatKind = 6;
+  static constexpr std::uint32_t kWatchKind = 7;
+
+  explicit ElectSplitBase(ElectSplitConfig cfg) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+  void on_timer(rt::Context& ctx, const rt::Timer& timer) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "elect-split"; }
+
+  bool leading() const override { return leading_; }
+  bool suspicious() const override { return suspicious_; }
+  std::uint32_t beats_seen() const override { return beats_seen_; }
+
+ protected:
+  /// Version-specific failover reaction once the watchdog starves.
+  virtual void on_suspect(rt::Context& ctx) = 0;
+
+  void send_beat_round(rt::Context& ctx);
+
+  ElectSplitConfig cfg_;
+  bool leading_ = false;
+  bool suspicious_ = false;
+  std::uint32_t beats_sent_ = 0;
+  std::uint32_t beats_seen_ = 0;
+  std::uint32_t beats_at_arm_ = 0;
+  std::uint32_t acks_ = 0;
+};
+}  // namespace detail
+
+class ElectSplitV1 final : public detail::ElectSplitBase {
+ public:
+  explicit ElectSplitV1(ElectSplitConfig cfg = {}) : ElectSplitBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<ElectSplitV1>(*this);
+  }
+
+ protected:
+  void on_suspect(rt::Context& ctx) override;
+};
+
+class ElectSplitV2 final : public detail::ElectSplitBase {
+ public:
+  explicit ElectSplitV2(ElectSplitConfig cfg = {}) : ElectSplitBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<ElectSplitV2>(*this);
+  }
+
+ protected:
+  void on_suspect(rt::Context& ctx) override;
+};
+
+std::unique_ptr<rt::World> make_elect_split_world(std::size_t n, int version,
+                                                  ElectSplitConfig cfg = {},
+                                                  rt::WorldOptions base = {});
+
+void install_elect_split_invariants(rt::World& w);
+
+heal::UpdatePatch elect_split_fix_patch(ElectSplitConfig cfg = {});
+
+}  // namespace fixd::apps

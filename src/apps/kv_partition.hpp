@@ -1,0 +1,147 @@
+// Primary/backup replication that serves stale reads across a partition.
+//
+// Process 0 is the primary: it applies a bounded write stream at start and
+// pushes version updates to every backup. The last process is a client
+// reading round-robin across the replicas, carrying the highest version it
+// has observed.
+//
+//   v1 (buggy):  a replica answers reads from its local copy
+//                unconditionally. A cut on the primary→backup link leaves
+//                the backup at an old version; a client that has already
+//                read the primary then observes time flowing backwards —
+//                a monotonic-read violation.
+//   v2 (fixed):  the read request carries the client's floor; a replica
+//                behind it refuses (kStaleTag) and the client retries at
+//                the primary, which is authoritative by construction.
+//
+// Safety invariant (global): the client's reads never regress.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "heal/patch.hpp"
+#include "rt/world.hpp"
+
+namespace fixd::apps {
+
+enum KvPartTag : net::Tag {
+  kReplTag = 421,
+  kReadTag = 422,
+  kReadReplyTag = 423,
+  kStaleTag = 424,
+};
+
+struct KvPartitionConfig {
+  /// Writes the primary applies (final authoritative version).
+  std::uint32_t writes = 3;
+  /// Reads the client issues, round-robin across the replicas.
+  std::uint32_t reads = 3;
+};
+
+class IKvPartReplica {
+ public:
+  virtual ~IKvPartReplica() = default;
+  virtual std::uint64_t data_version() const = 0;
+};
+
+class IKvPartClient {
+ public:
+  virtual ~IKvPartClient() = default;
+  virtual bool monotonic_ok() const = 0;
+  virtual std::uint64_t last_seen() const = 0;
+  virtual std::uint32_t reads_done() const = 0;
+};
+
+namespace detail {
+class KvPartReplicaBase : public rt::Process, public IKvPartReplica {
+ public:
+  explicit KvPartReplicaBase(KvPartitionConfig cfg) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "kv-part-replica"; }
+
+  std::uint64_t data_version() const override { return ver_; }
+
+ protected:
+  /// Version-specific read handling.
+  virtual void on_read(rt::Context& ctx, ProcessId client,
+                       std::uint64_t floor) = 0;
+
+  KvPartitionConfig cfg_;
+  std::uint64_t ver_ = 0;
+};
+}  // namespace detail
+
+class KvPartReplicaV1 final : public detail::KvPartReplicaBase {
+ public:
+  explicit KvPartReplicaV1(KvPartitionConfig cfg = {})
+      : KvPartReplicaBase(cfg) {}
+  std::uint32_t version() const override { return 1; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<KvPartReplicaV1>(*this);
+  }
+
+ protected:
+  void on_read(rt::Context& ctx, ProcessId client,
+               std::uint64_t floor) override;
+};
+
+class KvPartReplicaV2 final : public detail::KvPartReplicaBase {
+ public:
+  explicit KvPartReplicaV2(KvPartitionConfig cfg = {})
+      : KvPartReplicaBase(cfg) {}
+  std::uint32_t version() const override { return 2; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<KvPartReplicaV2>(*this);
+  }
+
+ protected:
+  void on_read(rt::Context& ctx, ProcessId client,
+               std::uint64_t floor) override;
+};
+
+class KvPartClient final : public rt::Process, public IKvPartClient {
+ public:
+  explicit KvPartClient(KvPartitionConfig cfg = {}) : cfg_(cfg) {}
+
+  void on_start(rt::Context& ctx) override;
+  void on_message(rt::Context& ctx, const net::Message& msg) override;
+
+  void save_root(BinaryWriter& w) const override;
+  void load_root(BinaryReader& r) override;
+
+  std::string type_name() const override { return "kv-part-client"; }
+  std::unique_ptr<rt::Process> clone_behavior() const override {
+    return std::make_unique<KvPartClient>(*this);
+  }
+
+  bool monotonic_ok() const override { return monotonic_ok_; }
+  std::uint64_t last_seen() const override { return last_seen_; }
+  std::uint32_t reads_done() const override { return reads_done_; }
+
+ private:
+  void send_read(rt::Context& ctx, ProcessId target);
+
+  KvPartitionConfig cfg_;
+  std::uint64_t last_seen_ = 0;
+  std::uint32_t reads_done_ = 0;
+  bool monotonic_ok_ = true;
+};
+
+/// `replicas` replica processes (pid 0 the primary) plus one client.
+std::unique_ptr<rt::World> make_kv_partition_world(std::size_t replicas,
+                                                   int version,
+                                                   KvPartitionConfig cfg = {},
+                                                   rt::WorldOptions base = {});
+
+void install_kv_partition_invariants(rt::World& w);
+
+heal::UpdatePatch kv_partition_fix_patch(KvPartitionConfig cfg = {});
+
+}  // namespace fixd::apps

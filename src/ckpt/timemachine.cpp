@@ -1,5 +1,7 @@
 #include "ckpt/timemachine.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace fixd::ckpt {
@@ -82,14 +84,16 @@ bool TimeMachine::before_event(rt::World& w, const rt::EventDesc& ev) {
     if (ev.kind == rt::EventKind::kDeliver) {
       take_checkpoint(ev.pid, CkptReason::kCic);
     }
-    submitted_before_event_ = w.network().stats().submitted;
+    // Const access: the mutable network() accessor breaks the replay key
+    // chain, which would defeat this interceptor's purity declaration.
+    submitted_before_event_ = std::as_const(w).network().stats().submitted;
   }
   return true;
 }
 
 void TimeMachine::after_event(rt::World& w, const rt::EventDesc& ev) {
   if (opts_.cic &&
-      w.network().stats().submitted > submitted_before_event_) {
+      std::as_const(w).network().stats().submitted > submitted_before_event_) {
     // The handler sent messages: checkpoint the sender so receivers of
     // those messages never have to domino past this point.
     take_checkpoint(ev.pid, CkptReason::kCic);
@@ -142,6 +146,20 @@ RecoveryLine TimeMachine::rollback_to(ProcessId failed,
   FIXD_CHECK_MSG(failed < stores_.size(), "rollback_to: bad pid");
   std::vector<std::ptrdiff_t> pinned(stores_.size(), -1);
   pinned[failed] = static_cast<std::ptrdiff_t>(ckpt_index);
+  RecoveryLine rl;
+  rl.line = RecoveryLineSolver::solve_pinned(clock_history(), pinned);
+  rl.ids.resize(stores_.size());
+  for (std::size_t p = 0; p < stores_.size(); ++p) {
+    rl.ids[p] = stores_[p].at(rl.line.index[p]).id;
+  }
+  execute_line(rl);
+  return rl;
+}
+
+RecoveryLine TimeMachine::rollback_pinned(
+    const std::vector<std::ptrdiff_t>& pinned) {
+  FIXD_CHECK_MSG(pinned.size() == stores_.size(),
+                 "rollback_pinned: pin vector size mismatch");
   RecoveryLine rl;
   rl.line = RecoveryLineSolver::solve_pinned(clock_history(), pinned);
   rl.ids.resize(stores_.size());

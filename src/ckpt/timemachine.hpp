@@ -99,6 +99,14 @@ class TimeMachine final : public rt::StepInterceptor,
   /// system adapts), then execute the rollback.
   RecoveryLine rollback_to(ProcessId failed, std::size_t ckpt_index);
 
+  /// Compute a line with every process capped at `pinned[p]` (-1 = free,
+  /// its latest), then execute the rollback. The escalation ladder's
+  /// recovery-line rung uses this to put the whole system behind a
+  /// partition onset: one process alone can be consistently restored to a
+  /// pre-onset checkpoint while a peer keeps post-onset local progress
+  /// (e.g. a unilateral leader declaration) that no channel ever carried.
+  RecoveryLine rollback_pinned(const std::vector<std::ptrdiff_t>& pinned);
+
   /// Roll back to the most recent consistent line.
   RecoveryLine rollback();
 
@@ -110,6 +118,13 @@ class TimeMachine final : public rt::StepInterceptor,
   // --- rt::StepInterceptor --------------------------------------------------
   bool before_event(rt::World& w, const rt::EventDesc& ev) override;
   void after_event(rt::World& w, const rt::EventDesc& ev) override;
+
+  /// The time machine is a passive interceptor: it captures state but
+  /// never changes which event runs or what it does, so the world
+  /// trajectory is independent of its internal state. Declaring purity
+  /// with the default zero digest keeps replay-warm keying alive while a
+  /// time machine is attached (docs/ROBUSTNESS.md, purity table).
+  bool replay_pure() const override { return true; }
 
   // --- rt::RuntimeObserver --------------------------------------------------
   void on_deliver(const rt::World& w, const net::Message& msg) override;

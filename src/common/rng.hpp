@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/hash.hpp"
 #include "common/serialize.hpp"
 
 namespace fixd {
@@ -74,6 +75,14 @@ class Rng {
 
   /// Bernoulli draw.
   bool next_bool(double p) { return next_double() < p; }
+
+  /// Cheap state fingerprint (not a draw); used by replay-warm state
+  /// digests so generator position participates in event keys.
+  std::uint64_t digest() const {
+    std::uint64_t h = 0;
+    for (auto s : state_) h = hash_combine(h, s);
+    return h;
+  }
 
   void save(BinaryWriter& w) const {
     for (auto s : state_) w.write_u64(s);

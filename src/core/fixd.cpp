@@ -155,7 +155,15 @@ BugReport FixdController::handle_fault(std::size_t attempt, FixdReport& rep) {
 
 bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
   auto t0 = Clock::now();
+  auto done = [&](bool ok) {
+    rep.phases.heal_ms += ms_since(t0);
+    return ok;
+  };
+  auto attempted = [&](RecoveryRung rung, bool ok, std::string detail) {
+    rep.ladder.push_back({rung, ok, std::move(detail)});
+  };
 
+  // --- Rung 1: timeout tuner ------------------------------------------------
   if (opts_.attempt_timeout_tuning && !opts_.timeout_site.target_type.empty()
       && timer_implicated(bug)) {
     heal::TunerOptions topts = opts_.tuner;
@@ -180,14 +188,19 @@ bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
         ++rep.timeout_heals;
         world_.clear_violations();
         tm_.reset();  // old-config checkpoints are not valid restore points
-        rep.phases.heal_ms += ms_since(t0);
-        return true;
+        attempted(RecoveryRung::kTimeoutTuner, true, patch.description);
+        return done(true);
       }
+      attempted(RecoveryRung::kTimeoutTuner, false,
+                "tuned patch failed to apply");
+    } else {
+      attempted(RecoveryRung::kTimeoutTuner, false,
+                "no validated timeout configuration found");
     }
-    // Tuning failed (or the patch did not apply): fall through to the
-    // static patch registry / restart paths.
+    // Fall through: escalate.
   }
 
+  // --- Rung 2: static patch registry ----------------------------------------
   if (opts_.attempt_heal && patches_.size() > 0) {
     // Pick the patch matching the faulty process (or any process if the
     // violation was global).
@@ -207,12 +220,26 @@ bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
         ++rep.heals_applied;
         world_.clear_violations();
         tm_.reset();  // old-version checkpoints are not valid restore points
-        rep.phases.heal_ms += ms_since(t0);
-        return true;
+        attempted(RecoveryRung::kPatchRegistry, true, patch->description);
+        return done(true);
       }
+      attempted(RecoveryRung::kPatchRegistry, false,
+                "patch found but did not apply: " + patch->description);
+    } else {
+      attempted(RecoveryRung::kPatchRegistry, false,
+                "no registered patch matches any live process");
     }
   }
 
+  // --- Rung 3: recovery-line rollback behind the partition onset ------------
+  if (line_uses_ < opts_.line_budget) {
+    std::string detail;
+    const bool ok = recover_via_line(bug, detail);
+    attempted(RecoveryRung::kRecoveryLine, ok, std::move(detail));
+    if (ok) return done(true);
+  }
+
+  // --- Rung 4: restart from scratch -----------------------------------------
   if (opts_.restart_on_heal_failure) {
     // §3.4: "the simplest option ... restarted from the beginning". Apply
     // any applicable patches to the fresh instances so the restart is with
@@ -227,12 +254,131 @@ bool FixdController::recover(const BugReport& bug, FixdReport& rep) {
     }
     tm_.reset();
     ++rep.restarts;
-    rep.phases.heal_ms += ms_since(t0);
-    return true;
+    attempted(RecoveryRung::kRestart, true, "restarted from initial state");
+    return done(true);
   }
 
-  rep.phases.heal_ms += ms_since(t0);
-  return false;
+  // --- Rung 5: graceful degradation -----------------------------------------
+  if (degrade_uses_ < opts_.degrade_budget) {
+    std::string detail;
+    const bool ok = recover_via_degrade(bug, rep, detail);
+    attempted(RecoveryRung::kDegrade, ok, std::move(detail));
+    if (ok) return done(true);
+  }
+
+  return done(false);
+}
+
+bool FixdController::recover_via_line(const BugReport& bug,
+                                      std::string& detail) {
+  const std::size_t use = line_uses_++;
+  const ProcessId failed =
+      bug.violation.pid == kNoProcess ? 0 : bug.violation.pid;
+
+  // Partition-onset proxy: the oldest send stranded behind a blocked link.
+  // A message queued on a cut link was sent no later than the cut itself,
+  // so rolling behind the earliest of them lands behind the onset — an
+  // over-approximation in the backward (safe) direction. With no cut and
+  // nothing stranded, the violation time itself bounds the search.
+  const net::SimNetwork& net = world_.network();
+  VirtualTime onset = bug.violation.at;
+  for (const net::Message* m : net.pending()) {
+    if (net.link_blocked(m->src, m->dst) && m->sent_at < onset) {
+      onset = m->sent_at;
+    }
+  }
+
+  // Cap EVERY process at its latest checkpoint at-or-behind the onset —
+  // not just the implicated one. Post-onset progress that never crossed a
+  // channel (a unilateral leader declaration on the starved side of a cut)
+  // is causally consistent with any peer state, so a single-process pin
+  // would leave it standing. The failed process is deepened by one per
+  // prior use of this rung (deterministic backoff).
+  std::vector<std::ptrdiff_t> pinned(world_.size(), -1);
+  std::size_t failed_idx = 0;
+  for (ProcessId p = 0; p < world_.size(); ++p) {
+    const auto& entries = tm_.store(p).entries();
+    if (entries.empty()) {
+      detail = "no checkpoints for p" + std::to_string(p);
+      return false;
+    }
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].data->at <= onset) idx = i;  // ascending; keep latest
+    }
+    if (p == failed) {
+      idx = (idx > use) ? idx - use : 0;
+      failed_idx = idx;
+    }
+    pinned[p] = static_cast<std::ptrdiff_t>(idx);
+  }
+  ckpt::RecoveryLine line = tm_.rollback_pinned(pinned);
+  const std::size_t idx = failed_idx;
+
+  // Heal the cut: the resumed run models the partition as over. Collected
+  // first, then healed through the model wrappers so the replay key chain
+  // advances instead of breaking. The injector that cut these links stays
+  // in its fired state and will not re-cut.
+  std::vector<net::SimNetwork::LinkKey> cuts(net.blocked_links().begin(),
+                                             net.blocked_links().end());
+  for (const auto& [src, dst] : cuts) world_.model_heal_link(src, dst);
+  world_.clear_violations();
+
+  // Validation replay: a bounded exploration from the healed line with the
+  // partition/restart models switched on, so adversarial re-cuts are in
+  // scope. Evidence for the report, not a gate — the code bug is still
+  // reachable under a fresh partition; what gates resumption is the
+  // *current* state being invariant-clean.
+  mc::SysExploreOptions vopts = opts_.investigate;
+  vopts.model_partition = true;
+  vopts.model_restart = true;
+  if (!vopts.install_invariants) {
+    vopts.install_invariants = opts_.install_invariants;
+  }
+  mc::SystemExplorer explorer(world_, vopts);
+  mc::SysExploreResult vres = explorer.explore();
+
+  world_.recheck_invariants();
+  if (world_.has_violation()) {
+    detail = "rolled p" + std::to_string(failed) + " to checkpoint " +
+             std::to_string(idx) + " but invariants still fail";
+    return false;
+  }
+  detail = "rolled back " + std::to_string(line.line.total_rollback()) +
+           " checkpoint(s), healed " + std::to_string(cuts.size()) +
+           " link(s); validation found " + std::to_string(vres.violations.size()) +
+           " trail(s) under re-partition";
+  return true;
+}
+
+bool FixdController::recover_via_degrade(const BugReport& bug, FixdReport& rep,
+                                         std::string& detail) {
+  ++degrade_uses_;
+  const ProcessId victim =
+      bug.violation.pid == kNoProcess ? 0 : bug.violation.pid;
+
+  // Quarantine: park the implicated process at its most recent checkpoint
+  // — a pre-violation state — and mark it crashed so it takes no further
+  // events. Restoring one process alone is causally inconsistent in
+  // general, but a quarantined process never acts on that state again; it
+  // only has to stop tripping the invariant.
+  const auto& entries = tm_.store(victim).entries();
+  if (!entries.empty()) {
+    world_.restore_process(victim, *entries.back().data);
+  }
+  world_.set_crashed(victim, true);
+  world_.clear_violations();
+  world_.recheck_invariants();
+  if (world_.has_violation()) {
+    detail = "quarantined p" + std::to_string(victim) +
+             " but invariants still fail";
+    return false;
+  }
+  rep.degraded = true;
+  rep.quarantined.push_back(victim);
+  detail = "quarantined p" + std::to_string(victim) +
+           "; resuming with degraded capacity";
+  return true;
 }
 
 }  // namespace fixd::core

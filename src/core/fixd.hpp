@@ -23,9 +23,17 @@
 // Escalation: on the r-th attempt for the same fault, the failed process is
 // rolled back r extra checkpoints — "maybe the latest checkpoint is already
 // inside the doomed region".
+//
+// recover() itself is an escalation ladder (RecoveryRung): timeout tuner →
+// static patch registry → recovery-line rollback behind the partition onset
+// → restart from scratch → graceful degradation. Each rung has a per-run
+// budget; every attempt is recorded in FixdReport::ladder. The two
+// partition-era rungs (line, degrade) default to budget 0 so the legacy
+// tuner→patch→restart behaviour is unchanged unless opted into.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +47,28 @@
 #include "scroll/scroll.hpp"
 
 namespace fixd::core {
+
+/// Rungs of the recovery escalation ladder, in the order recover() tries
+/// them. A rung runs only while its budget (FixdOptions) has uses left;
+/// the recovery-line rung additionally deepens its rollback by one
+/// checkpoint per prior use — a deterministic backoff, so the same fault
+/// schedule walks the same ladder on every run.
+enum class RecoveryRung : std::uint8_t {
+  kTimeoutTuner,   ///< synthesize + validate a timeout-configuration patch
+  kPatchRegistry,  ///< dynamic update from the static patch registry
+  kRecoveryLine,   ///< roll back behind the partition onset, heal the cut
+  kRestart,        ///< restart from the initial state (§3.4's simplest option)
+  kDegrade,        ///< quarantine the implicated process; resume degraded
+};
+
+const char* to_string(RecoveryRung r);
+
+/// One attempted rung, in attempt order, with what happened.
+struct RungOutcome {
+  RecoveryRung rung = RecoveryRung::kTimeoutTuner;
+  bool ok = false;
+  std::string detail;
+};
 
 struct FixdOptions {
   scroll::LoggingPreset logging = scroll::LoggingPreset::digests();
@@ -65,6 +95,20 @@ struct FixdOptions {
   /// The tunable the tuner searches (empty target_type = none registered).
   heal::TimeoutSite timeout_site;
   heal::TunerOptions tuner;
+
+  /// Escalation-ladder budgets: how many times per run_protected() call
+  /// each partition-era rung may fire. Both default to 0 (rung disabled)
+  /// so existing pipelines keep the tuner→patch→restart behaviour.
+  ///
+  /// kRecoveryLine rolls every process to a consistent line behind the
+  /// partition onset (the oldest send stranded on a blocked link), heals
+  /// the cut, and resumes once the restored state passes an invariant
+  /// recheck; a bounded re-exploration with the partition model switched
+  /// on runs first as recorded evidence.
+  std::size_t line_budget = 0;
+  /// kDegrade parks the implicated process at its most recent checkpoint,
+  /// marks it crashed, and resumes the rest of the system degraded.
+  std::size_t degrade_budget = 0;
 };
 
 /// Fig. 4 exchange accounting.
@@ -107,6 +151,13 @@ struct FixdReport {
   /// Every tuner run (successful or not), in recovery order.
   std::vector<heal::TunerResult> tunes;
   std::size_t restarts = 0;
+  /// Every rung attempted across all recoveries, in attempt order.
+  std::vector<RungOutcome> ladder;
+  /// True when the run finished with at least one process quarantined.
+  bool degraded = false;
+  /// Processes parked by the kDegrade rung (crashed, state frozen at
+  /// their last checkpoint).
+  std::vector<ProcessId> quarantined;
   std::vector<BugReport> bugs;
   PhaseBreakdown phases;
   std::uint64_t scroll_records = 0;
@@ -142,8 +193,16 @@ class FixdController {
   /// `attempt` deepens the rollback.
   BugReport handle_fault(std::size_t attempt, FixdReport& rep);
 
-  /// Heal or restart; returns true if the run may resume.
+  /// Walk the escalation ladder; returns true if the run may resume.
   bool recover(const BugReport& bug, FixdReport& rep);
+
+  /// Rung 3 (kRecoveryLine): roll behind the partition onset, heal the
+  /// cut links, validate, recheck. Fills `detail` either way.
+  bool recover_via_line(const BugReport& bug, std::string& detail);
+
+  /// Rung 5 (kDegrade): quarantine the implicated process.
+  bool recover_via_degrade(const BugReport& bug, FixdReport& rep,
+                           std::string& detail);
 
   rt::World& world_;
   FixdOptions opts_;
@@ -151,6 +210,8 @@ class FixdController {
   scroll::Scroll scroll_;
   ckpt::TimeMachine tm_;
   rt::WorldSnapshot initial_;
+  std::size_t line_uses_ = 0;     ///< kRecoveryLine firings (backoff input)
+  std::size_t degrade_uses_ = 0;  ///< kDegrade firings
 };
 
 }  // namespace fixd::core

@@ -4,6 +4,17 @@
 
 namespace fixd::core {
 
+const char* to_string(RecoveryRung r) {
+  switch (r) {
+    case RecoveryRung::kTimeoutTuner: return "timeout-tuner";
+    case RecoveryRung::kPatchRegistry: return "patch-registry";
+    case RecoveryRung::kRecoveryLine: return "recovery-line";
+    case RecoveryRung::kRestart: return "restart";
+    case RecoveryRung::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
 std::string BugReport::render() const {
   std::ostringstream os;
   os << "=== FixD bug report ===\n";
@@ -36,6 +47,17 @@ std::string FixdReport::render() const {
   os << "completed: " << (completed ? "yes" : "NO") << "\n";
   os << "faults detected: " << faults_detected << ", heals applied: "
      << heals_applied << ", restarts: " << restarts << "\n";
+  for (const auto& rung : ladder) {
+    os << "ladder: " << to_string(rung.rung) << " "
+       << (rung.ok ? "ok" : "FAILED");
+    if (!rung.detail.empty()) os << " — " << rung.detail;
+    os << "\n";
+  }
+  if (degraded) {
+    os << "DEGRADED: quarantined";
+    for (ProcessId p : quarantined) os << " p" << p;
+    os << "\n";
+  }
   os << "scroll: " << scroll_records << " records, " << scroll_bytes
      << " bytes\n";
   os << "phases (ms): run " << phases.run_ms << ", rollback "

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ enum class FaultKind : std::uint8_t {
   kStalledPeer,       ///< alive-but-unresponsive window: control traffic
                       ///< still acked, real work deferred past the window
   kTimerMutation,     ///< stretch/shrink/cancel an armed timer by kind
+  kPartition,         ///< cut the links between two process groups; traffic
+                      ///< is deferred (never lost) until an optional seeded
+                      ///< heal time re-opens the links
+  kCrashRestart,      ///< crash the target, then restart it after a seeded
+                      ///< delay — durable (crash-time state) or amnesiac
+                      ///< (state captured when the fault armed)
 };
 
 inline const char* to_string(FaultKind k) {
@@ -42,6 +49,8 @@ inline const char* to_string(FaultKind k) {
     case FaultKind::kMessageDelay: return "message-delay";
     case FaultKind::kStalledPeer: return "stalled-peer";
     case FaultKind::kTimerMutation: return "timer-mutation";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrashRestart: return "crash-restart";
   }
   return "?";
 }
@@ -84,6 +93,23 @@ struct FaultSpec {
   std::uint32_t timer_kind = 0;
   TimerOp timer_op = TimerOp::kStretch;
   VirtualTime timer_delta = 10;
+  /// For kPartition: the two process groups to separate. Every a→b link is
+  /// cut; b→a too when `symmetric`. Traffic on cut links is deferred by the
+  /// network's link mask, never lost. The heal time is drawn uniformly from
+  /// [heal_min, heal_max] relative to the cut; 0/0 = never heals by itself
+  /// (the recovery ladder or an explicit model_heal_link must re-open it).
+  std::vector<ProcessId> group_a;
+  std::vector<ProcessId> group_b;
+  bool symmetric = true;
+  VirtualTime heal_min = 0;
+  VirtualTime heal_max = 0;
+  /// For kCrashRestart: restart delay drawn uniformly from
+  /// [restart_min, restart_max]; `amnesiac` restarts from the state
+  /// captured when the injector first saw the world (losing everything
+  /// since), the default durable restart resumes with crash-time state.
+  VirtualTime restart_min = 10;
+  VirtualTime restart_max = 10;
+  bool amnesiac = false;
   /// Shows up in reports.
   std::string note;
 };
@@ -107,6 +133,18 @@ class FaultInjector final : public rt::StepInterceptor {
 
   bool before_event(rt::World& w, const rt::EventDesc& ev) override;
 
+  /// Replay-warm purity (satellite of docs/ROBUSTNESS.md's purity table):
+  /// every built-in kind fires as a pure function of (world state, armed
+  /// state, event) — the seeded RNGs are part of the armed state — so the
+  /// injector can keep the key chain alive by folding that armed state
+  /// into each event key. Specs carrying arbitrary callbacks (kCustom,
+  /// kStateCorruption) disable the declaration — their actions cannot be
+  /// attested from here — and so do amnesiac kCrashRestart specs, whose
+  /// restart state depends on *when* the armed-time capture was taken,
+  /// which no per-event digest can encode.
+  bool replay_pure() const override;
+  std::uint64_t replay_state_digest() const override;
+
   const std::vector<InjectionEvent>& injected() const { return injected_; }
   std::size_t fired_count() const { return injected_.size(); }
 
@@ -128,9 +166,23 @@ class FaultInjector final : public rt::StepInterceptor {
     bool fired = false;
     /// kStalledPeer: end of the active stall window (0 = not stalling).
     VirtualTime stall_until = 0;
+    /// kPartition: whether the cut is currently in force, and when it
+    /// heals by itself (0 = no scheduled heal).
+    bool partitioned = false;
+    VirtualTime heal_at = 0;
+    /// kCrashRestart: pending restart deadline and its target (kNoProcess
+    /// = no restart pending), plus the armed-time capture for amnesiac
+    /// restarts.
+    VirtualTime restart_at = 0;
+    ProcessId restart_pid = kNoProcess;
+    std::optional<rt::ProcessCheckpoint> init_ckpt;
   };
 
   bool should_fire(Armed& a, const rt::World& w, ProcessId event_target);
+  void fire_partition(Armed& a, rt::World& w, const rt::EventDesc& ev,
+                      bool& allow);
+  void fire_crash_restart(Armed& a, rt::World& w, const rt::EventDesc& ev,
+                          bool& allow);
 
   std::vector<Armed> faults_;
   std::vector<InjectionEvent> injected_;

@@ -314,6 +314,49 @@ std::vector<SysAction> SystemExplorer::enabled_actions(
       out.push_back(a);
     }
   }
+  if (opts_.model_partition) {
+    // Heal actions: every blocked link (the mask is a sorted set, so the
+    // canonical order is free). Cut actions: every distinct unblocked link
+    // with pending traffic, gated by the simultaneous-cut bound — cutting
+    // an idle link is a no-op until traffic appears, and enumerating only
+    // loaded links keeps the branching factor proportional to the
+    // in-flight footprint. Both derive from pending()/blocked_links(),
+    // not the deliverable index, so the uncached-oracle toggle cannot
+    // change this consumer's view.
+    for (const auto& [s, d] : w.network().blocked_links()) {
+      SysAction a;
+      a.kind = SysAction::Kind::kHealLinks;
+      a.src = s;
+      a.dst = d;
+      out.push_back(a);
+    }
+    if (w.network().blocked_link_count() < opts_.max_cut_links) {
+      std::vector<std::pair<ProcessId, ProcessId>> links;
+      for (const net::Message* m : w.network().pending()) {
+        if (w.network().link_blocked(m->src, m->dst)) continue;
+        links.emplace_back(m->src, m->dst);
+      }
+      std::sort(links.begin(), links.end());
+      links.erase(std::unique(links.begin(), links.end()), links.end());
+      for (const auto& [s, d] : links) {
+        SysAction a;
+        a.kind = SysAction::Kind::kPartitionLinks;
+        a.src = s;
+        a.dst = d;
+        out.push_back(a);
+      }
+    }
+  }
+  if (opts_.model_restart) {
+    for (ProcessId p = 0; p < w.size(); ++p) {
+      if (!w.is_crashed(p)) continue;
+      SysAction a;
+      a.kind = SysAction::Kind::kRestartProcess;
+      a.event.kind = rt::EventKind::kStart;  // unused; pid is the payload
+      a.event.pid = p;
+      out.push_back(a);
+    }
+  }
   return out;
 }
 
@@ -337,6 +380,15 @@ void SystemExplorer::apply_action(rt::World& w, const SysAction& a) {
     case SysAction::Kind::kCancelTimer:
       w.model_cancel_timer(a.event.pid, a.event.timer);
       break;
+    case SysAction::Kind::kPartitionLinks:
+      w.model_cut_link(a.src, a.dst);
+      break;
+    case SysAction::Kind::kHealLinks:
+      w.model_heal_link(a.src, a.dst);
+      break;
+    case SysAction::Kind::kRestartProcess:
+      w.model_restart_process(a.event.pid);
+      break;
   }
 }
 
@@ -347,6 +399,14 @@ std::uint32_t SystemExplorer::fingerprint(const SysAction& a) {
     case SysAction::Kind::kCancelTimer:
       // Touches only the timer's owning process, like the timer event.
       return a.event.pid;
+    case SysAction::Kind::kRestartProcess:
+      // Touches only the restarted process.
+      return a.event.pid;
+    case SysAction::Kind::kPartitionLinks:
+    case SysAction::Kind::kHealLinks:
+      // A link cut/heal gates enabledness for the destination but also
+      // races with every action that can add traffic to the link;
+      // conservative whole-network fingerprint, like the message models.
     case SysAction::Kind::kDropMessage:
     case SysAction::Kind::kDupMessage:
     case SysAction::Kind::kDelayMessage:
@@ -368,6 +428,8 @@ std::uint64_t SystemExplorer::action_key(const SysAction& a) {
   h.update_u64(a.event.timer);
   h.update_u64(a.msg);
   h.update_u64(a.delay);
+  h.update_u64(a.src);
+  h.update_u64(a.dst);
   return h.digest();
 }
 

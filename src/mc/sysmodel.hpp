@@ -55,6 +55,20 @@ struct SysExploreOptions {
   VirtualTime model_delay_quantum = 8;
   VirtualTime model_delay_horizon = 32;
 
+  /// Partition-family environment models, all pure functions of world
+  /// state (cached and uncached enumeration agree by construction). With
+  /// model_partition, every unblocked directed link currently carrying
+  /// pending traffic yields a kPartitionLinks cut action — bounded by
+  /// max_cut_links simultaneously blocked links, the partition analogue
+  /// of the delay horizon — and every blocked link yields a kHealLinks
+  /// action. With model_restart, every crashed process yields a
+  /// kRestartProcess action (the durable restart: the process resumes
+  /// with its crash-time state; amnesiac restarts depend on a historical
+  /// checkpoint and are injector territory, not model actions).
+  bool model_partition = false;
+  bool model_restart = false;
+  std::size_t max_cut_links = 2;
+
   /// Exploration time semantics. Abstract (default): every pending
   /// message and armed timer is enabled regardless of virtual time — the
   /// Investigator's usual view, where timer/message races are maximal.

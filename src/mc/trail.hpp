@@ -17,17 +17,24 @@ namespace fixd::mc {
 /// One transition label in a system-level trail.
 struct SysAction {
   enum class Kind : std::uint8_t {
-    kRuntime = 0,    ///< a runtime event (start / deliver / timer)
-    kDropMessage,    ///< environment model: the network loses a message
-    kDupMessage,     ///< environment model: the network duplicates a message
-    kDelayMessage,   ///< environment model: a delivery is deferred (timed)
-    kCancelTimer,    ///< environment model: an armed timeout never fires
+    kRuntime = 0,     ///< a runtime event (start / deliver / timer)
+    kDropMessage,     ///< environment model: the network loses a message
+    kDupMessage,      ///< environment model: the network duplicates a message
+    kDelayMessage,    ///< environment model: a delivery is deferred (timed)
+    kCancelTimer,     ///< environment model: an armed timeout never fires
+    kPartitionLinks,  ///< environment model: cut one directed link (traffic
+                      ///< on it is deferred, never lost)
+    kHealLinks,       ///< environment model: re-open one cut link
+    kRestartProcess,  ///< environment model: durable restart of a crashed
+                      ///< process (resumes with crash-time state)
   };
 
   Kind kind = Kind::kRuntime;
-  rt::EventDesc event;      ///< kRuntime / kCancelTimer (pid + timer)
+  rt::EventDesc event;      ///< kRuntime / kCancelTimer / kRestartProcess
   MsgId msg = 0;            ///< kDropMessage / kDupMessage / kDelayMessage
   VirtualTime delay = 0;    ///< kDelayMessage: extra virtual time
+  ProcessId src = kNoProcess;  ///< kPartitionLinks / kHealLinks
+  ProcessId dst = kNoProcess;  ///< kPartitionLinks / kHealLinks
 
   std::string describe() const {
     switch (kind) {
@@ -43,6 +50,14 @@ struct SysAction {
       case Kind::kCancelTimer:
         return "env:cancel-timer(t#" + std::to_string(event.timer) + "@p" +
                std::to_string(event.pid) + ")";
+      case Kind::kPartitionLinks:
+        return "env:cut(p" + std::to_string(src) + "->p" +
+               std::to_string(dst) + ")";
+      case Kind::kHealLinks:
+        return "env:heal(p" + std::to_string(src) + "->p" +
+               std::to_string(dst) + ")";
+      case Kind::kRestartProcess:
+        return "env:restart(p" + std::to_string(event.pid) + ")";
     }
     return "?";
   }

@@ -61,6 +61,7 @@ void SimNetwork::idx_remove(ProcessId dst, MsgId id) {
 void SimNetwork::idx_add_head(const std::deque<MsgId>& q) {
   if (!deliv_valid_ || q.empty()) return;
   const Message& m = *messages_.at(q.front());
+  if (link_blocked(m.src, m.dst)) return;  // deferred behind the partition
   idx_add(m.dst, m.id, {m.sent_at + m.latency, m.control});
 }
 
@@ -100,12 +101,13 @@ void SimNetwork::ensure_deliv_index() const {
   for (auto& [dst, b] : deliv_index_) b.clear();
   if (options_.fifo) {
     for (const auto& [key, q] : channels_) {
-      if (q.empty()) continue;
+      if (q.empty() || blocked_.count(key)) continue;
       const Message& m = *messages_.at(q.front());
       deliv_index_[m.dst].add(m.id, {m.sent_at + m.latency, m.control});
     }
   } else {
     for (const auto& [id, m] : messages_) {
+      if (link_blocked(m->src, m->dst)) continue;
       deliv_index_[m->dst].add(id, {m->sent_at + m->latency, m->control});
     }
   }
@@ -165,8 +167,9 @@ void SimNetwork::enqueue(Message msg) {
   q.push_back(id);
   touch_channel(key);
   // FIFO: the message is deliverable only when it heads its channel;
-  // reordering: every pending message is deliverable.
-  if (!options_.fifo || q.size() == 1) {
+  // reordering: every pending message is deliverable. A blocked link
+  // defers either way.
+  if ((!options_.fifo || q.size() == 1) && !blocked_.count(key)) {
     idx_add(msg.dst, id, {msg.sent_at + msg.latency, msg.control});
   }
   messages_.emplace(id, warm_or_make(std::move(msg)));
@@ -214,6 +217,7 @@ VirtualTime SimNetwork::draw_latency() {
 bool SimNetwork::is_deliverable(MsgId id) const {
   auto it = messages_.find(id);
   if (it == messages_.end()) return false;
+  if (link_blocked(it->second->src, it->second->dst)) return false;
   if (!options_.fifo) return true;
   const auto& q = channels_.at({it->second->src, it->second->dst});
   return !q.empty() && q.front() == id;
@@ -223,12 +227,14 @@ std::vector<MsgId> SimNetwork::deliverable() const {
   std::vector<MsgId> out;
   if (options_.fifo) {
     for (const auto& [key, q] : channels_) {
-      if (!q.empty()) out.push_back(q.front());
+      if (!q.empty() && !blocked_.count(key)) out.push_back(q.front());
     }
     std::sort(out.begin(), out.end());
   } else {
     out.reserve(messages_.size());
-    for (const auto& [id, m] : messages_) out.push_back(id);
+    for (const auto& [id, m] : messages_) {
+      if (!link_blocked(m->src, m->dst)) out.push_back(id);
+    }
   }
   return out;
 }
@@ -376,6 +382,57 @@ bool SimNetwork::delay(MsgId id, VirtualTime extra) {
   return mutate(id, [extra](Message& m) { m.latency += extra; });
 }
 
+bool SimNetwork::cut_link(ProcessId src, ProcessId dst) {
+  if (!blocked_.insert({src, dst}).second) return false;
+  // Retract the link's deliverable entries: FIFO exposes only the channel
+  // head, reordering exposes the whole queue. The messages themselves stay
+  // pending (deferred, not lost) and keep their in-flight counts.
+  auto cit = channels_.find({src, dst});
+  if (cit != channels_.end() && !cit->second.empty()) {
+    if (options_.fifo) {
+      idx_remove(dst, cit->second.front());
+    } else {
+      for (MsgId id : cit->second) idx_remove(dst, id);
+    }
+  }
+  touch();
+  return true;
+}
+
+bool SimNetwork::heal_link(ProcessId src, ProcessId dst) {
+  if (blocked_.erase({src, dst}) == 0) return false;
+  auto cit = channels_.find({src, dst});
+  if (cit != channels_.end() && !cit->second.empty()) {
+    if (options_.fifo) {
+      idx_add_head(cit->second);
+    } else if (deliv_valid_) {
+      for (MsgId id : cit->second) {
+        const Message& m = *messages_.at(id);
+        idx_add(dst, id, {m.sent_at + m.latency, m.control});
+      }
+    }
+  }
+  touch();
+  return true;
+}
+
+std::size_t SimNetwork::heal_all_links() {
+  std::vector<LinkKey> keys(blocked_.begin(), blocked_.end());
+  for (const LinkKey& k : keys) heal_link(k.first, k.second);
+  return keys.size();
+}
+
+std::uint64_t SimNetwork::links_digest() const {
+  if (blocked_.empty()) return 0;
+  Hasher h;
+  h.update_u64(blocked_.size());
+  for (const auto& [s, d] : blocked_) {
+    h.update_u64(s);
+    h.update_u64(d);
+  }
+  return h.digest();
+}
+
 MsgId SimNetwork::reinject(Message msg) {
   msg.id = next_id_++;
   MsgId id = msg.id;
@@ -412,6 +469,11 @@ void SimNetwork::save(BinaryWriter& w) const {
   w.write_u64(stats_.duplicated);
   w.write_u64(stats_.bytes_submitted);
   w.write_u64(stats_.bytes_delivered);
+  w.write_varint(blocked_.size());
+  for (const auto& [s, d] : blocked_) {
+    w.write_u32(s);
+    w.write_u32(d);
+  }
 }
 
 void SimNetwork::load(BinaryReader& r) {
@@ -452,6 +514,13 @@ void SimNetwork::load(BinaryReader& r) {
   stats_.duplicated = r.read_u64();
   stats_.bytes_submitted = r.read_u64();
   stats_.bytes_delivered = r.read_u64();
+  blocked_.clear();
+  std::size_t nb = static_cast<std::size_t>(r.read_varint());
+  for (std::size_t i = 0; i < nb; ++i) {
+    ProcessId s = r.read_u32();
+    ProcessId d = r.read_u32();
+    blocked_.insert(blocked_.end(), {s, d});
+  }
   channel_digest_cache_.clear();
   touch();
   idx_invalidate();
@@ -474,6 +543,7 @@ std::shared_ptr<const NetSnapshot> SimNetwork::snapshot() const {
           key, std::vector<MsgId>(q.begin(), q.end()));
     }
     s->stats = stats_;
+    s->blocked_links.assign(blocked_.begin(), blocked_.end());
     s->channel_digests.reserve(channel_digest_cache_.size());
     for (const auto& [key, d] : channel_digest_cache_) {
       s->channel_digests.emplace_back(key, d);
@@ -506,6 +576,9 @@ void SimNetwork::restore(const std::shared_ptr<const NetSnapshot>& snap) {
                            std::deque<MsgId>(q.begin(), q.end()));
   }
   stats_ = snap->stats;
+  blocked_.clear();
+  for (const auto& k : snap->blocked_links)
+    blocked_.insert(blocked_.end(), k);
   // Adopt whatever was warm at capture (cold stays cold — conservative).
   channel_digest_cache_.clear();
   for (const auto& [key, d] : snap->channel_digests) {
@@ -543,6 +616,11 @@ std::uint64_t SimNetwork::digest_impl(bool cached) const {
   h.update_u64(options_.latency_min);
   h.update_u64(options_.latency_max);
   h.update_u64(options_.seed);
+  h.update_u64(blocked_.size());
+  for (const auto& [bs, bd] : blocked_) {
+    h.update_u64(bs);
+    h.update_u64(bd);
+  }
   BinaryWriter rw;
   rng_.save(rw);
   h.update(rw.bytes());

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -203,6 +204,8 @@ struct NetSnapshot {
   NetworkOptions options;
   Rng rng;
   MsgId next_id = 1;
+  /// Blocked (src,dst) links (the partition mask), ascending key.
+  std::vector<ChannelKey> blocked_links;
   /// Pending messages, ascending id. Flat sorted vectors instead of maps:
   /// a trail-frontier explorer retains one NetSnapshot per live anchor,
   /// and the map/deque representation cost ~48 B of node overhead per
@@ -239,6 +242,9 @@ struct NetSnapshot {
 
 class SimNetwork {
  public:
+  /// A directed (src,dst) link, the unit of the partition mask.
+  using LinkKey = std::pair<ProcessId, ProcessId>;
+
   explicit SimNetwork(NetworkOptions options = {});
 
   const NetworkOptions& options() const { return options_; }
@@ -310,6 +316,27 @@ class SimNetwork {
   /// message with `latency += extra` and refreshes its deliverable entry.
   /// Returns false if the message is gone.
   bool delay(MsgId id, VirtualTime extra);
+
+  // --- link-reachability mask (partitions) ---------------------------------
+  /// A blocked (src,dst) link defers its traffic: pending messages on the
+  /// link stay pending (they still count as in-flight — the Healer's
+  /// quiescence question is unchanged by a partition) but leave the
+  /// deliverable set until the link heals. Cut/heal publish incremental
+  /// index deltas like any other deliverable-set change, so the World's
+  /// enabled-event index mirrors the mask without a rebuild.
+  /// Returns whether the call changed the mask.
+  bool cut_link(ProcessId src, ProcessId dst);
+  bool heal_link(ProcessId src, ProcessId dst);
+  /// Heal every blocked link; returns how many were blocked.
+  std::size_t heal_all_links();
+  bool link_blocked(ProcessId src, ProcessId dst) const {
+    return blocked_.count({src, dst}) != 0;
+  }
+  std::size_t blocked_link_count() const { return blocked_.size(); }
+  const std::set<LinkKey>& blocked_links() const { return blocked_; }
+  /// Order-sensitive digest of the mask (folded into the world's canonical
+  /// digest so partitioned states never dedup against unpartitioned ones).
+  std::uint64_t links_digest() const;
 
   /// In-flight non-control messages destined to `dst`, maintained
   /// incrementally. Unlike deliv_bucket_size this also counts messages
@@ -452,6 +479,8 @@ class SimNetwork {
   /// Pending messages, immutable and shareable with snapshots.
   std::map<MsgId, std::shared_ptr<const Message>> messages_;
   std::map<ChannelKey, std::deque<MsgId>> channels_;  // fifo order per channel
+  /// Blocked links (the partition mask); see cut_link.
+  std::set<LinkKey> blocked_;
   NetStats stats_;
   /// Incremental content-multiset accumulator (see content_digest_acc).
   std::uint64_t content_acc_ = 0;

@@ -91,6 +91,18 @@ class StepInterceptor {
     (void)w;
     (void)ev;
   }
+
+  /// Replay-warm purity declaration. An interceptor that returns true
+  /// promises its behaviour is a pure function of (world state, its own
+  /// state, the event) — no wall clocks, no external randomness — and that
+  /// replay_state_digest() covers every bit of that own state. The world
+  /// then folds the digest into the replay key chain instead of disabling
+  /// keying (docs/ROBUSTNESS.md, purity table): two executions reaching
+  /// the same (world, interceptor) state derive the same keys and may
+  /// share captures; a state divergence changes the digest and splits the
+  /// chain. Default: impure — keying stays disabled while attached.
+  virtual bool replay_pure() const { return false; }
+  virtual std::uint64_t replay_state_digest() const { return 0; }
 };
 
 /// Speculation lifecycle, implemented by ckpt::SpeculationManager.

@@ -651,8 +651,16 @@ void World::dispatch(const EventDesc& ev) {
   // hook mutating through the public accessors), in which case the chain
   // is already dead and the key is discarded.
   const std::uint64_t acc0 = replay_acc_;
-  const std::uint64_t rk =
-      replay_keyable() ? replay_fold_event(acc0, ev) : 0;
+  std::uint64_t rk = replay_keyable() ? replay_fold_event(acc0, ev) : 0;
+  if (rk != 0 && !interceptors_.empty()) {
+    // Pure interceptors (replay_keyable admits no other kind) may mutate
+    // the world as a deterministic function of their own state; fold that
+    // state into the key so equal keys keep meaning equal downstream
+    // content even across injected schedules.
+    for (const StepInterceptor* ic : interceptors_) {
+      rk = hash_combine(rk, ic->replay_state_digest());
+    }
+  }
   if (rk) {
     net_.begin_warm_step(rk);
   } else {
@@ -711,7 +719,10 @@ void World::dispatch(const EventDesc& ev) {
     }
     ++step_;
     for (auto* ic : interceptors_) ic->after_event(*this, ev);
-    commit_replay_key();  // unreachable while keyed (interceptors present)
+    // Reachable while keyed only via pure interceptors (suppression is
+    // their doing); the suppression outcome above is a deterministic
+    // function of (world, interceptor state, event), all folded into rk.
+    commit_replay_key();
     return;
   }
 
@@ -1117,6 +1128,38 @@ bool World::model_cancel_timer(ProcessId pid, TimerId id) {
   return ok;
 }
 
+bool World::model_cut_link(ProcessId src, ProcessId dst) {
+  if (replay_keyable()) {
+    replay_acc_ =
+        hash_combine(replay_acc_, 0x9a27ull ^ hash_combine(src, dst));
+  }
+  return net_.cut_link(src, dst);
+}
+
+bool World::model_heal_link(ProcessId src, ProcessId dst) {
+  if (replay_keyable()) {
+    replay_acc_ =
+        hash_combine(replay_acc_, 0x4ea1ull ^ hash_combine(src, dst));
+  }
+  return net_.heal_link(src, dst);
+}
+
+bool World::model_restart_process(ProcessId pid) {
+  FIXD_CHECK_MSG(pid < procs_.size(), "model_restart_process: bad id");
+  if (!infos_[pid].crashed) return false;
+  const std::uint64_t rk =
+      replay_keyable() ? hash_combine(replay_acc_, 0x4e57ull ^ mix64(pid))
+                       : 0;
+  mark_state_dirty(pid);
+  infos_[pid].crashed = false;
+  eidx_sync_proc(pid);
+  if (rk) {
+    replay_acc_ = rk;
+    warm_key_[pid] = rk;
+  }
+  return true;
+}
+
 bool World::retime_timer(ProcessId pid, TimerId id,
                          VirtualTime new_deadline) {
   FIXD_CHECK_MSG(pid < procs_.size(), "retime_timer: bad id");
@@ -1357,6 +1400,9 @@ std::uint64_t World::mc_digest_impl(bool cached) const {
   // SimNetwork) — O(1) per call instead of re-sorting per-message digests.
   h.update_u64(cached ? net_.content_digest_acc()
                       : net_.content_digest_acc_uncached());
+  // The partition mask gates enabledness, so two states differing only in
+  // blocked links must never dedup together.
+  h.update_u64(net_.links_digest());
   return h.digest();
 }
 

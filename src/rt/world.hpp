@@ -241,6 +241,17 @@ class World : private net::DeliverableListener {
   bool model_delay_message(MsgId id, VirtualTime extra);
   bool model_cancel_timer(ProcessId pid, TimerId id);
 
+  /// Partition-family environment-model actions: cut / heal one directed
+  /// link, or restart a crashed process. Pure functions of world state
+  /// (restart resumes with the crash-time state — the *durable* restart;
+  /// amnesiac restarts need an initial checkpoint, which is injector
+  /// territory), advancing the replay-warm key chain like the message
+  /// models. Cut/heal return whether the mask changed; restart returns
+  /// false when the process is not crashed.
+  bool model_cut_link(ProcessId src, ProcessId dst);
+  bool model_heal_link(ProcessId src, ProcessId dst);
+  bool model_restart_process(ProcessId pid);
+
   /// Exogenous timer surgery (timeout-fault injection: stretch/shrink an
   /// armed timeout, or disarm it). Breaks the replay-warm chain like other
   /// out-of-band mutations. Returns false when the timer is not armed.
@@ -366,10 +377,11 @@ class World : private net::DeliverableListener {
   /// objects the same way), so sibling trail-frontier anchors share
   /// entries instead of deep-copying identical content. Any mutation
   /// outside dispatched events (process()/set_crashed/swap/network()
-  /// surgery/spec aborts) breaks the chain; interceptors, spec hooks, or
-  /// an env source disable keying entirely (their state is not covered by
-  /// world snapshots, so re-execution purity cannot be assumed). Toggling
-  /// clears all warm state.
+  /// surgery/spec aborts) breaks the chain; spec hooks or an env source
+  /// disable keying entirely, and so does any interceptor that does not
+  /// declare replay purity (StepInterceptor::replay_pure — pure
+  /// interceptors fold a state digest into each event key instead).
+  /// Toggling clears all warm state.
   void set_replay_warm(bool on);
   bool replay_warm() const { return replay_warm_on_; }
   /// Captures served from / inserted into the replay-warm ring
@@ -472,10 +484,21 @@ class World : private net::DeliverableListener {
   /// pure function of (restored snapshot, dispatched events), so the key
   /// chain dies until the next full-snapshot restore re-seeds it.
   void replay_break() { replay_acc_ = 0; }
+  /// True iff every attached interceptor declares replay purity (see
+  /// StepInterceptor::replay_pure); vacuously true with none attached.
+  bool interceptors_pure() const {
+    for (const StepInterceptor* ic : interceptors_) {
+      if (!ic->replay_pure()) return false;
+    }
+    return true;
+  }
   /// True while dispatched events may be keyed: warming on and no hook
-  /// whose state lives outside world snapshots.
+  /// whose state lives outside world snapshots — except interceptors that
+  /// declare themselves pure functions of (world state, own state, event);
+  /// dispatch folds their state digests into each event key, so their
+  /// influence is part of the chain instead of invalidating it.
   bool replay_keyable() const {
-    return replay_warm_on_ && replay_acc_ != 0 && interceptors_.empty() &&
+    return replay_warm_on_ && replay_acc_ != 0 && interceptors_pure() &&
            spec_hooks_ == nullptr && env_source_ == nullptr;
   }
   /// Look up / publish the capture for `pid` under its current warm key.

@@ -2,11 +2,16 @@
 // heal/restart -> resume, on the example applications.
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "apps/elect_split.hpp"
+#include "apps/kv_partition.hpp"
 #include "apps/kv_store.hpp"
 #include "apps/leader_election.hpp"
 #include "apps/rep_counter.hpp"
 #include "apps/token_ring.hpp"
 #include "core/fixd.hpp"
+#include "fault/injector.hpp"
 
 namespace fixd::core {
 namespace {
@@ -171,6 +176,155 @@ TEST(FixdPipeline, HealsKvDivergenceUnderReordering) {
   const auto& primary = dynamic_cast<const apps::IKvReplica&>(w->process(0));
   const auto& backup = dynamic_cast<const apps::IKvReplica&>(w->process(1));
   EXPECT_EQ(primary.content_digest(), backup.content_digest());
+}
+
+// --- partition-era faults: the recovery escalation ladder -------------------
+
+struct SplitBrainOutcome {
+  FixdReport rep;
+  std::size_t leaders = 0;
+  std::size_t blocked_links = 0;
+  bool violation = false;
+  std::uint64_t final_digest = 0;
+  std::vector<std::byte> scroll_bytes;
+};
+
+/// One full protected run of the elect_split split-brain under a live
+/// asymmetric partition that never heals by itself. A decoy patch (for a
+/// different application) is registered so the patch-registry rung attempts
+/// and visibly fails before the ladder escalates to the recovery-line rung.
+SplitBrainOutcome run_split_brain_pipeline() {
+  SplitBrainOutcome out;
+  auto w = apps::make_elect_split_world(3, 1);
+  fault::FaultInjector inj;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kPartition;
+  spec.group_a = {0};
+  spec.group_b = {2};
+  spec.symmetric = false;  // leader→victim cut only: the split-brain shape
+  inj.add(spec);
+  inj.attach(*w);
+
+  heal::PatchRegistry patches;
+  patches.add(apps::counter_fix_patch(CounterConfig{2}));  // decoy: wrong app
+
+  FixdOptions o;
+  o.install_invariants = apps::install_elect_split_invariants;
+  o.investigate.max_states = 2000;
+  o.investigate.max_depth = 30;
+  o.investigate.model_partition = true;  // investigate under the cut model
+  o.line_budget = 2;
+  o.restart_on_heal_failure = false;  // the ladder must resolve at the line
+  FixdController fixd(*w, o, patches);
+  out.rep = fixd.run_protected();
+
+  for (ProcessId p = 0; p < w->size(); ++p) {
+    const auto& e = dynamic_cast<const apps::IElectSplit&>(
+        std::as_const(*w).process(p));
+    if (e.leading()) ++out.leaders;
+  }
+  out.blocked_links = std::as_const(*w).network().blocked_link_count();
+  out.violation = w->has_violation();
+  out.final_digest = w->digest();
+  BinaryWriter bw;
+  fixd.the_scroll().save(bw);
+  out.scroll_bytes = bw.bytes();
+  inj.detach(*w);
+  return out;
+}
+
+TEST(FixdPipeline, PartitionHealClosesLoop) {
+  SplitBrainOutcome a = run_split_brain_pipeline();
+  const FixdReport& rep = a.rep;
+  EXPECT_TRUE(rep.completed) << rep.render();
+  EXPECT_GE(rep.faults_detected, 1u);
+  EXPECT_EQ(rep.restarts, 0u);
+  EXPECT_EQ(rep.heals_applied, 0u);  // the decoy never applied
+
+  // The ladder escalated past at least one failed rung before the
+  // recovery-line rung healed the cut.
+  ASSERT_FALSE(rep.ladder.empty()) << rep.render();
+  bool failed_rung_first = false;
+  bool line_ok = false;
+  for (const RungOutcome& ro : rep.ladder) {
+    if (ro.rung == RecoveryRung::kRecoveryLine && ro.ok) {
+      line_ok = true;
+      break;
+    }
+    if (!ro.ok) failed_rung_first = true;
+  }
+  EXPECT_TRUE(failed_rung_first) << rep.render();
+  EXPECT_TRUE(line_ok) << rep.render();
+
+  // The investigation ran from the rolled-back state with the partition
+  // model in scope.
+  ASSERT_FALSE(rep.bugs.empty());
+  EXPECT_GT(rep.bugs[0].explore.states, 0u);
+
+  // The resumed run finished clean: one leader, cut healed, no violation.
+  EXPECT_EQ(a.leaders, 1u);
+  EXPECT_EQ(a.blocked_links, 0u);
+  EXPECT_FALSE(a.violation);
+
+  // The whole loop — injection, rollback, investigation, line heal,
+  // resumption — is deterministic: a same-seed rerun reproduces the
+  // trajectory byte for byte.
+  SplitBrainOutcome b = run_split_brain_pipeline();
+  EXPECT_EQ(a.final_digest, b.final_digest);
+  EXPECT_EQ(a.scroll_bytes, b.scroll_bytes);
+  ASSERT_EQ(a.rep.ladder.size(), b.rep.ladder.size());
+  for (std::size_t i = 0; i < a.rep.ladder.size(); ++i) {
+    EXPECT_EQ(a.rep.ladder[i].rung, b.rep.ladder[i].rung) << i;
+    EXPECT_EQ(a.rep.ladder[i].ok, b.rep.ladder[i].ok) << i;
+    EXPECT_EQ(a.rep.ladder[i].detail, b.rep.ladder[i].detail) << i;
+  }
+}
+
+TEST(FixdPipeline, StaleReadUnderPartitionEscalatesToLineHeal) {
+  // A cut on the replication link leaves the backup stale; the client's
+  // monotonic-read invariant trips live. The registered v2 patch cannot
+  // apply while replication traffic is stranded on the cut (the update
+  // point is not quiescent), so the ladder escalates to the line rung,
+  // which rolls behind the onset and heals the link — after which even the
+  // v1 code completes correctly, because the staleness was the partition's.
+  auto w = apps::make_kv_partition_world(2, 1);
+  fault::FaultInjector inj;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kPartition;
+  spec.group_a = {0};
+  spec.group_b = {1};
+  spec.symmetric = false;
+  inj.add(spec);
+  inj.attach(*w);
+
+  heal::PatchRegistry patches;
+  patches.add(apps::kv_partition_fix_patch());
+
+  FixdOptions o;
+  o.install_invariants = apps::install_kv_partition_invariants;
+  o.investigate.max_states = 1500;
+  o.investigate.max_depth = 30;
+  o.line_budget = 2;
+  o.restart_on_heal_failure = false;
+  FixdController fixd(*w, o, patches);
+  FixdReport rep = fixd.run_protected();
+
+  EXPECT_TRUE(rep.completed) << rep.render();
+  EXPECT_GE(rep.faults_detected, 1u);
+  bool line_ok = false;
+  for (const RungOutcome& ro : rep.ladder) {
+    if (ro.rung == RecoveryRung::kRecoveryLine && ro.ok) line_ok = true;
+  }
+  EXPECT_TRUE(line_ok) << rep.render();
+
+  const auto& client = dynamic_cast<const apps::IKvPartClient&>(
+      std::as_const(*w).process(2));
+  EXPECT_TRUE(client.monotonic_ok());
+  EXPECT_EQ(client.reads_done(), apps::KvPartitionConfig{}.reads);
+  EXPECT_EQ(client.last_seen(), apps::KvPartitionConfig{}.writes);
+  EXPECT_EQ(std::as_const(*w).network().blocked_link_count(), 0u);
+  EXPECT_FALSE(w->has_violation());
+  inj.detach(*w);
 }
 
 TEST(FixdPipeline, PhaseTimingsArePopulated) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "apps/elect_split.hpp"
 #include "apps/kv_lag.hpp"
 #include "apps/rep_counter.hpp"
 #include "apps/token_ring.hpp"
@@ -398,6 +399,243 @@ TEST(FaultInjector, InjectionSequenceDeterministicAcrossTimeMachineRollback) {
   EXPECT_EQ(dig_a, w->digest());
 
   tm.detach();
+}
+
+// --- partition / crash-restart families --------------------------------------
+
+TEST(FaultInjector, PartitionDefersTrafficAndHeals) {
+  // Asymmetric leader→follower cut with a seeded heal: beats are deferred
+  // (never lost) while the cut holds, then flow again — under v2's quorum
+  // rule nobody split-brains and the links end the run open.
+  auto w = apps::make_elect_split_world(3, 2);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kPartition;
+  spec.group_a = {0};
+  spec.group_b = {2};
+  spec.symmetric = false;
+  spec.heal_min = 12;
+  spec.heal_max = 12;
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(2000);
+  ASSERT_EQ(inj.fired_count(), 2u);  // the cut, then the heal
+  EXPECT_EQ(inj.injected()[0].kind, FaultKind::kPartition);
+  EXPECT_NE(inj.injected()[1].note.find("(heal)"), std::string::npos);
+  EXPECT_EQ(w->network().blocked_link_count(), 0u);
+  // Deferred, not dropped: a partition must never silently lose traffic.
+  EXPECT_EQ(w->network().stats().dropped_forced, 0u);
+  EXPECT_FALSE(w->has_violation());
+}
+
+TEST(FaultInjector, AsymmetricPartitionSplitBrainsV1Live) {
+  // The elect_split bug exhibited live: the unhealed cut starves exactly
+  // one watchdog while the old leader keeps running — two leaders.
+  auto w = apps::make_elect_split_world(3, 1);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kPartition;
+  spec.group_a = {0};
+  spec.group_b = {2};
+  spec.symmetric = false;
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(2000);
+  ASSERT_EQ(inj.fired_count(), 1u);
+  ASSERT_TRUE(w->has_violation());
+  EXPECT_EQ(w->violations().front().invariant, "elect-split/single-leader");
+  EXPECT_EQ(w->network().stats().dropped_forced, 0u);
+  const auto& leader =
+      dynamic_cast<const apps::IElectSplit&>(std::as_const(*w).process(0));
+  const auto& victim =
+      dynamic_cast<const apps::IElectSplit&>(std::as_const(*w).process(2));
+  EXPECT_TRUE(leader.leading());
+  EXPECT_TRUE(victim.leading());
+}
+
+TEST(FaultInjector, CrashRestartDurableResumesWithCrashTimeState) {
+  // Crash the backup, restart it after a seeded delay: deliveries queued
+  // while it was down stay pending and land after the restart, so the op
+  // is still applied and the primary's retransmit loop converges.
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 1;
+  cfg.retransmit_timeout = 8;
+  auto w = apps::make_kv_lag_world(2, cfg);
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrashRestart;
+  spec.target = 1;
+  spec.at_step = 2;
+  spec.restart_min = 25;
+  spec.restart_max = 25;
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(3000);
+  ASSERT_EQ(inj.fired_count(), 2u);  // the crash, then the restart
+  EXPECT_EQ(inj.injected()[0].target, 1u);
+  EXPECT_NE(inj.injected()[1].note.find("(restart)"), std::string::npos);
+  EXPECT_FALSE(w->is_crashed(1));
+  const auto& backup =
+      dynamic_cast<const apps::ILagReplica&>(std::as_const(*w).process(1));
+  EXPECT_GE(backup.ops_applied(), 1u);
+}
+
+TEST(FaultInjector, ReplayPurityDeclarations) {
+  // Every built-in kind is pure (seeded RNGs are armed state); amnesiac
+  // restarts depend on when the armed-time capture was taken and must
+  // disable the declaration.
+  FaultInjector inj;
+  FaultSpec part;
+  part.kind = FaultKind::kPartition;
+  part.group_a = {0};
+  part.group_b = {1};
+  inj.add(part);
+  FaultSpec durable;
+  durable.kind = FaultKind::kCrashRestart;
+  durable.target = 1;
+  inj.add(durable);
+  EXPECT_TRUE(inj.replay_pure());
+
+  FaultInjector amnesiac_inj;
+  FaultSpec amnesiac = durable;
+  amnesiac.amnesiac = true;
+  amnesiac_inj.add(amnesiac);
+  EXPECT_FALSE(amnesiac_inj.replay_pure());
+
+  FaultInjector custom_inj;
+  FaultSpec cust;
+  cust.kind = FaultKind::kCustom;
+  cust.custom = [](rt::World&) {};
+  custom_inj.add(cust);
+  EXPECT_FALSE(custom_inj.replay_pure());
+}
+
+namespace {
+// kv_lag's retransmit timers keep events flowing while links are cut or a
+// process is down, so the seeded heal and restart deadlines always get
+// processed — the schedule exercises the full cut→heal / crash→restart arc.
+// The cut isolates a backup mid-replication (stranding its acks keeps the
+// primary retransmitting); the crash takes down the other backup.
+void add_partition_restart_schedule(FaultInjector& inj) {
+  FaultSpec part;
+  part.kind = FaultKind::kPartition;
+  part.group_a = {0};
+  part.group_b = {2};
+  part.symmetric = true;
+  part.at_step = 4;
+  part.heal_min = 5;
+  part.heal_max = 15;  // seeded draw
+  part.seed = 33;
+  inj.add(part);
+  FaultSpec restart;
+  restart.kind = FaultKind::kCrashRestart;
+  restart.target = 1;
+  restart.at_step = 8;
+  restart.restart_min = 10;
+  restart.restart_max = 20;  // seeded draw
+  restart.seed = 44;
+  inj.add(restart);
+}
+
+std::unique_ptr<rt::World> make_partition_restart_world() {
+  apps::KvLagConfig cfg;
+  cfg.total_ops = 4;
+  return apps::make_kv_lag_world(3, cfg);
+}
+}  // namespace
+
+TEST(FaultInjector, PartitionRestartDeterministicAcrossSnapshotRestore) {
+  // The new fault families replayed across snapshot/restore must reproduce
+  // the identical InjectionEvent sequence and world digest — the property
+  // the whole detect→report→recover loop leans on. (restore() deliberately
+  // keeps recorded violations — the controller owns clearing them — so the
+  // replay clears them by hand.)
+  auto w = make_partition_restart_world();
+  FaultInjector inj;
+  add_partition_restart_schedule(inj);
+  inj.attach(*w);
+  w->run(8);  // move mid-run before capturing
+  rt::WorldSnapshot snap = w->snapshot();
+
+  inj.reset();
+  w->run(400);
+  auto seq_a = injection_keys(inj);
+  std::uint64_t dig_a = w->digest();
+
+  w->restore(snap);
+  w->clear_violations();
+  inj.reset();
+  w->run(400);
+  auto seq_b = injection_keys(inj);
+
+  EXPECT_GE(seq_a.size(), 2u);  // at least the cut and the crash
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(dig_a, w->digest());
+}
+
+TEST(FaultInjector, PartitionRestartDeterministicAcrossTimeMachineRollback) {
+  // Same property through a Time Machine rollback of a partition+restart
+  // schedule: the re-armed replay from the recovery line is bit-identical.
+  auto w = make_partition_restart_world();
+  ckpt::TimeMachineOptions topts;
+  topts.cic = true;
+  ckpt::TimeMachine tm(*w, topts);
+  tm.attach();
+  FaultInjector inj;
+  add_partition_restart_schedule(inj);
+  inj.attach(*w);
+  w->run(30);
+
+  const auto& entries = tm.store(0).entries();
+  ASSERT_GE(entries.size(), 2u);
+  tm.rollback_to(0, entries.size() / 2);
+  w->clear_violations();
+  rt::WorldSnapshot snap = w->snapshot();
+
+  inj.reset();
+  w->run(400);
+  auto seq_a = injection_keys(inj);
+  std::uint64_t dig_a = w->digest();
+
+  w->restore(snap);
+  w->clear_violations();
+  inj.reset();
+  w->run(400);
+  auto seq_b = injection_keys(inj);
+
+  EXPECT_FALSE(seq_a.empty());
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(dig_a, w->digest());
+
+  tm.detach();
+}
+
+TEST(FaultInjector, ResetRearmsPartitionAndRestartWindows) {
+  // reset() must clear the partition/restart windows exactly like the PR 6
+  // re-arming contract: a replay from the initial state re-fires the cut
+  // at the same step with the same seeded heal time.
+  auto w = apps::make_elect_split_world(3, 2);
+  rt::WorldSnapshot initial = w->snapshot();
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.kind = FaultKind::kPartition;
+  spec.group_a = {0};
+  spec.group_b = {2};
+  spec.heal_min = 6;
+  spec.heal_max = 18;  // seeded draw
+  inj.add(spec);
+  inj.attach(*w);
+  w->run(2000);
+  ASSERT_EQ(inj.fired_count(), 2u);
+  InjectionEvent cut = inj.injected()[0];
+  InjectionEvent heal = inj.injected()[1];
+
+  w->restore(initial);
+  inj.reset();
+  w->run(2000);
+  ASSERT_EQ(inj.fired_count(), 2u);
+  EXPECT_EQ(inj.injected()[0].step, cut.step);
+  EXPECT_EQ(inj.injected()[1].step, heal.step);
 }
 
 TEST(FaultInjector, TokenLossRecoveredByV2Probe) {

@@ -41,6 +41,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -165,6 +166,239 @@ class StripedVisitedSet {
     // Stripe selection re-mixes so a biased low byte cannot serialize the
     // stripes; the in-stripe table probes on the raw digest, so the two
     // index streams stay independent.
+    return static_cast<std::size_t>(mix64(h)) & mask_;
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_ = 0;
+};
+
+/// The visited set for sleep_sets + dedup searches: digest -> the sorted
+/// sleep-key signature the state was (last) expanded with. Sleep sets and
+/// digest dedup are individually sound but unsound composed naively: the
+/// first path to reach a state explores only the children outside *its*
+/// sleep set, and a later path arriving with a different sleep set would
+/// be pruned as a duplicate even though it still owes the children that
+/// are outside its own sleep set but inside the stored one. `visit`
+/// decides atomically (one stripe lock covers membership and signature):
+///
+///   - absent            -> kNew: first arrival, signature stored.
+///   - arriving ⊇ stored -> kPrune: everything the arrival would explore
+///                          (complement of its sleep set) was already
+///                          explored (complement of the stored one).
+///   - otherwise         -> kReexpand: the caller re-expands the state
+///                          with stored ∩ arriving (written back to both
+///                          `keys` and the table). The stored signature
+///                          shrinks strictly on every re-expansion, so the
+///                          process terminates.
+///
+/// The single lock per operation is what makes the parallel path safe: a
+/// plain visited-set insert followed by a separate signature lookup would
+/// let a second worker observe "duplicate" before the first worker had
+/// stored its signature, and prune unsoundly.
+class StripedSleepVisited {
+ public:
+  enum class Verdict { kNew, kPrune, kReexpand };
+
+  explicit StripedSleepVisited(std::size_t stripes = 64) {
+    std::size_t n = 1;
+    while (n < stripes) n <<= 1;
+    stripes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+    mask_ = n - 1;
+  }
+
+  /// `keys` is the arriving node's sorted sleep-key signature; on
+  /// kReexpand it is replaced by the intersection to expand with. When
+  /// `released` is non-null, kReexpand also reports the keys the stored
+  /// signature slept but the intersection no longer does — the actions the
+  /// earlier expansion skipped on a coverage claim the new arrival path
+  /// cannot make. A POR search must re-seed exactly those (via pending
+  /// requests); without POR the re-expansion runs them naturally because
+  /// the child's smaller sleep set no longer skips them.
+  Verdict visit(std::uint64_t digest, std::vector<std::uint64_t>& keys,
+                std::vector<std::uint64_t>* released = nullptr) {
+    Stripe& s = *stripes_[stripe_of(digest)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(digest);
+    if (it == s.map.end()) {
+      s.map.emplace(digest, keys);
+      return Verdict::kNew;
+    }
+    const std::vector<std::uint64_t>& stored = it->second;
+    if (std::includes(keys.begin(), keys.end(), stored.begin(),
+                      stored.end())) {
+      return Verdict::kPrune;
+    }
+    std::vector<std::uint64_t> inter;
+    std::set_intersection(stored.begin(), stored.end(), keys.begin(),
+                          keys.end(), std::back_inserter(inter));
+    if (released != nullptr) {
+      released->clear();
+      std::set_difference(stored.begin(), stored.end(), inter.begin(),
+                          inter.end(), std::back_inserter(*released));
+    }
+    it->second = inter;
+    keys = std::move(inter);
+    return Verdict::kReexpand;
+  }
+
+  std::uint64_t bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      n += sizeof(Stripe);
+      for (const auto& [d, keys] : s->map) {
+        n += sizeof(d) + sizeof(keys) + keys.capacity() * sizeof(keys[0]);
+      }
+    }
+    return n;
+  }
+
+  /// Sorted digests (the collect_visited hook; call with workers joined).
+  std::vector<std::uint64_t> sorted_contents() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& s : stripes_) {
+      std::lock_guard<std::mutex> lk(s->mu);
+      for (const auto& [d, keys] : s->map) out.push_back(d);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> map;
+  };
+
+  std::size_t stripe_of(std::uint64_t h) const {
+    return static_cast<std::size_t>(mix64(h)) & mask_;
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_ = 0;
+};
+
+/// Per-state expansion records for dynamic POR: digest -> {the enabled
+/// action keys at that state, the keys already run from it, the keys
+/// requested by race detection but not yet run}. One stripe lock covers
+/// every transition of a record, so the sequential explorer and all
+/// parallel workers share the same code path. The lifecycle:
+///
+///   begin_expand  -> called when a node materializing the state is
+///                    expanded; registers the enabled set on first
+///                    expansion and drains the pending requests.
+///   commit_done   -> marks the keys the expansion selected to run
+///                    (called at selection time, before execution, so a
+///                    concurrent race request cannot double-push).
+///   request       -> race detection asks the state to also run `key`.
+///                    kRegistered means the caller must push a backtrack
+///                    node re-materializing the state; kCovered means it
+///                    is already done/pending; kNotEnabled tells the race
+///                    walk to keep looking for an older ancestor (the
+///                    action did not exist there yet — it is causally
+///                    downstream of that prefix).
+class StripedPorRecords {
+ public:
+  enum class Request { kRegistered, kCovered, kNotEnabled, kNoRecord };
+
+  explicit StripedPorRecords(std::size_t stripes = 64) {
+    std::size_t n = 1;
+    while (n < stripes) n <<= 1;
+    stripes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+    mask_ = n - 1;
+  }
+
+  /// `enabled_sorted` is the state's full enabled key set (deterministic
+  /// per digest, so every expansion presents the same set). Drains pending
+  /// requests into `take`; `first` reports whether this is the state's
+  /// first expansion.
+  void begin_expand(std::uint64_t digest,
+                    const std::vector<std::uint64_t>& enabled_sorted,
+                    std::vector<std::uint64_t>& take, bool& first) {
+    Stripe& s = *stripes_[stripe_of(digest)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    Record& r = s.map[digest];
+    first = !r.expanded;
+    if (first) {
+      r.enabled = enabled_sorted;
+      r.expanded = true;
+    }
+    take = std::move(r.pending);
+    r.pending.clear();
+  }
+
+  /// Record the selected keys as run (sorted-unique merge).
+  void commit_done(std::uint64_t digest,
+                   const std::vector<std::uint64_t>& keys) {
+    Stripe& s = *stripes_[stripe_of(digest)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    Record& r = s.map[digest];
+    std::vector<std::uint64_t> merged;
+    merged.reserve(r.done.size() + keys.size());
+    std::vector<std::uint64_t> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    std::set_union(r.done.begin(), r.done.end(), sorted.begin(),
+                   sorted.end(), std::back_inserter(merged));
+    r.done = std::move(merged);
+  }
+
+  /// Force `key` onto the state's work list regardless of expansion
+  /// status. Used when a sleep-set re-expansion releases keys the stored
+  /// expansion skipped: unlike request(), the state may not have a record
+  /// yet (its first frontier node can still be queued), so this creates
+  /// one in the unexpanded state and the eventual begin_expand drains it.
+  /// No-op if the key is already done or pending.
+  void seed_pending(std::uint64_t digest, std::uint64_t key) {
+    Stripe& s = *stripes_[stripe_of(digest)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    Record& r = s.map[digest];
+    if (std::binary_search(r.done.begin(), r.done.end(), key) ||
+        std::find(r.pending.begin(), r.pending.end(), key) !=
+            r.pending.end()) {
+      return;
+    }
+    r.pending.push_back(key);
+  }
+
+  Request request(std::uint64_t digest, std::uint64_t key) {
+    Stripe& s = *stripes_[stripe_of(digest)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.map.find(digest);
+    if (it == s.map.end() || !it->second.expanded) return Request::kNoRecord;
+    Record& r = it->second;
+    if (!std::binary_search(r.enabled.begin(), r.enabled.end(), key)) {
+      return Request::kNotEnabled;
+    }
+    if (std::binary_search(r.done.begin(), r.done.end(), key) ||
+        std::find(r.pending.begin(), r.pending.end(), key) !=
+            r.pending.end()) {
+      return Request::kCovered;
+    }
+    r.pending.push_back(key);
+    return Request::kRegistered;
+  }
+
+ private:
+  struct Record {
+    std::vector<std::uint64_t> enabled;  // sorted
+    std::vector<std::uint64_t> done;     // sorted
+    std::vector<std::uint64_t> pending;  // unsorted, small
+    bool expanded = false;
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Record> map;
+  };
+
+  std::size_t stripe_of(std::uint64_t h) const {
     return static_cast<std::size_t>(mix64(h)) & mask_;
   }
 

@@ -74,6 +74,15 @@ struct ExploreStats {
   /// steal, or a priority-shard pop routed to a better-looking victim;
   /// parallel SystemExplorer only; load-balance observability).
   std::uint64_t steals = 0;
+  /// Sleep+dedup soundness repairs: duplicate states re-expanded because
+  /// they were re-reached with a sleep set that was not a superset of the
+  /// stored one (SystemExplorer, sleep_sets && dedup only).
+  std::uint64_t sleep_reexpansions = 0;
+  /// Dynamic POR: enabled actions deferred at expansion (not part of the
+  /// chosen source set) and backtrack nodes pushed by race detection
+  /// (SystemExplorer, por only).
+  std::uint64_t por_deferred = 0;
+  std::uint64_t por_backtracks = 0;
 
   /// Exploration throughput (the Investigator's headline number).
   double states_per_sec() const {

@@ -160,8 +160,22 @@ class SystemExplorer::FrontierMeter {
 /// expanded — it is incremented *before* a child is pushed and decremented
 /// *after* its expansion finishes, so an idle worker observing active == 0
 /// knows the search is complete (no node can reappear).
+/// POR bookkeeping for one search: shared expansion records plus the root
+/// anchor every backtrack node re-materializes from (root snapshot +
+/// deterministic replay of the path prefix — the same machinery trail
+/// frontiers use, which is why backtracking works identically in snapshot
+/// and trail modes and across workers).
+struct SystemExplorer::PorState {
+  StripedPorRecords recs;
+  std::shared_ptr<const rt::WorldSnapshot> root;
+};
+
 struct SystemExplorer::Shared {
   StripedVisitedSet visited;
+  /// Sleep-signature-aware visited set, used instead of `visited` when
+  /// sleep_sets && dedup (the signature decides prune vs re-expand).
+  StripedSleepVisited sleepvis;
+  PorState por;
   std::atomic<std::uint64_t> states{0};
   std::atomic<std::uint64_t> violation_count{0};
   std::atomic<std::size_t> active{0};
@@ -392,31 +406,88 @@ void SystemExplorer::apply_action(rt::World& w, const SysAction& a) {
   }
 }
 
-std::uint32_t SystemExplorer::fingerprint(const SysAction& a) {
+namespace {
+
+/// Nonzero token for a specific (pid, timer) pair. A hash collision only
+/// makes two distinct timers look dependent — conservative, never wrong.
+std::uint64_t timer_token(ProcessId pid, TimerId timer) {
+  return hash_combine(static_cast<std::uint64_t>(pid) + 1, timer) | 1;
+}
+
+}  // namespace
+
+ActionFootprint SystemExplorer::footprint(const rt::World& w,
+                                          const SysAction& a) {
+  ActionFootprint f;
+  // Resolve a message id against the live network: the message's channel
+  // is part of the footprint because channels are FIFO — two actions on
+  // the same directed link are order-sensitive even when they touch
+  // different messages (dropping the head changes what is deliverable).
+  auto channel_of = [&](MsgId id) {
+    const net::Message* m = w.network().peek(id);
+    if (m != nullptr) {
+      f.link_src = m->src;
+      f.link_dst = m->dst;
+    } else {
+      // Unknown message (stale enumeration — should not happen): collide
+      // with every process rather than silently commute.
+      f.procs = ~std::uint64_t{0};
+    }
+    f.msg = id;
+  };
   switch (a.kind) {
     case SysAction::Kind::kRuntime:
-      return a.event.pid;
+      f.procs = ActionFootprint::proc_bit(a.event.pid);
+      if (a.event.kind == rt::EventKind::kDeliver) {
+        // The delivery consumes a specific message from a specific
+        // channel; the handler's own mutations stay inside procs (sends
+        // only append, and race detection covers the conflicts they
+        // create downstream).
+        f.msg = a.event.msg;
+        const net::Message* m = w.network().peek(a.event.msg);
+        if (m != nullptr) {
+          f.link_src = m->src;
+          f.link_dst = m->dst;
+        } else {
+          f.procs = ~std::uint64_t{0};
+        }
+      } else if (a.event.kind == rt::EventKind::kTimer) {
+        f.timer = timer_token(a.event.pid, a.event.timer);
+      }
+      break;
     case SysAction::Kind::kCancelTimer:
       // Touches only the timer's owning process, like the timer event.
-      return a.event.pid;
+      f.procs = ActionFootprint::proc_bit(a.event.pid);
+      f.timer = timer_token(a.event.pid, a.event.timer);
+      break;
     case SysAction::Kind::kRestartProcess:
-      // Touches only the restarted process.
-      return a.event.pid;
-    case SysAction::Kind::kPartitionLinks:
-    case SysAction::Kind::kHealLinks:
-      // A link cut/heal gates enabledness for the destination but also
-      // races with every action that can add traffic to the link;
-      // conservative whole-network fingerprint, like the message models.
+      // Touches only the restarted process (its local state and every
+      // delivery/timer the crash was masking — those carry the same pid).
+      f.procs = ActionFootprint::proc_bit(a.event.pid);
+      break;
     case SysAction::Kind::kDropMessage:
     case SysAction::Kind::kDupMessage:
     case SysAction::Kind::kDelayMessage:
-      // Touches the channel toward the message's destination; we cannot
-      // cheaply know dst here, so callers pass the world-resolved value via
-      // action construction order. Conservative: treat as touching the
-      // whole network => dependent with everything (fingerprint collision).
-      return 0xffffffffu;
+      channel_of(a.msg);
+      break;
+    case SysAction::Kind::kPartitionLinks:
+    case SysAction::Kind::kHealLinks:
+      // A cut/heal gates enabledness for everything on its directed link
+      // (delivery, drop, dup, delay — all carry the link), and both move
+      // the global blocked-link count that bounds further cut enumeration
+      // (max_cut_links), so any two cut/heal actions are mutually
+      // dependent via the budget. The old scalar fingerprint collapsed
+      // these to one value that `fa != fb` then declared independent of
+      // every delivery — the inverse of the intended conservatism. The
+      // destination's *local state* is untouched (a cut defers traffic,
+      // never loses it), so procs stays empty: a cut commutes with
+      // deliveries on other links even toward the same process.
+      f.link_src = a.src;
+      f.link_dst = a.dst;
+      f.cut_budget = true;
+      break;
   }
-  return 0xffffffffu;
+  return f;
 }
 
 std::uint64_t SystemExplorer::action_key(const SysAction& a) {
@@ -431,6 +502,154 @@ std::uint64_t SystemExplorer::action_key(const SysAction& a) {
   h.update_u64(a.src);
   h.update_u64(a.dst);
   return h.digest();
+}
+
+bool SystemExplorer::is_slept(const Node& cur, std::uint64_t key) {
+  if (!cur.sleep) return false;
+  for (const SleepEntry& e : *cur.sleep) {
+    if (e.key == key) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<std::vector<SystemExplorer::SleepEntry>>
+SystemExplorer::child_sleep(const Node& cur,
+                            const std::vector<SysAction>& actions,
+                            const std::vector<ActionFootprint>& fps,
+                            const std::vector<std::uint64_t>& keys,
+                            const std::vector<std::size_t>& run,
+                            std::size_t pos) {
+  (void)actions;
+  const ActionFootprint& afp = fps[run[pos]];
+  std::vector<SleepEntry> sleep;
+  // Inherit the parent's surviving entries: a slept action stays covered
+  // only while the branch taken commutes with it.
+  if (cur.sleep) {
+    for (const SleepEntry& e : *cur.sleep) {
+      if (independent(e.fp, afp)) sleep.push_back(e);
+    }
+  }
+  // Earlier branches of this expansion: their subtrees cover the child's
+  // reorderings of any action that commutes with the branch taken.
+  for (std::size_t p = 0; p < pos; ++p) {
+    const std::size_t j = run[p];
+    if (independent(fps[j], afp)) sleep.push_back({keys[j], fps[j]});
+  }
+  if (sleep.empty()) return nullptr;
+  return std::make_unique<std::vector<SleepEntry>>(std::move(sleep));
+}
+
+std::vector<std::size_t> SystemExplorer::source_closure(
+    const std::vector<ActionFootprint>& fps,
+    const std::vector<std::size_t>& seeds) {
+  std::vector<char> in(fps.size(), 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t s : seeds) {
+    if (s < fps.size() && !in[s]) {
+      in[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  // Dependency closure: within one class, actions can disable each other
+  // (dropping the message a delivery would consume, a cut blocking its
+  // link, a delivery cancelling a same-process timer), so partial
+  // exploration of a class is not sound — the source set takes whole
+  // classes, and only disjoint classes are deferred.
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    for (std::size_t j = 0; j < fps.size(); ++j) {
+      if (!in[j] && !independent(fps[i], fps[j])) {
+        in[j] = 1;
+        stack.push_back(j);
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    if (in[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SystemExplorer::por_select(
+    PorState& ps, std::uint64_t digest,
+    const std::vector<SysAction>& actions,
+    const std::vector<ActionFootprint>& fps,
+    const std::vector<std::uint64_t>& keys, const Node& cur,
+    ExploreStats& stats) const {
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> take;
+  bool first = false;
+  ps.recs.begin_expand(digest, sorted, take, first);
+
+  std::vector<std::size_t> seeds;
+  for (std::uint64_t k : take) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == k) {
+        seeds.push_back(i);
+        break;
+      }
+    }
+  }
+  if (first) {
+    // Seed the first non-slept action; an all-slept state owes nothing
+    // (every branch is covered by an earlier sibling).
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (!is_slept(cur, keys[i])) {
+        seeds.push_back(i);
+        break;
+      }
+    }
+  }
+  if (seeds.empty()) return {};
+  std::vector<std::size_t> sel = source_closure(fps, seeds);
+  stats.por_deferred += actions.size() - sel.size();
+  // Mark the selection done *before* executing it, so a race request
+  // arriving concurrently sees these keys covered instead of pushing a
+  // redundant backtrack node.
+  std::vector<std::uint64_t> sel_keys;
+  sel_keys.reserve(sel.size());
+  for (std::size_t i : sel) {
+    if (!is_slept(cur, keys[i])) sel_keys.push_back(keys[i]);
+  }
+  ps.recs.commit_done(digest, sel_keys);
+  return sel;
+}
+
+void SystemExplorer::por_race_detect(PorState& ps, const Node& cur,
+                                     const ActionFootprint& fa,
+                                     std::uint64_t akey,
+                                     std::vector<Node>& backtracks,
+                                     ExploreStats& stats) const {
+  const PathNode* e = cur.path;
+  std::uint32_t d = cur.depth;
+  while (e != nullptr && d > 0) {
+    --d;  // depth of e's pre-state
+    if (!independent(fa, e->fp)) {
+      const auto req = ps.recs.request(e->pre_digest, akey);
+      if (req == StripedPorRecords::Request::kRegistered) {
+        // Reverse the race: re-expand e's pre-state running `akey` there.
+        // The node re-materializes from the root anchor by replaying the
+        // path prefix, so it is valid in both frontier modes.
+        Node b;
+        b.state = ps.root;
+        b.path = e->parent;
+        b.replay_len = d;
+        b.depth = d;
+        backtracks.push_back(std::move(b));
+        ++stats.por_backtracks;
+        return;
+      }
+      if (req != StripedPorRecords::Request::kNotEnabled) return;
+      // kNotEnabled: the action did not exist at this ancestor (its
+      // message/timer is causally downstream of this prefix, or its link
+      // was blocked) — the reversal may still be possible at an older
+      // state, so keep walking.
+    }
+    e = e->parent;
+  }
 }
 
 Trail SystemExplorer::trail_of(const PathNode* path) {
@@ -472,6 +691,13 @@ bool SystemExplorer::probe_root(SysExploreResult& res) {
 SysExploreResult SystemExplorer::graph_search() {
   SysExploreResult res;
   CompactDigestSet visited;
+  // Sleep+dedup needs the visited set to remember the sleep signature a
+  // state was expanded with (see StripedSleepVisited); the plain digest
+  // set stays for every other configuration.
+  const bool use_sleepvis = opts_.sleep_sets && opts_.dedup;
+  StripedSleepVisited sleepvis;
+  PorState por;
+  std::vector<Node> backtracks;
   std::deque<PathNode> arena;  // reachability-graph edges, freed at return
 
   // kPriority frontier: a plain binary heap of (priority, Node) so pops
@@ -499,24 +725,49 @@ SysExploreResult SystemExplorer::graph_search() {
         scratch_->snapshot(/*cow=*/true));
     res.stats.snapshot_ms += ms_since(t0);
   }
-  if (opts_.dedup) visited.insert(timed_mc_digest(*scratch_, res.stats, opts_.abstract_time));
+  if (opts_.dedup) {
+    const std::uint64_t h =
+        timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+    if (use_sleepvis) {
+      std::vector<std::uint64_t> none;  // the root has no sleep set
+      sleepvis.visit(h, none);
+    } else {
+      visited.insert(h);
+    }
+  }
+  if (opts_.por) por.root = root.state;
 
-  meter.push(root);
-  if (opts_.order == SearchOrder::kPriority) {
-    double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
-    pq.push_back({pri, std::move(root)});
-    std::push_heap(pq.begin(), pq.end(), heap_less);
-  } else {
-    fifo.push_back(std::move(root));
+  auto push_frontier = [&](Node&& nd, double pri) {
+    meter.push(nd);
+    if (opts_.order == SearchOrder::kPriority) {
+      pq.push_back({pri, std::move(nd)});
+      std::push_heap(pq.begin(), pq.end(), heap_less);
+    } else {
+      fifo.push_back(std::move(nd));
+    }
+  };
+
+  {
+    double pri = opts_.order == SearchOrder::kPriority && opts_.priority
+                     ? opts_.priority(*scratch_)
+                     : 0.0;
+    push_frontier(std::move(root), pri);
   }
 
   auto finish = [&]() {
     res.stats.peak_frontier_bytes = meter.peak();
-    if (opts_.dedup) res.stats.visited_bytes = visited.bytes();
+    if (opts_.dedup) {
+      res.stats.visited_bytes =
+          use_sleepvis ? sleepvis.bytes() : visited.bytes();
+    }
     if (opts_.collect_visited) {
-      visited.for_each(
-          [&](std::uint64_t v) { res.visited.push_back(v); });
-      std::sort(res.visited.begin(), res.visited.end());
+      if (use_sleepvis) {
+        res.visited = sleepvis.sorted_contents();
+      } else {
+        visited.for_each(
+            [&](std::uint64_t v) { res.visited.push_back(v); });
+        std::sort(res.visited.begin(), res.visited.end());
+      }
     }
   };
 
@@ -551,8 +802,12 @@ SysExploreResult SystemExplorer::graph_search() {
     // once and re-anchor cur on it — every child then hangs one action
     // off this shared anchor (one anchor per expanded node, not per
     // child), and the per-action materialize calls below replay nothing.
-    if (opts_.trail_frontier &&
-        cur.replay_len + 1 >= opts_.anchor_interval && !actions.empty()) {
+    // Snapshot mode re-anchors whenever replay_len > 0: the only such
+    // nodes are POR backtracks (root anchor + full-path replay), and one
+    // snapshot here beats replaying the prefix once per child.
+    if (!actions.empty() &&
+        (opts_.trail_frontier ? cur.replay_len + 1 >= opts_.anchor_interval
+                              : cur.replay_len > 0)) {
       auto t0 = SteadyClock::now();
       cur.state = std::make_shared<const rt::WorldSnapshot>(
           scratch_->snapshot(/*cow=*/true));
@@ -560,28 +815,47 @@ SysExploreResult SystemExplorer::graph_search() {
       res.stats.snapshot_ms += ms_since(t0);
     }
 
-    for (std::size_t i = 0; i < actions.size(); ++i) {
-      const SysAction& a = actions[i];
-      const std::uint64_t akey = action_key(a);
-      const std::uint32_t afp = fingerprint(a);
+    // Keys and footprints are computed against the pre-state (footprints
+    // peek queued messages to resolve channels), before any action runs.
+    const std::size_t n_act = actions.size();
+    std::vector<std::uint64_t> keys(n_act);
+    std::vector<ActionFootprint> fps(n_act);
+    for (std::size_t i = 0; i < n_act; ++i) {
+      keys[i] = action_key(actions[i]);
+      fps[i] = footprint(*scratch_, actions[i]);
+    }
 
-      if (opts_.sleep_sets && cur.sleep) {
-        bool slept = false;
-        for (const SleepEntry& e : *cur.sleep) {
-          if (e.key == akey) {
-            slept = true;
-            break;
-          }
-        }
-        if (slept) continue;
-      }
+    std::uint64_t cur_digest = 0;
+    std::vector<std::size_t> run;
+    if (opts_.por && n_act > 0) {
+      cur_digest =
+          timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+      run = por_select(por, cur_digest, actions, fps, keys, cur, res.stats);
+    } else {
+      run.resize(n_act);
+      for (std::size_t i = 0; i < n_act; ++i) run[i] = i;
+    }
+
+    for (std::size_t pos = 0; pos < run.size(); ++pos) {
+      const std::size_t i = run[pos];
+      const SysAction& a = actions[i];
+      const std::uint64_t akey = keys[i];
+      const ActionFootprint& afp = fps[i];
+
+      if (opts_.sleep_sets && is_slept(cur, akey)) continue;
 
       materialize(*scratch_, cur, res.stats);
       scratch_->clear_violations();
       apply_action(*scratch_, a);
       ++res.stats.transitions;
 
-      arena.push_back({cur.path, a});
+      if (opts_.por) {
+        por_race_detect(por, cur, afp, akey, backtracks, res.stats);
+        for (Node& b : backtracks) push_frontier(std::move(b), 0.0);
+        backtracks.clear();
+      }
+
+      arena.push_back({cur.path, a, afp, cur_digest});
       const PathNode* path = &arena.back();
       std::size_t depth = cur.depth + 1;
 
@@ -595,21 +869,67 @@ SysExploreResult SystemExplorer::graph_search() {
         }
       }
 
+      auto sleep = opts_.sleep_sets
+                       ? child_sleep(cur, actions, fps, keys, run, pos)
+                       : nullptr;
+
+      bool reexpand_child = false;
       if (opts_.dedup) {
-        std::uint64_t h = timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
-        if (!visited.insert(h)) {
+        std::uint64_t h =
+            timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+        if (use_sleepvis) {
+          std::vector<std::uint64_t> skeys;
+          if (sleep) {
+            skeys.reserve(sleep->size());
+            for (const SleepEntry& e : *sleep) skeys.push_back(e.key);
+            std::sort(skeys.begin(), skeys.end());
+          }
+          std::vector<std::uint64_t> released;
+          const auto verdict =
+              sleepvis.visit(h, skeys, opts_.por ? &released : nullptr);
+          if (verdict == StripedSleepVisited::Verdict::kPrune) {
+            ++res.stats.duplicates;
+            arena.pop_back();  // never published; nothing references it
+            continue;
+          }
+          if (verdict == StripedSleepVisited::Verdict::kReexpand) {
+            // Duplicate state, but the stored expansion ran with a sleep
+            // set that is not a subset of this arrival's — its coverage
+            // claim does not hold for this path. Re-expand with the
+            // intersection; no fresh state is counted.
+            ++res.stats.duplicates;
+            ++res.stats.sleep_reexpansions;
+            reexpand_child = true;
+            if (sleep) {
+              sleep->erase(
+                  std::remove_if(sleep->begin(), sleep->end(),
+                                 [&](const SleepEntry& e) {
+                                   return !std::binary_search(
+                                       skeys.begin(), skeys.end(), e.key);
+                                 }),
+                  sleep->end());
+              if (sleep->empty()) sleep.reset();
+            }
+            // POR selection at the re-expanded node seeds from pending —
+            // force the released keys onto its work list, or the
+            // re-expansion would find nothing to run.
+            for (std::uint64_t k : released) por.recs.seed_pending(h, k);
+          }
+        } else if (!visited.insert(h)) {
           ++res.stats.duplicates;
           arena.pop_back();  // never published; nothing references it
           continue;
         }
       }
-      ++res.stats.states;
-      res.stats.max_depth =
-          std::max<std::uint64_t>(res.stats.max_depth, depth);
-      if (res.stats.states >= opts_.max_states) {
-        res.stats.truncated = true;
-        finish();
-        return res;
+      if (!reexpand_child) {
+        ++res.stats.states;
+        res.stats.max_depth =
+            std::max<std::uint64_t>(res.stats.max_depth, depth);
+        if (res.stats.states >= opts_.max_states) {
+          res.stats.truncated = true;
+          finish();
+          return res;
+        }
       }
 
       Node child;
@@ -626,32 +946,12 @@ SysExploreResult SystemExplorer::graph_search() {
         child.state = cur.state;
         child.replay_len = cur.replay_len + 1;
       }
-      if (opts_.sleep_sets) {
-        std::vector<SleepEntry> sleep;
-        if (cur.sleep) {
-          for (const SleepEntry& e : *cur.sleep) {
-            if (independent(e.fp, afp)) sleep.push_back(e);
-          }
-        }
-        for (std::size_t j = 0; j < i; ++j) {
-          std::uint32_t fpj = fingerprint(actions[j]);
-          if (independent(fpj, afp)) {
-            sleep.push_back({action_key(actions[j]), fpj});
-          }
-        }
-        if (!sleep.empty()) {
-          child.sleep =
-              std::make_unique<std::vector<SleepEntry>>(std::move(sleep));
-        }
+      child.sleep = std::move(sleep);
+      double pri = 0.0;
+      if (opts_.order == SearchOrder::kPriority && opts_.priority) {
+        pri = opts_.priority(*scratch_);
       }
-      meter.push(child);
-      if (opts_.order == SearchOrder::kPriority) {
-        double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
-        pq.push_back({pri, std::move(child)});
-        std::push_heap(pq.begin(), pq.end(), heap_less);
-      } else {
-        fifo.push_back(std::move(child));
-      }
+      push_frontier(std::move(child), pri);
     }
   }
   finish();
@@ -662,17 +962,22 @@ SysExploreResult SystemExplorer::graph_search() {
 // Parallel graph search
 // ---------------------------------------------------------------------------
 
-// expand() deliberately re-states the sequential expansion loop instead of
-// sharing its body: graph_search() is the trusted oracle the differential
-// suite (tests/test_mc_parallel.cpp) compares this code against, and a
-// shared implementation would make that comparison vacuous — a bug in the
-// common body would hit both sides identically. Any semantic change here
-// (sleep sets, re-anchoring, violation/dedup/budget order) must be
-// mirrored in graph_search(), and the differential tests enforce that the
-// two stay equivalent.
+// expand() re-states the sequential expansion loop's *control flow*
+// (re-anchoring, violation/dedup/budget order): graph_search() is the
+// trusted oracle the differential suite (tests/test_mc_parallel.cpp)
+// compares this code against, and sharing the whole body would make that
+// comparison vacuous. The *reduction semantics*, however — footprints,
+// is_slept, child_sleep inherit/extend, POR selection and race detection —
+// live in shared helpers on purpose: an independence rule that drifted
+// between the sequential and parallel paths would be an unsoundness the
+// differential could only catch by luck, so that logic has exactly one
+// definition. Any control-flow change here must be mirrored in
+// graph_search(), and the differential tests enforce the equivalence.
 void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
   rt::World& w = *me.world;
   ExploreStats& stats = me.stats;
+  const bool use_sleepvis = opts_.sleep_sets && opts_.dedup;
+  std::vector<Node> backtracks;
 
   if (cur.depth >= opts_.max_depth) {
     stats.truncated = true;
@@ -682,10 +987,12 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
   materialize(w, cur, stats);
   std::vector<SysAction> actions = enabled_actions(w);
 
-  // Trail mode re-anchoring, as in the sequential search; the fresh anchor
-  // is marked shared because any child hanging off it may be stolen.
-  if (opts_.trail_frontier &&
-      cur.replay_len + 1 >= opts_.anchor_interval && !actions.empty()) {
+  // Re-anchoring, as in the sequential search (snapshot mode re-anchors
+  // POR backtrack nodes, the only replay_len > 0 nodes it produces); the
+  // fresh anchor is marked shared because any child may be stolen.
+  if (!actions.empty() &&
+      (opts_.trail_frontier ? cur.replay_len + 1 >= opts_.anchor_interval
+                            : cur.replay_len > 0)) {
     auto t0 = SteadyClock::now();
     auto anchor = std::make_shared<const rt::WorldSnapshot>(
         w.snapshot(/*cow=*/true));
@@ -695,33 +1002,65 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     stats.snapshot_ms += ms_since(t0);
   }
 
-  for (std::size_t i = 0; i < actions.size(); ++i) {
-    if (sh.stop.load(std::memory_order_acquire)) return;
-    const SysAction& a = actions[i];
-    const std::uint64_t akey = action_key(a);
-    const std::uint32_t afp = fingerprint(a);
+  // Keys and footprints against the pre-state, as in graph_search().
+  const std::size_t n_act = actions.size();
+  std::vector<std::uint64_t> keys(n_act);
+  std::vector<ActionFootprint> fps(n_act);
+  for (std::size_t i = 0; i < n_act; ++i) {
+    keys[i] = action_key(actions[i]);
+    fps[i] = footprint(w, actions[i]);
+  }
 
-    if (opts_.sleep_sets && cur.sleep) {
-      bool slept = false;
-      for (const SleepEntry& e : *cur.sleep) {
-        if (e.key == akey) {
-          slept = true;
-          break;
-        }
-      }
-      if (slept) continue;
+  std::uint64_t cur_digest = 0;
+  std::vector<std::size_t> run;
+  if (opts_.por && n_act > 0) {
+    cur_digest = timed_mc_digest(w, stats, opts_.abstract_time);
+    run = por_select(sh.por, cur_digest, actions, fps, keys, cur, stats);
+  } else {
+    run.resize(n_act);
+    for (std::size_t i = 0; i < n_act; ++i) run[i] = i;
+  }
+
+  // active must rise before a node becomes visible, so an idle worker can
+  // never observe "no work anywhere" while a child is in flight. Meter
+  // pairing follows the deque rule: the pusher charged, only the pusher
+  // refunds (worker_loop).
+  auto push_local = [&](Node&& nd, double pri) {
+    nd.owner = static_cast<std::uint32_t>(me.id);
+    sh.active.fetch_add(1);
+    me.meter.push(nd);
+    if (opts_.order == SearchOrder::kPriority) {
+      me.pq.push(pri, std::move(nd));
+    } else {
+      me.deque.push_back(std::move(nd));
     }
+  };
+
+  for (std::size_t pos = 0; pos < run.size(); ++pos) {
+    if (sh.stop.load(std::memory_order_acquire)) return;
+    const std::size_t i = run[pos];
+    const SysAction& a = actions[i];
+    const std::uint64_t akey = keys[i];
+    const ActionFootprint& afp = fps[i];
+
+    if (opts_.sleep_sets && is_slept(cur, akey)) continue;
 
     materialize(w, cur, stats);
     w.clear_violations();
     apply_action(w, a);
     ++stats.transitions;
 
+    if (opts_.por) {
+      por_race_detect(sh.por, cur, afp, akey, backtracks, stats);
+      for (Node& b : backtracks) push_local(std::move(b), 0.0);
+      backtracks.clear();
+    }
+
     std::size_t depth = cur.depth + 1;
     const PathNode* path = nullptr;
 
     if (!w.violations().empty()) {
-      me.arena.push_back({cur.path, a});
+      me.arena.push_back({cur.path, a, afp, cur_digest});
       path = &me.arena.back();
       for (const rt::Violation& v : w.violations()) {
         me.violations.push_back({v, trail_of(path), depth});
@@ -732,9 +1071,51 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
       }
     }
 
+    auto sleep = opts_.sleep_sets
+                     ? child_sleep(cur, actions, fps, keys, run, pos)
+                     : nullptr;
+
+    bool reexpand_child = false;
     if (opts_.dedup) {
       std::uint64_t h = timed_mc_digest(w, stats, opts_.abstract_time);
-      if (!sh.visited.insert(h)) {
+      if (use_sleepvis) {
+        std::vector<std::uint64_t> skeys;
+        if (sleep) {
+          skeys.reserve(sleep->size());
+          for (const SleepEntry& e : *sleep) skeys.push_back(e.key);
+          std::sort(skeys.begin(), skeys.end());
+        }
+        std::vector<std::uint64_t> released;
+        const auto verdict =
+            sh.sleepvis.visit(h, skeys, opts_.por ? &released : nullptr);
+        if (verdict == StripedSleepVisited::Verdict::kPrune) {
+          ++stats.duplicates;
+          // The edge (if allocated for the violation trail above) was
+          // never published to a frontier node; the Trail copied its
+          // actions.
+          if (path) me.arena.pop_back();
+          continue;
+        }
+        if (verdict == StripedSleepVisited::Verdict::kReexpand) {
+          // Duplicate state whose stored expansion slept actions this
+          // arrival path does not cover; re-expand with the intersection
+          // (see graph_search()).
+          ++stats.duplicates;
+          ++stats.sleep_reexpansions;
+          reexpand_child = true;
+          if (sleep) {
+            sleep->erase(
+                std::remove_if(sleep->begin(), sleep->end(),
+                               [&](const SleepEntry& e) {
+                                 return !std::binary_search(
+                                     skeys.begin(), skeys.end(), e.key);
+                               }),
+                sleep->end());
+            if (sleep->empty()) sleep.reset();
+          }
+          for (std::uint64_t k : released) sh.por.recs.seed_pending(h, k);
+        }
+      } else if (!sh.visited.insert(h)) {
         ++stats.duplicates;
         // The edge (if allocated for the violation trail above) was never
         // published to a frontier node; the Trail copied its actions.
@@ -742,18 +1123,20 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
         continue;
       }
     }
-    stats.max_depth = std::max<std::uint64_t>(stats.max_depth, depth);
-    // The shared counter is the budget authority (per-worker counts would
-    // race past it); it already includes the root.
-    if (sh.states.fetch_add(1) + 1 >= opts_.max_states) {
-      stats.truncated = true;
-      sh.stop.store(true, std::memory_order_release);
-      return;
+    if (!reexpand_child) {
+      stats.max_depth = std::max<std::uint64_t>(stats.max_depth, depth);
+      // The shared counter is the budget authority (per-worker counts
+      // would race past it); it already includes the root.
+      if (sh.states.fetch_add(1) + 1 >= opts_.max_states) {
+        stats.truncated = true;
+        sh.stop.store(true, std::memory_order_release);
+        return;
+      }
     }
 
     Node child;
     if (!path) {
-      me.arena.push_back({cur.path, a});
+      me.arena.push_back({cur.path, a, afp, cur_digest});
       path = &me.arena.back();
     }
     child.path = path;
@@ -769,39 +1152,14 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
       child.state = cur.state;
       child.replay_len = cur.replay_len + 1;
     }
-    if (opts_.sleep_sets) {
-      std::vector<SleepEntry> sleep;
-      if (cur.sleep) {
-        for (const SleepEntry& e : *cur.sleep) {
-          if (independent(e.fp, afp)) sleep.push_back(e);
-        }
-      }
-      for (std::size_t j = 0; j < i; ++j) {
-        std::uint32_t fpj = fingerprint(actions[j]);
-        if (independent(fpj, afp)) {
-          sleep.push_back({action_key(actions[j]), fpj});
-        }
-      }
-      if (!sleep.empty()) {
-        child.sleep =
-            std::make_unique<std::vector<SleepEntry>>(std::move(sleep));
-      }
-    }
-
-    // active must rise before the node becomes visible, so an idle worker
-    // can never observe "no work anywhere" while this child is in flight.
-    child.owner = static_cast<std::uint32_t>(me.id);
-    sh.active.fetch_add(1);
-    me.meter.push(child);
-    if (opts_.order == SearchOrder::kPriority) {
+    child.sleep = std::move(sleep);
+    double pri = 0.0;
+    if (opts_.order == SearchOrder::kPriority && opts_.priority) {
       // Own shard; other workers route their pops here when this shard's
-      // top hint looks best. Meter pairing follows the deque rule: the
-      // pusher charged, only the pusher refunds (worker_loop).
-      double pri = opts_.priority ? opts_.priority(w) : 0.0;
-      me.pq.push(pri, std::move(child));
-    } else {
-      me.deque.push_back(std::move(child));
+      // top hint looks best.
+      pri = opts_.priority(w);
     }
+    push_local(std::move(child), pri);
   }
 }
 
@@ -896,7 +1254,18 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   auto root_ws = std::make_shared<const rt::WorldSnapshot>(
       scratch_->snapshot(/*cow=*/true));
   root_ws->share_across_threads();
-  if (opts_.dedup) sh.visited.insert(timed_mc_digest(*scratch_, res.stats, opts_.abstract_time));
+  const bool use_sleepvis = opts_.sleep_sets && opts_.dedup;
+  if (opts_.dedup) {
+    const std::uint64_t h =
+        timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+    if (use_sleepvis) {
+      std::vector<std::uint64_t> none;  // the root has no sleep set
+      sh.sleepvis.visit(h, none);
+    } else {
+      sh.visited.insert(h);
+    }
+  }
+  if (opts_.por) sh.por.root = root_ws;
   sh.states.store(res.stats.states);  // the probed root
   // Root violations count against the budget exactly as in the
   // sequential search.
@@ -951,6 +1320,9 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
     res.stats.snapshot_ms += wk->stats.snapshot_ms;
     res.stats.replayed_actions += wk->stats.replayed_actions;
     res.stats.steals += wk->stats.steals;
+    res.stats.sleep_reexpansions += wk->stats.sleep_reexpansions;
+    res.stats.por_deferred += wk->stats.por_deferred;
+    res.stats.por_backtracks += wk->stats.por_backtracks;
     // Sum-of-peaks upper bound plus the largest single-worker share.
     res.stats.peak_frontier_bytes += wk->meter.peak();
     res.stats.peak_frontier_bytes_max_worker =
@@ -966,8 +1338,14 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
                      if (a.depth != b.depth) return a.depth < b.depth;
                      return a.violation.invariant < b.violation.invariant;
                    });
-  if (opts_.dedup) res.stats.visited_bytes = sh.visited.bytes();
-  if (opts_.collect_visited) res.visited = sh.visited.sorted_contents();
+  if (opts_.dedup) {
+    res.stats.visited_bytes =
+        use_sleepvis ? sh.sleepvis.bytes() : sh.visited.bytes();
+  }
+  if (opts_.collect_visited) {
+    res.visited = use_sleepvis ? sh.sleepvis.sorted_contents()
+                               : sh.visited.sorted_contents();
+  }
   return res;
 }
 

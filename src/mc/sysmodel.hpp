@@ -28,6 +28,46 @@
 
 namespace fixd::mc {
 
+/// The exact resource set a transition reads or writes — the basis for
+/// commutation. Two actions are independent iff their footprints are
+/// disjoint in every component:
+///
+///   - `procs`: processes whose local state (heap, timers, crash flag) the
+///     action mutates or whose enabled set it gates. Bitmask; pids >= 63
+///     collapse onto bit 63 (conservative: all high pids collide).
+///   - `link`: the directed channel the action consumes from, appends to,
+///     blocks, or heals. FIFO channels make same-channel actions
+///     order-sensitive even when they touch different messages.
+///   - `msg`: the specific message consumed/dropped/duplicated/delayed
+///     (0 = none; real MsgIds start at 1).
+///   - `timer`: the specific (pid, timer) an action fires or cancels
+///     (0 = none).
+///   - `cut_budget`: partition cuts and heals both move the global
+///     blocked-link count that gates further cut enumeration
+///     (max_cut_links), so any two of them are mutually dependent.
+///
+/// Deliberately NOT in the footprint: message *sends*. A handler can send
+/// to any process, so tracking send targets statically would make every
+/// pair of deliveries dependent. Sends only ever append (enable), never
+/// disable, and the canonical digest is content-keyed, so handler
+/// executions at distinct processes still commute up to digest — new
+/// conflicts created by sends are caught dynamically by the explorer's
+/// race detection (por), not statically here.
+struct ActionFootprint {
+  std::uint64_t procs = 0;
+  std::uint32_t link_src = kNoProcess;
+  std::uint32_t link_dst = kNoProcess;
+  MsgId msg = 0;
+  std::uint64_t timer = 0;
+  bool cut_budget = false;
+
+  bool has_link() const { return link_src != kNoProcess; }
+
+  static std::uint64_t proc_bit(ProcessId p) {
+    return std::uint64_t{1} << (p < 63 ? p : 63);
+  }
+};
+
 struct SysExploreOptions {
   SearchOrder order = SearchOrder::kBfs;
   std::size_t max_states = 200000;
@@ -84,9 +124,34 @@ struct SysExploreOptions {
   bool dedup = true;
 
   /// Sleep-set partial-order reduction: prunes redundant orderings of
-  /// commuting events (events at different processes commute in this
-  /// runtime). Sound for state-local invariants; see DESIGN.md.
+  /// commuting events. Independence is exact disjointness of per-action
+  /// resource footprints (ActionFootprint): process set, directed
+  /// channel, message id, timer id, and the partition cut budget — valid
+  /// for delivery/timer/crash-restart/delay/partition/heal actions in
+  /// both abstract and timed mode. Composed with dedup, a re-reached
+  /// state whose new sleep set is not a superset of the stored one is
+  /// re-expanded with the intersection (stats.sleep_reexpansions), so
+  /// sleep+dedup reaches the same violation set as dedup alone (pinned
+  /// by tests/test_mc_por.cpp).
   bool sleep_sets = false;
+
+  /// Dynamic partial-order reduction (DPOR-style source sets + backtrack
+  /// points). At each first expansion the explorer runs only one
+  /// dependency-closed class of the enabled actions (the source set) and
+  /// defers the rest; every executed transition is then checked for races
+  /// against the footprints along its path, and a race re-expands the
+  /// ancestor state with the deferred action (a root-anchored backtrack
+  /// node — works in snapshot and trail frontier modes and in the
+  /// parallel expand() path alike). Soundness: deferred actions are
+  /// independent of the explored suffix until a race fires, so every
+  /// violation of a *stable* predicate (one that keeps holding once
+  /// reached, e.g. conflicting-decision or divergence invariants) is
+  /// still reached; a transient predicate that flickers only inside a
+  /// commuted segment may be observed at fewer intermediate states. The
+  /// differential suites (tests/test_mc_por.cpp) pin: same violation set
+  /// as por=off, strictly fewer visited states on 2pc n>=4; see
+  /// docs/PERF.md Layer 8 for the full argument.
+  bool por = false;
 
   /// Trail-based frontier (graph searches only): nodes store a shared
   /// anchor snapshot plus the action path from it, re-executed
@@ -115,9 +180,11 @@ struct SysExploreOptions {
   /// parallel search visits exactly the sequential explorer's canonical
   /// state set and state/transition counts; violations are reported as an
   /// unordered set (stably re-sorted by depth), and every reported trail
-  /// replays on a fresh sequential world. Sleep-set pruning and truncated
-  /// budgets are traversal-order-sensitive, so only the *soundness* of the
-  /// result (a subset of the reachable graph) is guaranteed for them.
+  /// replays on a fresh sequential world. Sleep-set pruning, por, and
+  /// truncated budgets are traversal-order-sensitive, so for them the
+  /// guarantee is soundness (a subset of the reachable graph) plus the
+  /// reduction property (same violation set as the unreduced search,
+  /// pinned differentially per worker count) — not visited-set identity.
   /// Priority/install_invariants callbacks must be thread-safe (stateless
   /// lambdas are; every in-tree installer qualifies). kPriority's pop
   /// order is best-effort global across the per-worker heaps (stale top
@@ -163,12 +230,28 @@ class SystemExplorer {
       const std::function<void(rt::World&)>& install_invariants,
       bool abstract_time = true);
 
+  /// Exact resource footprint of `a` in `w`'s current state (message ids
+  /// are resolved against the live network, so call it at enumeration
+  /// time). Public because the POR regression tests exercise it directly.
+  static ActionFootprint footprint(const rt::World& w, const SysAction& a);
+  /// Exact commutation test: disjointness in every footprint component.
+  static bool independent(const ActionFootprint& a, const ActionFootprint& b) {
+    if (a.procs & b.procs) return false;
+    if (a.cut_budget && b.cut_budget) return false;
+    if (a.has_link() && a.link_src == b.link_src && a.link_dst == b.link_dst) {
+      return false;
+    }
+    if (a.msg != 0 && a.msg == b.msg) return false;
+    if (a.timer != 0 && a.timer == b.timer) return false;
+    return true;
+  }
+
  private:
-  /// A slept action: identity key plus the commutation fingerprint needed
+  /// A slept action: identity key plus the commutation footprint needed
   /// to decide whether it survives into a child's sleep set.
   struct SleepEntry {
     std::uint64_t key;
-    std::uint32_t fp;
+    ActionFootprint fp;
   };
 
   /// One reachability-graph edge, parent-linked toward the root (null at
@@ -185,6 +268,14 @@ class SystemExplorer {
   struct PathNode {
     const PathNode* parent;
     SysAction action;
+    /// Footprint of `action` in its pre-state and the pre-state's
+    /// canonical digest — the race-detection walk (por) compares a new
+    /// transition's footprint against these to find the nearest dependent
+    /// ancestor and address its expansion record. Filled only when
+    /// opts_.por is on (zero otherwise; arena nodes are not frontier
+    /// memory, so the growth is not metered against the fig3 gate).
+    ActionFootprint fp;
+    std::uint64_t pre_digest = 0;
   };
 
   /// A frontier node, variant-compressed to 48 bytes: one shared-snapshot
@@ -229,15 +320,55 @@ class SystemExplorer {
 
   std::vector<SysAction> enabled_actions(const rt::World& w) const;
   static void apply_action(rt::World& w, const SysAction& a);
-  /// Process-touched fingerprint; actions with different fingerprints
-  /// (different target processes) commute in this runtime.
-  static std::uint32_t fingerprint(const SysAction& a);
   /// Stable identity of an action within a subtree (msg/timer ids persist
   /// until consumed).
   static std::uint64_t action_key(const SysAction& a);
-  static bool independent(std::uint32_t fa, std::uint32_t fb) {
-    return fa != fb;
-  }
+
+  /// True when `key` is in cur's sleep set (the action's subtree is
+  /// covered by an earlier sibling branch).
+  static bool is_slept(const Node& cur, std::uint64_t key);
+
+  /// The sleep set a child created via run[pos] inherits: surviving
+  /// entries of the parent's sleep set plus every earlier branch of this
+  /// expansion (run[0..pos)), both filtered by independence with the
+  /// child's action. One implementation shared by the sequential and
+  /// parallel expansion paths, so the independence semantics cannot drift
+  /// between them. Returns null for an empty set.
+  static std::unique_ptr<std::vector<SleepEntry>> child_sleep(
+      const Node& cur, const std::vector<SysAction>& actions,
+      const std::vector<ActionFootprint>& fps,
+      const std::vector<std::uint64_t>& keys,
+      const std::vector<std::size_t>& run, std::size_t pos);
+
+  /// Source-set selection (por): the dependency-closed class of enabled
+  /// actions containing every seed index, computed over `fps`. Returns
+  /// the selected indices (ascending); everything else is deferred.
+  static std::vector<std::size_t> source_closure(
+      const std::vector<ActionFootprint>& fps,
+      const std::vector<std::size_t>& seeds);
+
+  /// POR bookkeeping shared by one search: the per-state expansion
+  /// records plus the root anchor that backtrack nodes re-materialize
+  /// from (defined in sysmodel.cpp).
+  struct PorState;
+
+  /// Pick the indices this expansion runs: drains the state's pending
+  /// backtrack requests, seeds the first non-slept action on a first
+  /// visit, closes over dependency classes, and marks the selection done.
+  std::vector<std::size_t> por_select(PorState& ps, std::uint64_t digest,
+                                      const std::vector<SysAction>& actions,
+                                      const std::vector<ActionFootprint>& fps,
+                                      const std::vector<std::uint64_t>& keys,
+                                      const Node& cur,
+                                      ExploreStats& stats) const;
+
+  /// Race detection for one executed transition: walk cur's path nearest-
+  /// first for a dependent ancestor where the action was enabled but not
+  /// run, register it there, and append a root-anchored backtrack node.
+  void por_race_detect(PorState& ps, const Node& cur,
+                       const ActionFootprint& fa, std::uint64_t akey,
+                       std::vector<Node>& backtracks,
+                       ExploreStats& stats) const;
 
   static Trail trail_of(const PathNode* path);
   /// Probe the investigated state itself (the violation might already

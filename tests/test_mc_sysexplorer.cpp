@@ -263,5 +263,138 @@ TEST(SystemExplorer, ExploresFromMidRunState) {
   EXPECT_TRUE(res.found_violation());
 }
 
+// ---------------------------------------------------------------------------
+// Regression: footprint-exact independence vs the old scalar fingerprint
+// ---------------------------------------------------------------------------
+
+/// Run a fresh 2pc world until the coordinator's prepare messages are in
+/// flight, so there is a real pending message to build actions against.
+std::unique_ptr<rt::World> world_with_pending_message() {
+  TwoPcConfig cfg;
+  cfg.total_txns = 1;
+  auto w = make_two_pc_world(3, 1, cfg);
+  for (int i = 0; i < 4 && w->network().pending_count() == 0; ++i) {
+    auto evs = w->enabled_events();
+    if (evs.empty()) break;
+    w->execute_event(evs.front());
+  }
+  return w;
+}
+
+// The old scheme hashed runtime events to a scalar fingerprint, gave
+// *every* environment action the sentinel 0xffffffff, and defined
+// independent(a, b) as a != b. Intended as "env actions conservatively
+// conflict", the sentinel inverted it: an env action's fingerprint always
+// differed from every runtime event's hash, so a link cut was declared
+// independent of the very delivery it masks — and sleep sets then pruned
+// the cut-before-deliver interleaving as "covered", losing every bug only
+// reachable with the message deferred. Footprints make the overlap check
+// exact; this test pins the inversion so the scheme cannot regress.
+TEST(SystemExplorer, FootprintFixesEnvActionIndependenceInversion) {
+  auto w = world_with_pending_message();
+  ASSERT_GT(w->network().pending_count(), 0u);
+  const net::Message* m = w->network().pending().front();
+
+  SysAction deliver;
+  deliver.kind = SysAction::Kind::kRuntime;
+  deliver.event.kind = rt::EventKind::kDeliver;
+  deliver.event.pid = m->dst;
+  deliver.event.msg = m->id;
+
+  SysAction cut;
+  cut.kind = SysAction::Kind::kPartitionLinks;
+  cut.src = m->src;
+  cut.dst = m->dst;
+
+  SysAction drop;
+  drop.kind = SysAction::Kind::kDropMessage;
+  drop.msg = m->id;
+
+  SysAction cut_other;  // reverse direction: a genuinely disjoint link
+  cut_other.kind = SysAction::Kind::kPartitionLinks;
+  cut_other.src = m->dst;
+  cut_other.dst = m->src;
+
+  SysAction heal;
+  heal.kind = SysAction::Kind::kHealLinks;
+  heal.src = m->src;
+  heal.dst = m->dst;
+
+  // The old scheme, reproduced verbatim: env sentinel + inequality test.
+  auto old_fingerprint = [](const SysAction& a) -> std::uint32_t {
+    if (a.kind != SysAction::Kind::kRuntime) return 0xffffffffu;
+    return static_cast<std::uint32_t>(
+        hash_combine(static_cast<std::uint64_t>(a.event.pid),
+                     hash_combine(a.event.msg, a.event.timer)));
+  };
+  auto old_independent = [&](const SysAction& a, const SysAction& b) {
+    return old_fingerprint(a) != old_fingerprint(b);
+  };
+
+  // The inversion: cut(src->dst) masks deliver(m on src->dst), and
+  // drop(m) consumes it, yet the old scheme called both pairs
+  // independent (sentinel != event hash).
+  EXPECT_TRUE(old_independent(cut, deliver));
+  EXPECT_TRUE(old_independent(drop, deliver));
+
+  const auto f_deliver = SystemExplorer::footprint(*w, deliver);
+  const auto f_cut = SystemExplorer::footprint(*w, cut);
+  const auto f_drop = SystemExplorer::footprint(*w, drop);
+  const auto f_cut_other = SystemExplorer::footprint(*w, cut_other);
+  const auto f_heal = SystemExplorer::footprint(*w, heal);
+
+  // Exact footprints: same-link / same-message pairs conflict...
+  EXPECT_FALSE(SystemExplorer::independent(f_cut, f_deliver));
+  EXPECT_FALSE(SystemExplorer::independent(f_drop, f_deliver));
+  EXPECT_FALSE(SystemExplorer::independent(f_drop, f_cut));  // same link
+  // ...cut and heal always conflict (both move the blocked-link count
+  // that gates max_cut_links, even on different links)...
+  EXPECT_FALSE(SystemExplorer::independent(f_cut, f_heal));
+  EXPECT_FALSE(SystemExplorer::independent(f_cut_other, f_heal));
+  // ...and a disjoint link stays independent (the precision that makes
+  // sleep sets and POR actually prune).
+  EXPECT_TRUE(SystemExplorer::independent(f_cut_other, f_deliver));
+  EXPECT_TRUE(SystemExplorer::independent(f_cut_other, f_drop));
+}
+
+// The behavioral half: cut-then-deliver and deliver-then-cut do not
+// commute (the cut defers the delivery), so the interleaving the old
+// scheme pruned reaches states the kept one cannot. Pinned directly on
+// the world, independent of any explorer heuristics.
+TEST(SystemExplorer, CutBeforeDeliverReachesAStateDeliverFirstCannot) {
+  auto w = world_with_pending_message();
+  ASSERT_GT(w->network().pending_count(), 0u);
+  const net::Message* m = w->network().pending().front();
+  const MsgId id = m->id;
+  const ProcessId src = m->src;
+  const ProcessId dst = m->dst;
+  rt::EventDesc deliver;
+  deliver.kind = rt::EventKind::kDeliver;
+  deliver.pid = dst;
+  deliver.msg = id;
+
+  auto snap = w->snapshot(/*cow=*/true);
+
+  // Order A: cut first. The delivery is deferred — no longer deliverable.
+  w->model_cut_link(src, dst);
+  auto deliverable_after_cut = w->network().deliverable();
+  bool id_deliverable = false;
+  for (MsgId d : deliverable_after_cut) id_deliverable |= (d == id);
+  EXPECT_FALSE(id_deliverable);
+  EXPECT_TRUE(w->network().pending_count() > 0);  // deferred, never lost
+
+  // Order B: deliver first, then cut. The handler ran; the message is
+  // gone from the network. The two orders end in different states, which
+  // is the definition of a dependent pair.
+  w->restore(snap);
+  w->execute_event(deliver);
+  w->model_cut_link(src, dst);
+  bool still_pending = false;
+  for (const net::Message* p : w->network().pending()) {
+    still_pending |= (p->id == id);
+  }
+  EXPECT_FALSE(still_pending);
+}
+
 }  // namespace
 }  // namespace fixd::mc

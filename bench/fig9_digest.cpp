@@ -480,7 +480,8 @@ int main() {
         "  \"explorer_snapshot_ms\": %.2f,\n"
         "  \"explorer_peak_frontier_bytes\": %llu,\n"
         "  \"explorer_states_per_sec\": %.0f,\n"
-        "  \"explorer_visited_bytes\": %llu,\n"
+        "  \"explorer_visited_resident_bytes\": %llu,\n"
+        "  \"explorer_visited_spilled_bytes\": %llu,\n"
         "  \"explorer_trail_wall_ms\": %.2f,\n"
         "  \"explorer_trail_peak_frontier_bytes\": %llu,\n"
         "  \"explorer_trail_states_per_sec\": %.0f,\n"
@@ -508,7 +509,8 @@ int main() {
         ex.stats.digest_ms, ex.stats.snapshot_ms,
         (unsigned long long)ex.stats.peak_frontier_bytes,
         ex.stats.states_per_sec(),
-        (unsigned long long)ex.stats.visited_bytes, ext.stats.wall_ms,
+        (unsigned long long)ex.stats.visited_resident_bytes,
+        (unsigned long long)ex.stats.visited_spilled_bytes, ext.stats.wall_ms,
         (unsigned long long)ext.stats.peak_frontier_bytes,
         ext.stats.states_per_sec(),
         (unsigned long long)rc.stats.peak_frontier_bytes,

@@ -7,8 +7,11 @@
 //    The storage is a compact open-addressing table of raw u64 digests
 //    (~10 bytes per entry at the 0.7 load factor vs ~40+ for a node-based
 //    unordered_set) — the visited set is the one explorer structure that
-//    only ever grows, so its bytes are reported (`visited_bytes`) and kept
-//    small. The striped wrapper lock-stripes inserts so concurrent
+//    only ever grows in-RAM, so its bytes are reported
+//    (`visited_resident_bytes`) and kept small; under a
+//    `visited_budget_bytes` the tiered wrapper (mc/tiered_visited.hpp)
+//    spills cold shards to disk. The striped wrapper lock-stripes inserts
+//    so concurrent
 //    (well-mixed) digests rarely contend. Insertion is linearizable per
 //    stripe; exactly one worker wins each digest, so every unique state is
 //    expanded exactly once — the property the differential tests
@@ -76,9 +79,37 @@ class CompactDigestSet {
     return true;
   }
 
+  /// Membership probe without insertion (the tiered set's hot-tier check).
+  bool contains(std::uint64_t h) const {
+    if (h == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == h) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  /// Extract every stored digest in ascending order and reset the table to
+  /// empty, releasing its memory — the spill path of the tiered visited set
+  /// (mc/tiered_visited.hpp) drains cold shards to disk with this.
+  std::vector<std::uint64_t> take_sorted() {
+    std::vector<std::uint64_t> out;
+    out.reserve(size());
+    for_each([&out](std::uint64_t v) { out.push_back(v); });
+    std::sort(out.begin(), out.end());
+    slots_.clear();
+    slots_.shrink_to_fit();
+    size_ = 0;
+    has_zero_ = false;
+    return out;
+  }
+
   std::size_t size() const { return size_ + (has_zero_ ? 1 : 0); }
 
-  /// Retained table bytes (the `visited_bytes` stat).
+  /// Retained table bytes (the `visited_resident_bytes` stat).
   std::uint64_t bytes() const {
     return sizeof(*this) + slots_.capacity() * sizeof(std::uint64_t);
   }
@@ -133,8 +164,8 @@ class StripedVisitedSet {
     return s.set.insert(h);
   }
 
-  /// Total retained bytes across stripes (the `visited_bytes` stat; call
-  /// with the workers quiescent or joined for an exact figure).
+  /// Total retained bytes across stripes (the `visited_resident_bytes`
+  /// stat; call with the workers quiescent or joined for an exact figure).
   std::uint64_t bytes() const {
     std::uint64_t n = 0;
     for (const auto& s : stripes_) {

@@ -59,10 +59,29 @@ struct ExploreStats {
   /// Parallel searches: the largest single-worker contribution to the
   /// peak_frontier_bytes sum (0 when workers == 1).
   std::uint64_t peak_frontier_bytes_max_worker = 0;
-  /// Retained bytes of the visited (dedup) set at the end of the search —
-  /// the one explorer structure that only grows (SystemExplorer graph
+  /// Retained *resident* bytes of the visited (dedup) set at the end of
+  /// the search — the one explorer structure that only grows in RAM unless
+  /// a `visited_budget_bytes` lets it spill (SystemExplorer graph
   /// searches; 0 for random walks and dedup-off runs).
-  std::uint64_t visited_bytes = 0;
+  std::uint64_t visited_resident_bytes = 0;
+  /// High-water mark of visited_resident_bytes over the run — what the
+  /// `visited_budget_bytes` resident-memory gate is checked against
+  /// (equal to the final resident bytes when nothing spilled).
+  std::uint64_t visited_peak_resident_bytes = 0;
+  /// Bytes of the visited set living on disk at the end of the search
+  /// (sorted spill runs; 0 unless `visited_budget_bytes` forced a spill).
+  std::uint64_t visited_spilled_bytes = 0;
+  /// Cumulative spill IO written over the run (re-merges count every
+  /// generation, so this can exceed visited_spilled_bytes).
+  std::uint64_t spilled_bytes = 0;
+  /// Bloom-filter false positives / queries for the tiered visited set
+  /// (each false positive costs one disk probe, never correctness).
+  double bloom_fp_rate = 0.0;
+  /// Trail-frontier anchors whose snapshot was dropped under
+  /// `frontier_budget_bytes`, and evicted anchors rebuilt on demand by
+  /// root-anchored replay (a rebuilt anchor can serve many pops).
+  std::uint64_t anchor_evictions = 0;
+  std::uint64_t anchor_recomputes = 0;
   /// Actions re-executed to rebuild popped states from their anchors
   /// (trail-frontier mode only; 0 in snapshot mode).
   std::uint64_t replayed_actions = 0;
@@ -104,9 +123,20 @@ struct ExploreResult {
   bool found_violation() const { return !violations.empty(); }
 };
 
+/// Default `max_states` caps. The two explorers deliberately differ:
+/// abstract-model states (Explorer<S>) are tens of bytes hashed in
+/// nanoseconds, so a ~1M-state default costs ~10 MB of visited set; a
+/// SystemExplorer state is a whole COW world whose expansion costs
+/// microseconds and whose frontier snapshot can run to kilobytes, so its
+/// default stays an order of magnitude lower. Beyond-RAM runs raise the
+/// SystemExplorer cap explicitly alongside `visited_budget_bytes` /
+/// `frontier_budget_bytes` (docs/PERF.md Layer 9).
+inline constexpr std::size_t kDefaultModelMaxStates = 1 << 20;
+inline constexpr std::size_t kDefaultSysMaxStates = 200000;
+
 struct ExploreOptions {
   SearchOrder order = SearchOrder::kBfs;
-  std::size_t max_states = 1 << 20;
+  std::size_t max_states = kDefaultModelMaxStates;
   std::size_t max_depth = 1 << 20;
   std::size_t max_violations = 1;  ///< stop after this many violations
   std::uint64_t seed = 42;         ///< random-walk seed

@@ -9,7 +9,9 @@
 #include <unordered_map>
 
 #include "common/hash.hpp"
+#include "common/io.hpp"
 #include "mc/concurrent.hpp"
+#include "mc/tiered_visited.hpp"
 
 namespace fixd::mc {
 
@@ -59,6 +61,145 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats,
 
 }  // namespace
 
+/// The indirection between frontier nodes and their shared snapshot (see
+/// the declaration comment in sysmodel.hpp). Untracked anchors are
+/// immutable after publication, so `snap` is read lock-free exactly like
+/// the old direct shared_ptr<const WorldSnapshot> field. Tracked anchors
+/// (budgeted trail mode) hand every `snap` transition to the
+/// AnchorRegistry's mutex.
+struct SystemExplorer::Anchor {
+  /// The materialized state; null while evicted (tracked anchors only).
+  std::shared_ptr<const rt::WorldSnapshot> snap;
+  /// Root-relative rebuild recipe: the path chain at the anchor point and
+  /// its action count. Only filled for tracked anchors — untracked ones
+  /// are never evicted, so they never need rebuilding.
+  const PathNode* path = nullptr;
+  std::uint32_t depth = 0;
+  std::uint32_t slot = 0;   ///< registry slot index (tracked only)
+  bool tracked = false;     ///< registered with the registry (evictable)
+  bool pinned = false;      ///< the root anchor: never evicted
+  std::atomic<bool> ref{false};  ///< clock reference bit (second chance)
+  std::uint64_t est_bytes = 0;   ///< registry accounting at admit time
+};
+
+/// Residency bookkeeping for evictable trail-mode anchors. One mutex
+/// guards every tracked anchor's `snap` transitions plus the clock state —
+/// eviction is rare relative to node pops (each anchor serves up to
+/// anchor_interval children), so a single lock does not serialize the
+/// workers the way a per-node lock would.
+///
+/// Accounting: an anchor's charge is its snapshot's size_bytes() — an
+/// upper bound, since COW interiors may be shared with sibling anchors or
+/// the live worlds. An anchor that dies (all its nodes popped) while
+/// resident keeps its charge until the clock next sweeps its slot; the
+/// transient over-count only makes eviction more eager, never lets the
+/// budget be exceeded unnoticed. peak_resident() therefore bounds true
+/// anchor residency from above.
+class SystemExplorer::AnchorRegistry {
+ public:
+  explicit AnchorRegistry(std::uint64_t budget) : budget_(budget) {}
+
+  /// The pinned root anchor every rebuild replays from. Must be called
+  /// before any worker starts; `snap` stays immutable afterwards.
+  void set_root(std::shared_ptr<Anchor> a) {
+    a->pinned = true;
+    root_ = std::move(a);
+  }
+  const std::shared_ptr<const rt::WorldSnapshot>& root_snap() const {
+    return root_->snap;
+  }
+
+  /// Register a freshly snapshotted anchor as evictable.
+  void admit(const std::shared_ptr<Anchor>& a) {
+    std::lock_guard<std::mutex> lk(mu_);
+    a->tracked = true;
+    a->ref.store(true, std::memory_order_relaxed);
+    a->est_bytes = a->snap->size_bytes();
+    a->slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back({a, a->est_bytes});
+    resident_ += a->est_bytes;
+    peak_ = std::max(peak_, resident_);
+    evict_to_budget_locked();
+  }
+
+  /// The anchor's snapshot if resident (marks it recently used), else null
+  /// — the caller must rebuild and install().
+  std::shared_ptr<const rt::WorldSnapshot> acquire(Anchor& a) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (a.snap) a.ref.store(true, std::memory_order_relaxed);
+    return a.snap;
+  }
+
+  /// Re-install a rebuilt snapshot. If a concurrent rebuild won the race
+  /// the argument is dropped (the states are bit-identical by replay
+  /// determinism, so either winner is correct).
+  void install(Anchor& a, std::shared_ptr<const rt::WorldSnapshot> s) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (a.snap) return;
+    a.snap = std::move(s);
+    a.ref.store(true, std::memory_order_relaxed);
+    a.est_bytes = a.snap->size_bytes();
+    slots_[a.slot].charged = a.est_bytes;
+    resident_ += a.est_bytes;
+    peak_ = std::max(peak_, resident_);
+    evict_to_budget_locked();
+  }
+
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+  }
+  std::uint64_t peak_resident() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peak_;
+  }
+
+ private:
+  struct Slot {
+    std::weak_ptr<Anchor> wp;
+    /// Mirror of the anchor's currently-counted bytes, so an expired slot
+    /// (anchor died while resident) can still be refunded.
+    std::uint64_t charged = 0;
+  };
+
+  /// Clock (second-chance) sweep: clear a set ref bit on first encounter,
+  /// evict on the second. Two full passes bound the scan — after one pass
+  /// every surviving ref bit is clear, so the second pass must evict
+  /// unless everything is dead, pinned, or already evicted.
+  void evict_to_budget_locked() {
+    std::size_t scanned = 0;
+    const std::size_t bound = slots_.size() * 2 + 1;
+    while (resident_ > budget_ && !slots_.empty() && scanned++ < bound) {
+      if (hand_ >= slots_.size()) hand_ = 0;
+      Slot& sl = slots_[hand_++];
+      std::shared_ptr<Anchor> a = sl.wp.lock();
+      if (!a) {  // anchor died; refund whatever it still had charged
+        resident_ -= sl.charged;
+        sl.charged = 0;
+        continue;
+      }
+      if (!a->snap || a->pinned) continue;
+      if (a->ref.load(std::memory_order_relaxed)) {
+        a->ref.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      a->snap.reset();
+      resident_ -= sl.charged;
+      sl.charged = 0;
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::size_t hand_ = 0;
+  std::uint64_t budget_;
+  std::uint64_t resident_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::shared_ptr<Anchor> root_;
+};
+
 /// Peak-frontier accounting with sharing awareness: every buffer a node
 /// can reach — its snapshot shell, COW checkpoints, heap pages, message
 /// objects, the net table — is charged once per unique pointer
@@ -76,8 +217,18 @@ std::uint64_t timed_mc_digest(rt::World& w, ExploreStats& stats,
 /// per-worker peaks are upper bounds with slack bounded by steal
 /// traffic, and the merged peak_frontier_bytes (sum of peaks) bounds the
 /// run's shared-aware peak from above with no cross-thread meter access.
+/// Budgeted trail mode (frontier_budget_bytes > 0) splits the accounting:
+/// anchor snapshots may be evicted/rebuilt concurrently by the
+/// AnchorRegistry, which tracks their residency itself, so the meter is
+/// told not to dereference them (charge_snapshots = false) and charges
+/// only node shells and sleep sets; peak_frontier_bytes then reports
+/// meter peak + registry peak. The Anchor struct itself rides in the
+/// not-metered bucket alongside shared_ptr control blocks (it is ~40
+/// bytes per anchor_interval-node cohort), keeping unbudgeted trail
+/// accounting byte-identical to the pre-anchor representation.
 class SystemExplorer::FrontierMeter {
  public:
+  void set_charge_snapshots(bool v) { charge_snapshots_ = v; }
   void push(const Node& n) {
     cur_ += node_cost(n, +1);
     if (cur_ > peak_) peak_ = cur_;
@@ -131,16 +282,21 @@ class SystemExplorer::FrontierMeter {
       c += sizeof(*n.sleep) + n.sleep->capacity() * sizeof(SleepEntry);
     }
     std::uint64_t shared = 0;
-    if (n.state) {
+    // Tracked anchors' snap may be swapped by the registry on another
+    // thread, so the budgeted meter never dereferences it; untracked
+    // anchors are immutable, exactly like the old direct snapshot field.
+    const rt::WorldSnapshot* s =
+        (n.state && charge_snapshots_) ? n.state->snap.get() : nullptr;
+    if (s) {
       // The snapshot shell (struct + proc pointer table) is itself shared:
       // one per anchor in trail mode (all descendants charge it once), one
       // per node in snapshot mode.
       const std::uint64_t shell =
           sizeof(rt::WorldSnapshot) +
-          n.state->procs.capacity() *
+          s->procs.capacity() *
               sizeof(std::shared_ptr<const rt::ProcessCheckpoint>);
-      shared += charge(n.state.get(), shell, dir);
-      shared += snapshot_cost(*n.state, dir);
+      shared += charge(s, shell, dir);
+      shared += snapshot_cost(*s, dir);
     }
     return c + shared;
   }
@@ -148,6 +304,7 @@ class SystemExplorer::FrontierMeter {
   std::unordered_map<const void*, std::size_t> refs_;
   std::uint64_t cur_ = 0;
   std::uint64_t peak_ = 0;
+  bool charge_snapshots_ = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -167,11 +324,19 @@ class SystemExplorer::FrontierMeter {
 /// and trail modes and across workers).
 struct SystemExplorer::PorState {
   StripedPorRecords recs;
-  std::shared_ptr<const rt::WorldSnapshot> root;
+  /// The root *anchor* (pinned, never evicted) — backtrack nodes point at
+  /// it and re-materialize by full-path replay.
+  std::shared_ptr<Anchor> root;
 };
 
 struct SystemExplorer::Shared {
   StripedVisitedSet visited;
+  /// Budgeted dedup (visited_budget_bytes > 0, plain dedup only): the
+  /// Bloom-fronted spill-to-disk set used instead of `visited`, with its
+  /// per-run scratch directory (RAII: spill files vanish on every exit
+  /// path). Same per-stripe linearizability, so exactly-one-winner holds.
+  ScratchDir spill_scratch;
+  std::unique_ptr<TieredVisitedSet> tiered;
   /// Sleep-signature-aware visited set, used instead of `visited` when
   /// sleep_sets && dedup (the signature decides prune vs re-expand).
   StripedSleepVisited sleepvis;
@@ -229,7 +394,39 @@ void SystemExplorer::materialize(rt::World& w, const Node& n,
                                  ExploreStats& stats) const {
   // Snapshot mode: n.state is the node's exact state (replay_len == 0).
   // Trail mode: n.state is the anchor; re-execute the suffix after it.
-  w.restore(*n.state);
+  Anchor& anchor = *n.state;
+  if (reg_ && anchor.tracked) {
+    std::shared_ptr<const rt::WorldSnapshot> snap = reg_->acquire(anchor);
+    if (snap) {
+      w.restore(*snap);
+    } else {
+      // Evicted: rebuild by root-anchored deterministic replay — the same
+      // mechanism POR backtrack nodes always use, so eviction cannot
+      // change what any node materializes to. The rebuilt snapshot is
+      // re-installed so one rebuild serves every node on this anchor.
+      std::vector<const SysAction*> prefix(anchor.depth);
+      const PathNode* p = anchor.path;
+      for (std::size_t i = anchor.depth; i-- > 0;) {
+        prefix[i] = &p->action;
+        p = p->parent;
+      }
+      w.restore(*reg_->root_snap());
+      w.clear_violations();
+      for (const SysAction* a : prefix) apply_action(w, *a);
+      w.clear_violations();
+      stats.replayed_actions += anchor.depth;
+      auto t0 = SteadyClock::now();
+      auto fresh =
+          std::make_shared<const rt::WorldSnapshot>(w.snapshot(/*cow=*/true));
+      if (opts_.workers > 1) fresh->share_across_threads();
+      stats.snapshot_ms += ms_since(t0);
+      reg_->install(anchor, std::move(fresh));
+      ++stats.anchor_recomputes;
+      // w already sits at the anchor state; fall through to the suffix.
+    }
+  } else {
+    w.restore(*anchor.snap);
+  }
   if (n.replay_len == 0) return;
   // The path chain stores the route youngest-first; collect the suffix,
   // then re-execute oldest-first. Determinism makes this bit-identical to
@@ -664,6 +861,13 @@ Trail SystemExplorer::trail_of(const PathNode* path) {
 SysExploreResult SystemExplorer::explore() {
   auto t0 = SteadyClock::now();
   SysExploreResult res;
+  // Anchor eviction needs a replay recipe per node, which only trail-mode
+  // graph searches have; snapshot mode ignores the frontier budget.
+  reg_.reset();
+  if (opts_.frontier_budget_bytes > 0 && opts_.trail_frontier &&
+      opts_.order != SearchOrder::kRandomWalk) {
+    reg_ = std::make_unique<AnchorRegistry>(opts_.frontier_budget_bytes);
+  }
   if (opts_.order == SearchOrder::kRandomWalk) {
     res = random_walk();
   } else if (opts_.workers > 1) {
@@ -696,6 +900,21 @@ SysExploreResult SystemExplorer::graph_search() {
   // set stays for every other configuration.
   const bool use_sleepvis = opts_.sleep_sets && opts_.dedup;
   StripedSleepVisited sleepvis;
+  // Budgeted dedup: the Bloom-fronted spill-to-disk set replaces the
+  // in-RAM table. The sleep-signature map is a weakening *map*, not an
+  // insert-only set, so it is not spillable and ignores the budget.
+  const bool use_tier =
+      opts_.dedup && !use_sleepvis && opts_.visited_budget_bytes > 0;
+  ScratchDir spill_scratch;
+  std::unique_ptr<TieredVisitedSet> tiered;
+  if (use_tier) {
+    spill_scratch = ScratchDir::create(opts_.spill_dir, "fixd-spill");
+    tiered = std::make_unique<TieredVisitedSet>(opts_.visited_budget_bytes,
+                                                spill_scratch.path());
+  }
+  auto visited_insert = [&](std::uint64_t h) {
+    return use_tier ? tiered->insert(h) : visited.insert(h);
+  };
   PorState por;
   std::vector<Node> backtracks;
   std::deque<PathNode> arena;  // reachability-graph edges, freed at return
@@ -716,15 +935,18 @@ SysExploreResult SystemExplorer::graph_search() {
   if (!probe_root(res)) return res;
 
   FrontierMeter meter;
+  meter.set_charge_snapshots(reg_ == nullptr);
 
   Node root;
   root.depth = 0;
   {
     auto t0 = SteadyClock::now();
-    root.state = std::make_shared<const rt::WorldSnapshot>(
+    root.state = std::make_shared<Anchor>();
+    root.state->snap = std::make_shared<const rt::WorldSnapshot>(
         scratch_->snapshot(/*cow=*/true));
     res.stats.snapshot_ms += ms_since(t0);
   }
+  if (reg_) reg_->set_root(root.state);
   if (opts_.dedup) {
     const std::uint64_t h =
         timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
@@ -732,7 +954,7 @@ SysExploreResult SystemExplorer::graph_search() {
       std::vector<std::uint64_t> none;  // the root has no sleep set
       sleepvis.visit(h, none);
     } else {
-      visited.insert(h);
+      visited_insert(h);
     }
   }
   if (opts_.por) por.root = root.state;
@@ -756,13 +978,31 @@ SysExploreResult SystemExplorer::graph_search() {
 
   auto finish = [&]() {
     res.stats.peak_frontier_bytes = meter.peak();
+    if (reg_) {
+      // Meter (node shells) + registry (resident anchor snapshots); see
+      // the FrontierMeter comment for why budgeted mode splits these.
+      res.stats.peak_frontier_bytes += reg_->peak_resident();
+      res.stats.anchor_evictions = reg_->evictions();
+    }
     if (opts_.dedup) {
-      res.stats.visited_bytes =
-          use_sleepvis ? sleepvis.bytes() : visited.bytes();
+      if (use_tier) {
+        res.stats.visited_resident_bytes = tiered->resident_bytes();
+        res.stats.visited_peak_resident_bytes = tiered->peak_resident_bytes();
+        res.stats.visited_spilled_bytes = tiered->spilled_bytes();
+        res.stats.spilled_bytes = tiered->spill_bytes_written();
+        res.stats.bloom_fp_rate = tiered->bloom_fp_rate();
+      } else {
+        res.stats.visited_resident_bytes =
+            use_sleepvis ? sleepvis.bytes() : visited.bytes();
+        res.stats.visited_peak_resident_bytes =
+            res.stats.visited_resident_bytes;
+      }
     }
     if (opts_.collect_visited) {
       if (use_sleepvis) {
         res.visited = sleepvis.sorted_contents();
+      } else if (use_tier) {
+        res.visited = tiered->sorted_contents();
       } else {
         visited.for_each(
             [&](std::uint64_t v) { res.visited.push_back(v); });
@@ -809,10 +1049,18 @@ SysExploreResult SystemExplorer::graph_search() {
         (opts_.trail_frontier ? cur.replay_len + 1 >= opts_.anchor_interval
                               : cur.replay_len > 0)) {
       auto t0 = SteadyClock::now();
-      cur.state = std::make_shared<const rt::WorldSnapshot>(
+      auto anchor = std::make_shared<Anchor>();
+      anchor->snap = std::make_shared<const rt::WorldSnapshot>(
           scratch_->snapshot(/*cow=*/true));
-      cur.replay_len = 0;
       res.stats.snapshot_ms += ms_since(t0);
+      if (reg_) {
+        // Evictable: record the root-relative rebuild recipe first.
+        anchor->path = cur.path;
+        anchor->depth = cur.depth;
+        reg_->admit(anchor);
+      }
+      cur.state = std::move(anchor);
+      cur.replay_len = 0;
     }
 
     // Keys and footprints are computed against the pre-state (footprints
@@ -915,7 +1163,7 @@ SysExploreResult SystemExplorer::graph_search() {
             // re-expansion would find nothing to run.
             for (std::uint64_t k : released) por.recs.seed_pending(h, k);
           }
-        } else if (!visited.insert(h)) {
+        } else if (!visited_insert(h)) {
           ++res.stats.duplicates;
           arena.pop_back();  // never published; nothing references it
           continue;
@@ -937,7 +1185,8 @@ SysExploreResult SystemExplorer::graph_search() {
       child.depth = static_cast<std::uint32_t>(depth);
       if (!opts_.trail_frontier) {
         auto t0 = SteadyClock::now();
-        child.state = std::make_shared<const rt::WorldSnapshot>(
+        child.state = std::make_shared<Anchor>();
+        child.state->snap = std::make_shared<const rt::WorldSnapshot>(
             scratch_->snapshot(/*cow=*/true));
         res.stats.snapshot_ms += ms_since(t0);
       } else {
@@ -994,12 +1243,19 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
       (opts_.trail_frontier ? cur.replay_len + 1 >= opts_.anchor_interval
                             : cur.replay_len > 0)) {
     auto t0 = SteadyClock::now();
-    auto anchor = std::make_shared<const rt::WorldSnapshot>(
+    auto snap = std::make_shared<const rt::WorldSnapshot>(
         w.snapshot(/*cow=*/true));
-    anchor->share_across_threads();
+    snap->share_across_threads();
+    stats.snapshot_ms += ms_since(t0);
+    auto anchor = std::make_shared<Anchor>();
+    anchor->snap = std::move(snap);
+    if (reg_) {
+      anchor->path = cur.path;
+      anchor->depth = cur.depth;
+      reg_->admit(anchor);
+    }
     cur.state = std::move(anchor);
     cur.replay_len = 0;
-    stats.snapshot_ms += ms_since(t0);
   }
 
   // Keys and footprints against the pre-state, as in graph_search().
@@ -1115,7 +1371,7 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
           }
           for (std::uint64_t k : released) sh.por.recs.seed_pending(h, k);
         }
-      } else if (!sh.visited.insert(h)) {
+      } else if (!(sh.tiered ? sh.tiered->insert(h) : sh.visited.insert(h))) {
         ++stats.duplicates;
         // The edge (if allocated for the violation trail above) was never
         // published to a frontier node; the Trail copied its actions.
@@ -1143,10 +1399,11 @@ void SystemExplorer::expand(Shared& sh, Worker& me, Node cur) {
     child.depth = static_cast<std::uint32_t>(depth);
     if (!opts_.trail_frontier) {
       auto t0 = SteadyClock::now();
-      child.state = std::make_shared<const rt::WorldSnapshot>(
+      child.state = std::make_shared<Anchor>();
+      child.state->snap = std::make_shared<const rt::WorldSnapshot>(
           w.snapshot(/*cow=*/true));
       // Publish before the push below makes the node stealable.
-      child.state->share_across_threads();
+      child.state->snap->share_across_threads();
       stats.snapshot_ms += ms_since(t0);
     } else {
       child.state = cur.state;
@@ -1254,18 +1511,28 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   auto root_ws = std::make_shared<const rt::WorldSnapshot>(
       scratch_->snapshot(/*cow=*/true));
   root_ws->share_across_threads();
+  auto root_anchor = std::make_shared<Anchor>();
+  root_anchor->snap = root_ws;
+  if (reg_) reg_->set_root(root_anchor);
   const bool use_sleepvis = opts_.sleep_sets && opts_.dedup;
+  if (opts_.dedup && !use_sleepvis && opts_.visited_budget_bytes > 0) {
+    sh.spill_scratch = ScratchDir::create(opts_.spill_dir, "fixd-spill");
+    sh.tiered = std::make_unique<TieredVisitedSet>(
+        opts_.visited_budget_bytes, sh.spill_scratch.path());
+  }
   if (opts_.dedup) {
     const std::uint64_t h =
         timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
     if (use_sleepvis) {
       std::vector<std::uint64_t> none;  // the root has no sleep set
       sh.sleepvis.visit(h, none);
+    } else if (sh.tiered) {
+      sh.tiered->insert(h);
     } else {
       sh.visited.insert(h);
     }
   }
-  if (opts_.por) sh.por.root = root_ws;
+  if (opts_.por) sh.por.root = root_anchor;
   sh.states.store(res.stats.states);  // the probed root
   // Root violations count against the budget exactly as in the
   // sequential search.
@@ -1275,13 +1542,14 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
   root.depth = 0;
   // Both modes share the one root snapshot object (snapshot mode nodes
   // are "anchor + zero replay" in the unified representation).
-  root.state = root_ws;
+  root.state = root_anchor;
 
   for (std::size_t i = 0; i < n_workers; ++i) {
     auto wk = std::make_unique<Worker>();
     wk->id = i;
     wk->world = scratch_->clone_from_snapshot(*root_ws);
     if (opts_.install_invariants) opts_.install_invariants(*wk->world);
+    wk->meter.set_charge_snapshots(reg_ == nullptr);
     sh.workers.push_back(std::move(wk));
   }
 
@@ -1319,6 +1587,7 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
     res.stats.digest_ms += wk->stats.digest_ms;
     res.stats.snapshot_ms += wk->stats.snapshot_ms;
     res.stats.replayed_actions += wk->stats.replayed_actions;
+    res.stats.anchor_recomputes += wk->stats.anchor_recomputes;
     res.stats.steals += wk->stats.steals;
     res.stats.sleep_reexpansions += wk->stats.sleep_reexpansions;
     res.stats.por_deferred += wk->stats.por_deferred;
@@ -1338,13 +1607,29 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
                      if (a.depth != b.depth) return a.depth < b.depth;
                      return a.violation.invariant < b.violation.invariant;
                    });
+  if (reg_) {
+    res.stats.peak_frontier_bytes += reg_->peak_resident();
+    res.stats.anchor_evictions = reg_->evictions();
+  }
   if (opts_.dedup) {
-    res.stats.visited_bytes =
-        use_sleepvis ? sh.sleepvis.bytes() : sh.visited.bytes();
+    if (sh.tiered) {
+      res.stats.visited_resident_bytes = sh.tiered->resident_bytes();
+      res.stats.visited_peak_resident_bytes =
+          sh.tiered->peak_resident_bytes();
+      res.stats.visited_spilled_bytes = sh.tiered->spilled_bytes();
+      res.stats.spilled_bytes = sh.tiered->spill_bytes_written();
+      res.stats.bloom_fp_rate = sh.tiered->bloom_fp_rate();
+    } else {
+      res.stats.visited_resident_bytes =
+          use_sleepvis ? sh.sleepvis.bytes() : sh.visited.bytes();
+      res.stats.visited_peak_resident_bytes =
+          res.stats.visited_resident_bytes;
+    }
   }
   if (opts_.collect_visited) {
-    res.visited = use_sleepvis ? sh.sleepvis.sorted_contents()
-                               : sh.visited.sorted_contents();
+    res.visited = use_sleepvis  ? sh.sleepvis.sorted_contents()
+                  : sh.tiered ? sh.tiered->sorted_contents()
+                              : sh.visited.sorted_contents();
   }
   return res;
 }

@@ -70,7 +70,7 @@ struct ActionFootprint {
 
 struct SysExploreOptions {
   SearchOrder order = SearchOrder::kBfs;
-  std::size_t max_states = 200000;
+  std::size_t max_states = kDefaultSysMaxStates;
   std::size_t max_depth = 10000;
   std::size_t max_violations = 1;
   std::uint64_t seed = 42;
@@ -193,6 +193,31 @@ struct SysExploreOptions {
   /// states a dedup'd exhaustive search visits.
   std::size_t workers = 1;
 
+  /// Beyond-RAM budgets (0 = unbounded, the historical behavior; see
+  /// docs/PERF.md Layer 9 and mc/tiered_visited.hpp).
+  ///
+  /// visited_budget_bytes bounds the *resident* dedup set: half funds a
+  /// Bloom front filter, half the hot exact shards; cold shards spill to
+  /// sorted runs on disk and are probed back on Bloom "maybe"s. Dedup
+  /// semantics stay exact — exactly one path wins each digest — so the
+  /// visited set is identical to the unbounded run's. Applies to graph
+  /// searches with dedup on; the sleep-signature visited map (sleep_sets
+  /// && dedup) is a weakening map, not an insert-only set, and stays
+  /// resident regardless.
+  std::uint64_t visited_budget_bytes = 0;
+  /// frontier_budget_bytes bounds resident trail-mode anchor snapshots: a
+  /// clock evictor drops the WorldSnapshot of cold anchors (the node
+  /// shells, paths, and sleep sets stay), and materialize() rebuilds an
+  /// evicted anchor by root-anchored deterministic replay — the same
+  /// mechanism POR backtrack nodes always use, so eviction is safe by
+  /// construction. Requires trail_frontier; ignored in snapshot mode
+  /// (snapshot-mode nodes have no replay recipe).
+  std::uint64_t frontier_budget_bytes = 0;
+  /// Parent directory for the per-run spill scratch dir (empty = the
+  /// system temp dir). The scratch dir is removed on every exit path,
+  /// including violation-found early returns (RAII; tested).
+  std::string spill_dir;
+
   /// Test hook: return the visited canonical-digest set (sorted) in
   /// SysExploreResult::visited — the differential suites compare parallel
   /// against sequential with this.
@@ -278,7 +303,18 @@ class SystemExplorer {
     std::uint64_t pre_digest = 0;
   };
 
-  /// A frontier node, variant-compressed to 48 bytes: one shared-snapshot
+  /// An anchor: the indirection between frontier nodes and their shared
+  /// WorldSnapshot. In unbudgeted runs it is a thin immutable wrapper
+  /// (snap never changes after construction, read lock-free). Under
+  /// frontier_budget_bytes, tracked trail-mode anchors become *evictable*:
+  /// the AnchorRegistry may drop `snap` (keeping the replay recipe — the
+  /// root-relative path and depth), and materialize() rebuilds it by
+  /// deterministic replay from the pinned root anchor. One Anchor is
+  /// shared by every node hanging off it, so the recipe is paid per
+  /// anchor, not per node, and sizeof(Node) stays 48.
+  struct Anchor;
+
+  /// A frontier node, variant-compressed to 48 bytes: one shared-anchor
   /// field serves both frontier representations (snapshot mode: the
   /// node's exact captured state, replay_len == 0 always; trail mode: the
   /// nearest ancestor anchor plus `replay_len` actions read off the path
@@ -295,7 +331,7 @@ class SystemExplorer {
   struct Node {
     /// Snapshot mode: this node's state. Trail mode: its anchor; a node
     /// with replay_len == 0 *is* its anchor.
-    std::shared_ptr<const rt::WorldSnapshot> state;
+    std::shared_ptr<Anchor> state;
     /// The action path from the investigated root to this node (arena
     /// storage owned by the search that created the node).
     const PathNode* path = nullptr;
@@ -311,11 +347,13 @@ class SystemExplorer {
   };
 
   class FrontierMeter;
+  class AnchorRegistry;
   struct Shared;
   struct Worker;
 
-  /// Bring `w` to `n`'s state: restore its snapshot and (trail mode)
-  /// deterministically re-execute the replay suffix.
+  /// Bring `w` to `n`'s state: restore its anchor snapshot — rebuilding it
+  /// first by root-anchored replay if the registry evicted it — and (trail
+  /// mode) deterministically re-execute the replay suffix.
   void materialize(rt::World& w, const Node& n, ExploreStats& stats) const;
 
   std::vector<SysAction> enabled_actions(const rt::World& w) const;
@@ -383,6 +421,9 @@ class SystemExplorer {
   rt::World& base_;
   SysExploreOptions opts_;
   std::unique_ptr<rt::World> scratch_;
+  /// Anchor residency bookkeeping; non-null only for budgeted trail-mode
+  /// graph searches (created per explore(); defined in sysmodel.cpp).
+  std::unique_ptr<AnchorRegistry> reg_;
 };
 
 }  // namespace fixd::mc

@@ -133,7 +133,7 @@ TEST_P(ParallelDifferential, VisitedSetAndCountsMatchSequential) {
   auto ref = seq.explore();
   ASSERT_FALSE(ref.stats.truncated) << mc.name << ": budget too small";
   ASSERT_GT(ref.stats.states, 1u);
-  EXPECT_GT(ref.stats.visited_bytes, 0u);
+  EXPECT_GT(ref.stats.visited_resident_bytes, 0u);
 
   for (std::size_t workers : {2u, 4u, 8u}) {
     auto par_opts = differential_opts(order, trail, workers);

@@ -3,10 +3,19 @@
 // Micro-benchmarks of the back-end engine: raw state-transition throughput,
 // reachability-graph construction, the cost of each search order, and the
 // price of the dynamic action-set feature (guard re-evaluation with
-// injected actions). google-benchmark binary.
+// injected actions). Plus the daemon-mode rows: RPC round-trip latency
+// (p50/p99) against an in-process fixdd over a unix socket, clean and under
+// the deterministic fault shim, and the checkpoint/resume overhead of
+// sliced investigations. google-benchmark binary.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
+#include "common/io.hpp"
 #include "mc/modeld.hpp"
+#include "svc/client.hpp"
+#include "svc/jobd.hpp"
 
 namespace {
 
@@ -113,6 +122,148 @@ void BM_InvariantCost(benchmark::State& state) {
   state.counters["invariants"] = invariants;
 }
 
+// --- Daemon-mode rows --------------------------------------------------------
+
+// An in-process fixdd on a unix socket; the benchmark talks to it through
+// the real client (framing, CRC, retries) so the measured latency is the
+// end-to-end RPC cost, not a function call.
+struct DaemonBench {
+  explicit DaemonBench(const std::string& shim_spec) {
+    scratch = ScratchDir::create("", "fig7-daemon");
+    svc::DaemonOptions opts;
+    opts.endpoint =
+        svc::Endpoint::parse("unix:" + (scratch.path() / "d.sock").string());
+    opts.state_dir = (scratch.path() / "state").string();
+    opts.shim = svc::FaultShimSpec::parse(shim_spec);
+    opts.worker_threads = 1;
+    daemon = std::make_unique<svc::Daemon>(opts);
+    server = std::thread([this] { daemon->serve(); });
+    // Wait for the listener (serve() binds before accepting).
+    svc::RetryPolicy warm;
+    warm.max_attempts = 50;
+    svc::Client probe(opts.endpoint, warm);
+    svc::Request req;
+    req.request_id = 1;
+    req.kind = svc::RpcKind::kPing;
+    probe.call(req);
+  }
+
+  ~DaemonBench() {
+    daemon->stop();
+    // Nudge the accept loop awake with one last (ignored) connection.
+    try {
+      svc::Client poke(daemon->endpoint(), svc::RetryPolicy{.max_attempts = 1});
+      svc::Request req;
+      req.request_id = 2;
+      req.kind = svc::RpcKind::kPing;
+      poke.call(req);
+    } catch (const FixdError&) {
+    }
+    server.join();
+  }
+
+  ScratchDir scratch;
+  std::unique_ptr<svc::Daemon> daemon;
+  std::thread server;
+};
+
+void report_percentiles(benchmark::State& state, std::vector<double>& us) {
+  if (us.empty()) return;
+  std::sort(us.begin(), us.end());
+  state.counters["p50_us"] = us[us.size() / 2];
+  state.counters["p99_us"] = us[std::min(us.size() - 1, us.size() * 99 / 100)];
+}
+
+// RPC round-trip: ping over the unix socket. Arg 0 = clean transport,
+// arg 1 = fault shim dropping/severing/delaying responses — the retry and
+// backoff machinery is the thing being priced.
+void BM_DaemonRpcLatency(benchmark::State& state) {
+  const bool faulty = state.range(0) != 0;
+  DaemonBench d(faulty ? "drop=0.05,sever=0.05,delay=0.1:1,seed=11" : "");
+  svc::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_ms = 1;
+  policy.rpc_timeout_ms = 200;
+  svc::Client client(d.daemon->endpoint(), policy);
+  std::vector<double> us;
+  std::uint64_t rid = 100;
+  for (auto _ : state) {
+    svc::Request req;
+    req.request_id = ++rid;
+    req.kind = svc::RpcKind::kPing;
+    const auto t0 = std::chrono::steady_clock::now();
+    client.call(req);
+    us.push_back(std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  report_percentiles(state, us);
+  state.SetLabel(faulty ? "shim" : "clean");
+}
+
+// Submit→result over the wire: one complete investigation job per
+// iteration, unique request-ids so the idempotency ledger never
+// short-circuits the work.
+void BM_DaemonSubmitResult(benchmark::State& state) {
+  DaemonBench d("");
+  svc::Client client(d.daemon->endpoint(), svc::RetryPolicy{});
+  const svc::ScenarioRegistry registry = svc::ScenarioRegistry::with_builtins();
+  svc::JobSpec spec;
+  spec.scenario = "two-pc";
+  spec.n = 3;
+  spec.max_states = 4000;
+  spec.checkpoint_states = 0;
+  std::uint64_t rid = 1000;
+  for (auto _ : state) {
+    svc::InvestigationOutcome out =
+        svc::submit_and_wait_or_degrade(client, registry, spec, ++rid);
+    benchmark::DoNotOptimize(out.result.visited_digest);
+    if (out.degraded) state.SkipWithError("degraded: daemon unreachable");
+  }
+}
+
+// Checkpoint/resume overhead: the same investigation run uninterrupted
+// (checkpoint_states = 0) vs sliced every N states with the visited set
+// spilled to a SortedRun and the frontier journaled — the durability tax.
+void BM_CheckpointedInvestigation(benchmark::State& state) {
+  const std::uint64_t every = static_cast<std::uint64_t>(state.range(0));
+  const svc::ScenarioRegistry registry = svc::ScenarioRegistry::with_builtins();
+  const svc::ScenarioFamily* fam = registry.find("two-pc");
+  svc::JobSpec spec;
+  spec.scenario = "two-pc";
+  spec.n = 4;  // 1008 states: big enough that the slice thresholds fire
+  spec.max_states = 20000;
+  spec.max_violations = 100000;  // uncapped: measure the full search
+  spec.checkpoint_states = every;
+  ScratchDir scratch = ScratchDir::create("", "fig7-ckpt");
+  std::uint64_t checkpoints = 0;
+  for (auto _ : state) {
+    svc::JobJournal journal(scratch.path(), 1);
+    std::uint64_t seq = 0;
+    svc::RunCallbacks cb;
+    cb.on_checkpoint = [&](const svc::CheckpointState& ck) {
+      svc::JournalRecord rec;
+      rec.type = svc::JournalRecordType::kCheckpoint;
+      rec.checkpoint_seq = ++seq;
+      rec.visited = journal.write_visited_run(seq, ck.visited);
+      rec.frontier = ck.frontier;
+      rec.stats = ck.stats;
+      rec.violations = ck.violations;
+      journal.append(rec);
+      ++checkpoints;
+      return true;
+    };
+    svc::JobResultMsg r =
+        svc::run_investigation(*fam, spec, nullptr, every > 0 ? cb
+                                                              : svc::RunCallbacks{});
+    benchmark::DoNotOptimize(r.visited_digest);
+  }
+  state.counters["ckpts"] =
+      static_cast<double>(checkpoints / state.iterations());
+  state.SetLabel(every == 0 ? "uninterrupted" : "every " +
+                                                    std::to_string(every));
+}
+
 }  // namespace
 
 BENCHMARK(BM_EngineThroughput)
@@ -138,5 +289,20 @@ BENCHMARK(BM_InjectedActionOverhead)
 
 BENCHMARK(BM_InvariantCost)->Arg(0)->Arg(4)->Arg(16)->Arg(64)->Unit(
     benchmark::kMillisecond);
+
+BENCHMARK(BM_DaemonRpcLatency)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(0.5);
+
+BENCHMARK(BM_DaemonSubmitResult)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+BENCHMARK(BM_CheckpointedInvestigation)
+    ->Arg(0)
+    ->Arg(256)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
 
 BENCHMARK_MAIN();

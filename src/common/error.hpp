@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace fixd {
 
@@ -45,6 +46,33 @@ class UpdateError : public FixdError {
 class ReplayDivergence : public FixdError {
  public:
   explicit ReplayDivergence(const std::string& what) : FixdError(what) {}
+};
+
+/// Raised when a filesystem or socket operation fails (ENOSPC, short
+/// write, rename failure, connection reset...). Carries the errno value
+/// when one applies so callers can branch on the cause — the spill tier
+/// and the job journal treat a full disk differently from a bad path.
+class IoError : public FixdError {
+ public:
+  explicit IoError(const std::string& what, int err = 0)
+      : FixdError(err != 0
+                      ? what + " (" +
+                            std::generic_category().message(err) + ")"
+                      : what),
+        err_(err) {}
+  /// The captured errno, or 0 when the failure had no errno.
+  int error_code() const { return err_; }
+
+ private:
+  int err_ = 0;
+};
+
+/// Raised when an operation exceeds its deadline (RPC calls, retry
+/// budgets, socket reads). Deliberately distinct from IoError: a timeout
+/// is retryable by policy, an IO failure usually is not.
+class TimeoutError : public FixdError {
+ public:
+  explicit TimeoutError(const std::string& what) : FixdError(what) {}
 };
 
 namespace detail {

@@ -8,6 +8,7 @@
 // the engine offers an exact mode that stores full state bytes.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -73,6 +74,33 @@ class Hasher {
 inline std::uint64_t hash_bytes(std::span<const std::byte> bytes,
                                 std::uint64_t seed = 0x46697844ull) {
   return Hasher(seed).update(bytes).digest();
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+///
+/// Distinct in purpose from Hasher: CRC is the *integrity* check on stored
+/// and transmitted frames (the job journal and the service wire codec),
+/// where guaranteed detection of small burst errors matters; Hasher is the
+/// *identity* hash for in-memory state dedup. Chainable: pass the previous
+/// return value as `crc` to continue over a split buffer.
+inline std::uint32_t crc32(std::span<const std::byte> bytes,
+                           std::uint32_t crc = 0) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  crc = ~crc;
+  for (const std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace fixd

@@ -1,6 +1,10 @@
 #include "common/io.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cinttypes>
 #include <cstring>
 #include <random>
@@ -12,6 +16,57 @@
 namespace fixd {
 
 namespace fs = std::filesystem;
+
+namespace io_testing {
+
+namespace {
+// -1 = disarmed; 0 = fail the next checked write; n > 0 = fail after n more.
+std::atomic<int> g_fail_countdown{-1};
+}  // namespace
+
+void fail_after_writes(int n) { g_fail_countdown.store(n); }
+
+bool consume_write_fault() {
+  int cur = g_fail_countdown.load(std::memory_order_relaxed);
+  while (cur >= 0) {
+    if (g_fail_countdown.compare_exchange_weak(cur, cur - 1)) {
+      if (cur == 0) return true;  // this write fails; injector disarms
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace io_testing
+
+namespace io_detail {
+
+void checked_fwrite(const void* data, std::size_t n, std::FILE* f,
+                    const std::filesystem::path& path, const char* what) {
+  if (io_testing::consume_write_fault()) {
+    throw IoError(std::string(what) + ": injected write failure for " +
+                      path.string(),
+                  ENOSPC);
+  }
+  errno = 0;
+  if (std::fwrite(data, 1, n, f) != n) {
+    throw IoError(std::string(what) + ": short write to " + path.string(),
+                  errno);
+  }
+}
+
+void flush_and_sync(std::FILE* f, const std::filesystem::path& path) {
+  errno = 0;
+  if (std::fflush(f) != 0) {
+    throw IoError("flush failed for " + path.string(), errno);
+  }
+  errno = 0;
+  if (::fsync(fileno(f)) != 0) {
+    throw IoError("fsync failed for " + path.string(), errno);
+  }
+}
+
+}  // namespace io_detail
 
 namespace {
 
@@ -33,7 +88,7 @@ std::string hex64(std::uint64_t v) {
 ScratchDir ScratchDir::create(const fs::path& parent, std::string_view prefix) {
   std::error_code ec;
   fs::path base = parent.empty() ? fs::temp_directory_path(ec) : parent;
-  FIXD_CHECK_MSG(!ec, "no usable temp directory: " + ec.message());
+  if (ec) throw IoError("ScratchDir: no usable temp directory", ec.value());
   fs::create_directories(base, ec);  // ok if it already exists
   std::random_device rd;
   std::uint64_t nonce = (std::uint64_t(rd()) << 32) ^ rd();
@@ -47,8 +102,8 @@ ScratchDir ScratchDir::create(const fs::path& parent, std::string_view prefix) {
       return d;
     }
   }
-  throw FixdError("ScratchDir: could not create a unique directory under " +
-                  base.string());
+  throw IoError("ScratchDir: could not create a unique directory under " +
+                base.string());
 }
 
 ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
@@ -74,18 +129,23 @@ SortedRunWriter::SortedRunWriter(fs::path final_path)
     : final_(std::move(final_path)) {
   tmp_ = final_;
   tmp_ += ".tmp";
+  errno = 0;
   f_ = std::fopen(tmp_.string().c_str(), "wb");
-  FIXD_CHECK_MSG(f_ != nullptr, "SortedRunWriter: cannot open " + tmp_.string());
+  if (f_ == nullptr) {
+    throw IoError("SortedRunWriter: cannot open " + tmp_.string(), errno);
+  }
   // Placeholder header; finish() rewrites it with the real count.
   BinaryWriter w;
   w.write_u32(kRunMagic);
   w.write_u32(kRunVersion);
   w.write_u64(0);
-  if (std::fwrite(w.bytes().data(), 1, w.bytes().size(), f_) !=
-      w.bytes().size()) {
+  try {
+    io_detail::checked_fwrite(w.bytes().data(), w.bytes().size(), f_, tmp_,
+                              "SortedRunWriter header");
+  } catch (...) {
     std::fclose(f_);
     f_ = nullptr;
-    throw FixdError("SortedRunWriter: header write failed for " + tmp_.string());
+    throw;
   }
 }
 
@@ -110,10 +170,8 @@ void SortedRunWriter::append(const std::uint64_t* keys, std::size_t n) {
     last_ = keys[i];
     ++count_;
   }
-  if (std::fwrite(w.bytes().data(), 1, w.bytes().size(), f_) !=
-      w.bytes().size()) {
-    throw FixdError("SortedRunWriter: write failed for " + tmp_.string());
-  }
+  io_detail::checked_fwrite(w.bytes().data(), w.bytes().size(), f_, tmp_,
+                            "SortedRunWriter append");
 }
 
 SortedRunWriter::Finished SortedRunWriter::finish() {
@@ -122,21 +180,36 @@ SortedRunWriter::Finished SortedRunWriter::finish() {
   w.write_u32(kRunMagic);
   w.write_u32(kRunVersion);
   w.write_u64(count_);
-  bool ok = std::fseek(f_, 0, SEEK_SET) == 0 &&
-            std::fwrite(w.bytes().data(), 1, w.bytes().size(), f_) ==
-                w.bytes().size() &&
-            std::fflush(f_) == 0;
+  try {
+    errno = 0;
+    if (std::fseek(f_, 0, SEEK_SET) != 0) {
+      throw IoError("SortedRunWriter: seek failed for " + tmp_.string(),
+                    errno);
+    }
+    io_detail::checked_fwrite(w.bytes().data(), w.bytes().size(), f_, tmp_,
+                              "SortedRunWriter finish");
+    errno = 0;
+    if (std::fflush(f_) != 0) {
+      throw IoError("SortedRunWriter: flush failed for " + tmp_.string(),
+                    errno);
+    }
+  } catch (...) {
+    std::fclose(f_);
+    f_ = nullptr;
+    std::error_code rm;
+    fs::remove(tmp_, rm);
+    throw;
+  }
   std::fclose(f_);
   f_ = nullptr;
-  if (!ok) {
-    std::error_code ec;
-    fs::remove(tmp_, ec);
-    throw FixdError("SortedRunWriter: finish failed for " + tmp_.string());
-  }
   std::error_code ec;
   fs::rename(tmp_, final_, ec);
-  FIXD_CHECK_MSG(!ec, "SortedRunWriter: rename to " + final_.string() +
-                          " failed: " + ec.message());
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp_, rm);
+    throw IoError("SortedRunWriter: rename to " + final_.string() + " failed",
+                  ec.value());
+  }
   Finished out;
   out.count = count_;
   out.file_bytes = kRunHeaderBytes + count_ * 8;
@@ -149,8 +222,11 @@ SortedRunWriter::Finished SortedRunWriter::finish() {
 
 SortedRunReader::SortedRunReader(fs::path path, std::vector<std::uint64_t> fence)
     : path_(std::move(path)), fence_(std::move(fence)) {
+  errno = 0;
   f_ = std::fopen(path_.string().c_str(), "rb");
-  FIXD_CHECK_MSG(f_ != nullptr, "SortedRunReader: cannot open " + path_.string());
+  if (f_ == nullptr) {
+    throw IoError("SortedRunReader: cannot open " + path_.string(), errno);
+  }
   std::byte hdr[kRunHeaderBytes];
   if (std::fread(hdr, 1, sizeof(hdr), f_) != sizeof(hdr)) {
     std::fclose(f_);

@@ -28,6 +28,35 @@
 
 namespace fixd {
 
+namespace io_testing {
+
+/// Deterministic IO fault injection for regression tests: after `n` more
+/// successful checked writes, the next one fails as if the device were
+/// full (IoError carrying ENOSPC). Pass a negative value to disable.
+/// Process-global and meant for single-threaded test setup; production
+/// code never calls this.
+void fail_after_writes(int n);
+
+/// True when the injector decides the current write should fail
+/// (and consumes one countdown tick per call while armed).
+bool consume_write_fault();
+
+}  // namespace io_testing
+
+namespace io_detail {
+
+/// fwrite that surfaces short writes and injected faults as IoError
+/// (errno preserved; ENOSPC for injected faults). `what` names the
+/// operation for the error message.
+void checked_fwrite(const void* data, std::size_t n, std::FILE* f,
+                    const std::filesystem::path& path, const char* what);
+
+/// fflush + fsync(fileno(f)); IoError on failure. The journal's
+/// durability point — a crash after this call cannot lose the bytes.
+void flush_and_sync(std::FILE* f, const std::filesystem::path& path);
+
+}  // namespace io_detail
+
 /// A uniquely-named temporary directory removed (recursively) on destruction.
 ///
 /// Move-only. A default-constructed ScratchDir owns nothing; create() makes
@@ -37,7 +66,7 @@ class ScratchDir {
   ScratchDir() = default;
 
   /// Create `<parent>/<prefix>-<random hex>`. An empty `parent` means
-  /// std::filesystem::temp_directory_path(). Throws FixdError on failure.
+  /// std::filesystem::temp_directory_path(). Throws IoError on failure.
   static ScratchDir create(const std::filesystem::path& parent,
                            std::string_view prefix);
 
@@ -67,7 +96,7 @@ inline constexpr std::size_t kSortedRunFenceStride = 512;
 /// and atomically renames the temp file into place.
 class SortedRunWriter {
  public:
-  /// Opens `<final_path>.tmp` for writing. Throws FixdError on failure.
+  /// Opens `<final_path>.tmp` for writing. Throws IoError on failure.
   explicit SortedRunWriter(std::filesystem::path final_path);
   ~SortedRunWriter();
 
@@ -75,7 +104,9 @@ class SortedRunWriter {
   SortedRunWriter& operator=(const SortedRunWriter&) = delete;
 
   /// Append a batch of keys (strictly increasing, and greater than every
-  /// previously appended key). Throws FixdError on unsorted input or IO error.
+  /// previously appended key). Throws FixdError on unsorted input (a
+  /// programming error) and IoError on a failed or short write (ENOSPC,
+  /// torn device...).
   void append(const std::uint64_t* keys, std::size_t n);
 
   struct Finished {

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +22,19 @@ LogLevel& level_ref() {
   return level;
 }
 
-const char* level_name(LogLevel level) {
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_ref() {
+  static LogSink sink;  // empty = stderr default
+  return sink;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -31,14 +44,61 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 LogLevel log_level() { return level_ref(); }
 void set_log_level(LogLevel level) { level_ref() = level; }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu());
+  LogSink prev = std::move(sink_ref());
+  sink_ref() = std::move(sink);
+  return prev;
+}
+
+LogRing::LogRing(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+void LogRing::append(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogRecord rec{next_seq_++, level, msg};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[static_cast<std::size_t>(rec.seq % capacity_)] = std::move(rec);
+  }
+}
+
+std::vector<LogRecord> LogRing::tail(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out(ring_.begin(), ring_.end());
+  std::sort(out.begin(), out.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  if (out.size() > n) out.erase(out.begin(), out.end() - n);
+  return out;
+}
+
+std::uint64_t LogRing::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+LogSink LogRing::sink() {
+  return [this](LogLevel level, const std::string& msg) {
+    append(level, msg);
+    std::fprintf(stderr, "[fixd:%s] %s\n", log_level_name(level), msg.c_str());
+  };
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[fixd:%s] %s\n", level_name(level), msg.c_str());
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu());
+    sink = sink_ref();
+  }
+  if (sink) {
+    sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[fixd:%s] %s\n", log_level_name(level), msg.c_str());
 }
 }  // namespace detail
 

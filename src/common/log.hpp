@@ -4,18 +4,72 @@
 // Scroll (which records the application under test). Default level is Warn
 // so tests and benches stay quiet; set FIXD_LOG=debug|info|warn|error or call
 // set_log_level().
+//
+// The emit path is pluggable: set_log_sink() reroutes records (fixdd
+// installs a LogRing so its own lifecycle history is ingestible by the
+// Scroll/blackbox like any other process — it also still echoes to stderr).
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace fixd {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+const char* log_level_name(LogLevel level);
+
 /// Global level; reads FIXD_LOG on first use.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Receives every record that passes the level filter. Must be callable
+/// from any thread; keep it cheap (it runs inline at the log site).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replace the global sink (nullptr restores the stderr default).
+/// Thread-safe; the previous sink is returned so scoped installs can
+/// restore it.
+LogSink set_log_sink(LogSink sink);
+
+/// A captured record, in arrival order. `seq` is a global monotonically
+/// increasing sequence number (records dropped by ring overwrite leave
+/// visible gaps).
+struct LogRecord {
+  std::uint64_t seq = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string msg;
+};
+
+/// Bounded thread-safe ring of recent log records — the daemon's flight
+/// recorder. Overwrites the oldest record when full; total() keeps
+/// counting so overwrites are detectable.
+class LogRing {
+ public:
+  explicit LogRing(std::size_t capacity);
+
+  void append(LogLevel level, const std::string& msg);
+
+  /// Up to `n` most recent records, oldest first.
+  std::vector<LogRecord> tail(std::size_t n) const;
+
+  /// Records ever appended (>= what tail() can still return).
+  std::uint64_t total() const;
+
+  /// A LogSink that appends to this ring AND echoes to stderr; pass to
+  /// set_log_sink(). The ring must outlive the installation.
+  LogSink sink();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+};
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -1,4 +1,61 @@
-// serialize.hpp is header-only; this translation unit exists so the library
-// has at least one object file and to fail fast if the header is not
-// self-contained.
+// Out-of-line pieces of common/serialize.hpp: the CRC framing shared by
+// the service wire codec and the job journal. (The BinaryWriter/Reader
+// core stays header-only.)
 #include "common/serialize.hpp"
+
+#include <array>
+
+#include "common/hash.hpp"
+
+namespace fixd {
+
+void write_crc_frame(BinaryWriter& w, std::uint32_t magic,
+                     std::span<const std::byte> payload) {
+  w.write_u32(magic);
+  w.write_u32(static_cast<std::uint32_t>(payload.size()));
+  w.write_u32(crc32(payload));
+  w.write_raw(payload);
+}
+
+std::pair<std::uint32_t, std::uint32_t> parse_crc_frame_header(
+    std::span<const std::byte> header, std::uint32_t magic,
+    std::size_t max_payload) {
+  if (header.size() != kCrcFrameHeaderBytes) {
+    throw SerializationError("crc frame: short header (" +
+                             std::to_string(header.size()) + " bytes)");
+  }
+  BinaryReader r(header);
+  const std::uint32_t got_magic = r.read_u32();
+  if (got_magic != magic) {
+    throw SerializationError("crc frame: bad magic 0x" +
+                             std::to_string(got_magic));
+  }
+  const std::uint32_t len = r.read_u32();
+  if (len > max_payload) {
+    throw SerializationError("crc frame: oversize payload (" +
+                             std::to_string(len) + " > " +
+                             std::to_string(max_payload) + " bytes)");
+  }
+  const std::uint32_t crc = r.read_u32();
+  return {len, crc};
+}
+
+void check_crc_payload(std::span<const std::byte> payload,
+                       std::uint32_t expected_crc) {
+  if (crc32(payload) != expected_crc) {
+    throw SerializationError("crc frame: checksum mismatch");
+  }
+}
+
+std::vector<std::byte> read_crc_frame(BinaryReader& r, std::uint32_t magic,
+                                      std::size_t max_payload) {
+  std::array<std::byte, kCrcFrameHeaderBytes> hdr;
+  std::memcpy(hdr.data(), r.read_raw(kCrcFrameHeaderBytes).data(),
+              kCrcFrameHeaderBytes);
+  const auto [len, crc] = parse_crc_frame_header(hdr, magic, max_payload);
+  std::span<const std::byte> payload = r.read_raw(len);
+  check_crc_payload(payload, crc);
+  return std::vector<std::byte>(payload.begin(), payload.end());
+}
+
+}  // namespace fixd

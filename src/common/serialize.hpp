@@ -23,6 +23,7 @@
 #include <string_view>
 #include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -276,5 +277,40 @@ T from_bytes(std::span<const std::byte> bytes) {
   value.load(r);
   return value;
 }
+
+// --- CRC framing ------------------------------------------------------------
+//
+// Length+CRC framing shared by the service wire codec (src/svc/wire.hpp)
+// and the job journal (src/svc/journal.hpp):
+//
+//   [u32 magic][u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// A frame is either read back whole and intact or rejected: bad magic,
+// an oversize length, a truncated payload, and a CRC mismatch all raise
+// SerializationError. A torn tail (partial fsync'd append, severed
+// socket) therefore reads as a clean error, never as garbage data.
+
+inline constexpr std::size_t kCrcFrameHeaderBytes = 12;
+
+/// Appends one CRC frame to `w`.
+void write_crc_frame(BinaryWriter& w, std::uint32_t magic,
+                     std::span<const std::byte> payload);
+
+/// Reads and validates one CRC frame, returning the payload bytes.
+/// `max_payload` bounds the declared length so a corrupt header cannot
+/// trigger a huge allocation. Throws SerializationError on any mismatch.
+std::vector<std::byte> read_crc_frame(BinaryReader& r, std::uint32_t magic,
+                                      std::size_t max_payload);
+
+/// Parses a CRC frame header from exactly kCrcFrameHeaderBytes bytes and
+/// returns {payload_len, expected_crc}. Used by the socket transport,
+/// which must learn the payload length before it can read the payload.
+std::pair<std::uint32_t, std::uint32_t> parse_crc_frame_header(
+    std::span<const std::byte> header, std::uint32_t magic,
+    std::size_t max_payload);
+
+/// Validates a payload read separately from its header (socket path).
+void check_crc_payload(std::span<const std::byte> payload,
+                       std::uint32_t expected_crc);
 
 }  // namespace fixd

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace fixd::core {
 
 namespace {
@@ -139,14 +141,50 @@ BugReport FixdController::handle_fault(std::size_t attempt, FixdReport& rep) {
   // The violation that triggered us must not leak into the explorer's
   // baseline; the rolled-back state is presumed clean.
   world_.clear_violations();
-  mc::SysExploreOptions iopts = opts_.investigate;
-  if (!iopts.install_invariants) {
-    iopts.install_invariants = opts_.install_invariants;
+  bool investigated = false;
+  if (!opts_.investigate_endpoint.empty()) {
+    // Delegate to the fixdd daemon. The request-id is a pure function of
+    // (job seed, fault #, recovery attempt), so if this whole recovery is
+    // re-entered the daemon's idempotency ledger hands back the same job
+    // instead of double-running it. submit_and_wait_or_degrade falls back
+    // to an in-process run of the same job when the daemon stays
+    // unreachable past the client's retry budget.
+    try {
+      svc::Client client(svc::Endpoint::parse(opts_.investigate_endpoint),
+                         opts_.investigate_retry);
+      const svc::ScenarioRegistry registry =
+          svc::ScenarioRegistry::with_builtins();
+      const std::uint64_t rid = hash_combine(
+          hash_combine(0x696e76657374ull ^ opts_.investigate_job.seed,
+                       rep.faults_detected),
+          attempt);
+      svc::InvestigationOutcome out = svc::submit_and_wait_or_degrade(
+          client, registry, opts_.investigate_job, rid);
+      bug.trails = out.result.violations;
+      bug.explore = out.result.stats;
+      if (out.degraded) {
+        bug.investigated_via = "degraded: " + out.degraded_reason;
+        ++rep.investigate_fallbacks;
+      } else {
+        bug.investigated_via = "daemon";
+        ++rep.remote_investigations;
+      }
+      investigated = true;
+    } catch (const TimeoutError& e) {
+      bug.investigated_via = std::string("degraded: ") + e.what();
+      ++rep.investigate_fallbacks;
+    }
   }
-  mc::SystemExplorer explorer(world_, iopts);
-  mc::SysExploreResult res = explorer.explore();
-  bug.trails = res.violations;
-  bug.explore = res.stats;
+  if (!investigated) {
+    mc::SysExploreOptions iopts = opts_.investigate;
+    if (!iopts.install_invariants) {
+      iopts.install_invariants = opts_.install_invariants;
+    }
+    mc::SystemExplorer explorer(world_, iopts);
+    mc::SysExploreResult res = explorer.explore();
+    bug.trails = res.violations;
+    bug.explore = res.stats;
+  }
   rep.phases.investigate_ms += ms_since(t0);
 
   bug.scroll_excerpt = scroll_.render(40);

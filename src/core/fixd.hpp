@@ -45,6 +45,7 @@
 #include "mc/sysmodel.hpp"
 #include "rt/world.hpp"
 #include "scroll/scroll.hpp"
+#include "svc/client.hpp"
 
 namespace fixd::core {
 
@@ -109,6 +110,23 @@ struct FixdOptions {
   /// kDegrade parks the implicated process at its most recent checkpoint,
   /// marks it crashed, and resumes the rest of the system degraded.
   std::size_t degrade_budget = 0;
+
+  /// Remote investigation: when non-empty, the investigate phase is
+  /// delegated to a fixdd daemon at this endpoint ("unix:/path" or
+  /// "tcp:HOST:PORT") — the controller submits `investigate_job` with an
+  /// idempotent request-id derived from (job seed, fault #, attempt), so
+  /// a retried recovery never double-runs the search. If the daemon is
+  /// unreachable after the retry budget the controller falls back to an
+  /// in-process run of the same job and records the degradation in
+  /// BugReport::investigated_via and FixdReport::investigate_fallbacks.
+  /// Empty (the default) keeps the legacy local SystemExplorer path.
+  std::string investigate_endpoint;
+  /// The scenario-addressed job the daemon runs on our behalf. The daemon
+  /// explores a registered scenario family, not this controller's world_;
+  /// the caller is responsible for pointing the spec at the family that
+  /// models the protected application.
+  svc::JobSpec investigate_job;
+  svc::RetryPolicy investigate_retry;
 };
 
 /// Fig. 4 exchange accounting.
@@ -136,6 +154,10 @@ struct BugReport {
   CollectStats collect;
   std::vector<mc::SysViolation> trails;
   mc::ExploreStats explore;
+  /// How the investigation ran: "local" (legacy in-process explorer),
+  /// "daemon" (delegated to fixdd), or "degraded: <reason>" (daemon
+  /// configured but unreachable — ran the job in-process instead).
+  std::string investigated_via = "local";
   std::string scroll_excerpt;
 
   std::string render() const;
@@ -163,6 +185,10 @@ struct FixdReport {
   std::uint64_t scroll_records = 0;
   std::uint64_t scroll_bytes = 0;
   std::uint64_t work_retained_events = 0;  ///< events preserved by rollbacks
+  /// Investigations served by a fixdd daemon vs. fallen back in-process
+  /// (daemon configured but unreachable after the retry budget).
+  std::size_t remote_investigations = 0;
+  std::size_t investigate_fallbacks = 0;
 
   std::string render() const;
 };

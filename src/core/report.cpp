@@ -26,10 +26,10 @@ std::string BugReport::render() const {
   os << "collection: " << collect.control_messages << " control messages, "
      << collect.control_bytes << " bytes, " << collect.checkpoints_collected
      << " checkpoints, " << collect.models_collected << " models\n";
-  os << "investigation: " << explore.states << " states, "
-     << explore.transitions << " transitions, " << trails.size()
-     << " violating trail(s)" << (explore.truncated ? " (budget hit)" : "")
-     << "\n";
+  os << "investigation (" << investigated_via << "): " << explore.states
+     << " states, " << explore.transitions << " transitions, "
+     << trails.size() << " violating trail(s)"
+     << (explore.truncated ? " (budget hit)" : "") << "\n";
   for (std::size_t i = 0; i < trails.size(); ++i) {
     os << "--- trail " << (i + 1) << " (depth " << trails[i].depth
        << "): " << trails[i].violation.to_string() << "\n"
@@ -57,6 +57,10 @@ std::string FixdReport::render() const {
     os << "DEGRADED: quarantined";
     for (ProcessId p : quarantined) os << " p" << p;
     os << "\n";
+  }
+  if (remote_investigations + investigate_fallbacks > 0) {
+    os << "investigations: " << remote_investigations << " via daemon, "
+       << investigate_fallbacks << " degraded in-process\n";
   }
   os << "scroll: " << scroll_records << " records, " << scroll_bytes
      << " bytes\n";

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "mc/guarded.hpp"
 
 namespace fixd::mc {
@@ -107,6 +108,60 @@ struct ExploreStats {
   double states_per_sec() const {
     return wall_ms > 0.0 ? static_cast<double>(states) / wall_ms * 1000.0
                          : 0.0;
+  }
+
+  // Wire form (service job journal / RPC results). Field-by-field in
+  // declaration order; extend both sides together.
+  void save(BinaryWriter& w) const {
+    w.write_u64(states);
+    w.write_u64(transitions);
+    w.write_u64(duplicates);
+    w.write_u64(max_depth);
+    w.write_bool(truncated);
+    w.write_f64(wall_ms);
+    w.write_f64(digest_ms);
+    w.write_f64(snapshot_ms);
+    w.write_u64(peak_frontier_bytes);
+    w.write_u64(peak_frontier_bytes_max_worker);
+    w.write_u64(visited_resident_bytes);
+    w.write_u64(visited_peak_resident_bytes);
+    w.write_u64(visited_spilled_bytes);
+    w.write_u64(spilled_bytes);
+    w.write_f64(bloom_fp_rate);
+    w.write_u64(anchor_evictions);
+    w.write_u64(anchor_recomputes);
+    w.write_u64(replayed_actions);
+    w.write_u64(workers);
+    w.write_u64(steals);
+    w.write_u64(sleep_reexpansions);
+    w.write_u64(por_deferred);
+    w.write_u64(por_backtracks);
+  }
+
+  void load(BinaryReader& r) {
+    states = r.read_u64();
+    transitions = r.read_u64();
+    duplicates = r.read_u64();
+    max_depth = r.read_u64();
+    truncated = r.read_bool();
+    wall_ms = r.read_f64();
+    digest_ms = r.read_f64();
+    snapshot_ms = r.read_f64();
+    peak_frontier_bytes = r.read_u64();
+    peak_frontier_bytes_max_worker = r.read_u64();
+    visited_resident_bytes = r.read_u64();
+    visited_peak_resident_bytes = r.read_u64();
+    visited_spilled_bytes = r.read_u64();
+    spilled_bytes = r.read_u64();
+    bloom_fp_rate = r.read_f64();
+    anchor_evictions = r.read_u64();
+    anchor_recomputes = r.read_u64();
+    replayed_actions = r.read_u64();
+    workers = r.read_u64();
+    steals = r.read_u64();
+    sleep_reexpansions = r.read_u64();
+    por_deferred = r.read_u64();
+    por_backtracks = r.read_u64();
   }
 };
 

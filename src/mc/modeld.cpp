@@ -1,7 +1,10 @@
 // ModelD is header-only (templates); this TU verifies the headers are
-// self-contained and anchors the library.
+// self-contained and anchors the library. The daemonized form of ModelD
+// (investigations as journaled, lease-supervised jobs) lives in src/svc —
+// included here so a stale svc header breaks this anchor TU, not a user.
 #include "mc/modeld.hpp"
 #include "mc/engine.hpp"
 #include "mc/guarded.hpp"
 #include "mc/models.hpp"
 #include "mc/trail.hpp"
+#include "svc/jobd.hpp"

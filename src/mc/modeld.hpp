@@ -16,6 +16,14 @@
 // the Healer's ModelD path) — is exposed as inject_action / retire_action:
 // the action set can be edited between explorations, and the engine picks
 // up the new behaviour.
+//
+// ModelD also runs as a *service*: the fixdd daemon (src/svc/jobd.hpp,
+// tools/fixdd.cpp) hosts investigation jobs over registered scenario
+// families — crash-survivable (fsync'd journal + checkpointed resume),
+// lease-supervised, addressed by idempotent request-ids over the CRC-framed
+// RPC in src/svc/wire.hpp. `fixdctl` is the thin CLI; FixdController can
+// delegate its investigate phase to the daemon via
+// FixdOptions::investigate_endpoint. See docs/SERVICE.md.
 #pragma once
 
 #include <memory>

@@ -345,6 +345,11 @@ struct SystemExplorer::Shared {
   std::atomic<std::uint64_t> violation_count{0};
   std::atomic<std::size_t> active{0};
   std::atomic<bool> stop{false};
+  /// Clean-boundary pause (opts.pause_check): unlike `stop`, workers do
+  /// NOT abandon an in-flight expansion — they finish pushing (or
+  /// deduping) every child, then stop popping and return, leaving the
+  /// un-expanded frontier parked in the worker deques for capture.
+  std::atomic<bool> paused{false};
 
   /// First worker exception, re-thrown on the coordinating thread after
   /// join (an exception escaping a std::thread would terminate).
@@ -858,8 +863,57 @@ Trail SystemExplorer::trail_of(const PathNode* path) {
   return t;
 }
 
+void SystemExplorer::check_pause_resume_options() const {
+  if (!opts_.pause_check && !opts_.capture_frontier &&
+      !opts_.resume_from_checkpoint) {
+    return;
+  }
+  if (opts_.order != SearchOrder::kBfs && opts_.order != SearchOrder::kDfs) {
+    throw ConfigError(
+        "pause/resume: only kBfs/kDfs graph searches are sliceable "
+        "(kPriority/kRandomWalk pop order is not checkpoint-stable)");
+  }
+  if (!opts_.dedup) {
+    throw ConfigError(
+        "pause/resume requires dedup: visited-set identity "
+        "(preseed ∪ reachable-from-frontier) is the resume contract");
+  }
+  if (opts_.sleep_sets || opts_.por) {
+    throw ConfigError(
+        "pause/resume: sleep_sets/por carry traversal-order-sensitive "
+        "state that a checkpoint does not capture");
+  }
+  if (opts_.resume_from_checkpoint && opts_.resume_visited.empty()) {
+    throw ConfigError(
+        "resume_from_checkpoint requires the checkpoint's visited set "
+        "(it must include the root digest)");
+  }
+}
+
+std::vector<SystemExplorer::Node> SystemExplorer::resume_nodes(
+    const std::shared_ptr<Anchor>& root_anchor,
+    std::deque<PathNode>& arena) const {
+  std::vector<Node> out;
+  out.reserve(opts_.resume_frontier.size());
+  for (const Trail& t : opts_.resume_frontier) {
+    const PathNode* parent = nullptr;
+    for (const SysAction& a : t.steps) {
+      arena.push_back({parent, a, ActionFootprint{}, 0});
+      parent = &arena.back();
+    }
+    Node nd;
+    nd.state = root_anchor;
+    nd.path = parent;
+    nd.replay_len = static_cast<std::uint32_t>(t.steps.size());
+    nd.depth = static_cast<std::uint32_t>(t.steps.size());
+    out.push_back(std::move(nd));
+  }
+  return out;
+}
+
 SysExploreResult SystemExplorer::explore() {
   auto t0 = SteadyClock::now();
+  check_pause_resume_options();
   SysExploreResult res;
   // Anchor eviction needs a replay recipe per node, which only trail-mode
   // graph searches have; snapshot mode ignores the frontier budget.
@@ -932,7 +986,9 @@ SysExploreResult SystemExplorer::graph_search() {
   std::vector<HeapEntry> pq;
   std::deque<Node> fifo;
 
-  if (!probe_root(res)) return res;
+  // Resume slices do not re-probe (or re-count) the root: the first slice
+  // already did, and the checkpointed stats accumulate across slices.
+  if (!opts_.resume_from_checkpoint && !probe_root(res)) return res;
 
   FrontierMeter meter;
   meter.set_charge_snapshots(reg_ == nullptr);
@@ -948,13 +1004,20 @@ SysExploreResult SystemExplorer::graph_search() {
   }
   if (reg_) reg_->set_root(root.state);
   if (opts_.dedup) {
-    const std::uint64_t h =
-        timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
-    if (use_sleepvis) {
-      std::vector<std::uint64_t> none;  // the root has no sleep set
-      sleepvis.visit(h, none);
+    if (opts_.resume_from_checkpoint) {
+      // Preseed with the checkpoint's visited set (root digest included);
+      // children re-reaching pre-crash states dedup against it exactly as
+      // the uninterrupted run deduped against its own history.
+      for (std::uint64_t h : opts_.resume_visited) visited_insert(h);
     } else {
-      visited_insert(h);
+      const std::uint64_t h =
+          timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+      if (use_sleepvis) {
+        std::vector<std::uint64_t> none;  // the root has no sleep set
+        sleepvis.visit(h, none);
+      } else {
+        visited_insert(h);
+      }
     }
   }
   if (opts_.por) por.root = root.state;
@@ -969,7 +1032,14 @@ SysExploreResult SystemExplorer::graph_search() {
     }
   };
 
-  {
+  if (opts_.resume_from_checkpoint) {
+    // Re-plant the captured frontier in captured order: push_back then
+    // BFS pop_front / DFS pop_back reproduces the uninterrupted run's pop
+    // sequence exactly.
+    for (Node& nd : resume_nodes(root.state, arena)) {
+      push_frontier(std::move(nd), 0.0);
+    }
+  } else {
     double pri = opts_.order == SearchOrder::kPriority && opts_.priority
                      ? opts_.priority(*scratch_)
                      : 0.0;
@@ -1012,6 +1082,14 @@ SysExploreResult SystemExplorer::graph_search() {
   };
 
   while (true) {
+    // Pause only with work left: a pause on an empty frontier would read
+    // as a resumable checkpoint when the search is in fact complete.
+    if (opts_.pause_check &&
+        !(opts_.order == SearchOrder::kPriority ? pq.empty() : fifo.empty()) &&
+        opts_.pause_check(res.stats)) {
+      res.paused = true;
+      break;
+    }
     Node cur;
     if (opts_.order == SearchOrder::kPriority) {
       if (pq.empty()) break;
@@ -1202,6 +1280,13 @@ SysExploreResult SystemExplorer::graph_search() {
       }
       push_frontier(std::move(child), pri);
     }
+  }
+  if (res.paused && opts_.capture_frontier) {
+    // Front-to-back deque order: resume's push_back sequence restores the
+    // identical pop order for both kBfs (pop_front) and kDfs (pop_back).
+    // Capture happens ONLY at a pause — a budget truncation returns
+    // mid-expansion and would lose the popped node's unexpanded children.
+    for (const Node& nd : fifo) res.frontier.push_back(trail_of(nd.path));
   }
   finish();
   return res;
@@ -1426,6 +1511,22 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
   std::size_t idle_rounds = 0;
   while (true) {
     if (sh.stop.load(std::memory_order_acquire)) return;
+    // Clean-boundary pause: checked BEFORE popping, so a paused worker
+    // parks its remaining frontier untouched (in-flight expansions on
+    // other workers still complete and push their children). pause_check
+    // doubles as the lease heartbeat, so it is polled on idle iterations
+    // too. The probe's `states` is the slice-wide shared total — states
+    // are counted in sh.states, not per worker, and the checkpoint
+    // threshold is defined over the whole slice's progress.
+    if (sh.paused.load(std::memory_order_acquire)) return;
+    if (opts_.pause_check) {
+      ExploreStats probe = me.stats;
+      probe.states = sh.states.load(std::memory_order_relaxed);
+      if (opts_.pause_check(probe)) {
+        sh.paused.store(true, std::memory_order_release);
+        return;
+      }
+    }
     Node cur;
     bool got = false;
     if (opts_.order == SearchOrder::kPriority) {
@@ -1500,7 +1601,7 @@ void SystemExplorer::worker_loop(Shared& sh, Worker& me) {
 
 SysExploreResult SystemExplorer::graph_search_parallel() {
   SysExploreResult res;
-  if (!probe_root(res)) return res;
+  if (!opts_.resume_from_checkpoint && !probe_root(res)) return res;
 
   const std::size_t n_workers = std::max<std::size_t>(1, opts_.workers);
   Shared sh;
@@ -1521,15 +1622,25 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
         opts_.visited_budget_bytes, sh.spill_scratch.path());
   }
   if (opts_.dedup) {
-    const std::uint64_t h =
-        timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
-    if (use_sleepvis) {
-      std::vector<std::uint64_t> none;  // the root has no sleep set
-      sh.sleepvis.visit(h, none);
-    } else if (sh.tiered) {
-      sh.tiered->insert(h);
+    if (opts_.resume_from_checkpoint) {
+      for (std::uint64_t h : opts_.resume_visited) {
+        if (sh.tiered) {
+          sh.tiered->insert(h);
+        } else {
+          sh.visited.insert(h);
+        }
+      }
     } else {
-      sh.visited.insert(h);
+      const std::uint64_t h =
+          timed_mc_digest(*scratch_, res.stats, opts_.abstract_time);
+      if (use_sleepvis) {
+        std::vector<std::uint64_t> none;  // the root has no sleep set
+        sh.sleepvis.visit(h, none);
+      } else if (sh.tiered) {
+        sh.tiered->insert(h);
+      } else {
+        sh.visited.insert(h);
+      }
     }
   }
   if (opts_.por) sh.por.root = root_anchor;
@@ -1553,14 +1664,30 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
     sh.workers.push_back(std::move(wk));
   }
 
-  sh.active.store(1);
-  root.owner = 0;
-  sh.workers[0]->meter.push(root);
-  if (opts_.order == SearchOrder::kPriority) {
-    double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
-    sh.workers[0]->pq.push(pri, std::move(root));
+  if (opts_.resume_from_checkpoint) {
+    // Re-plant the checkpoint frontier round-robin. Path chains go into
+    // worker 0's arena (pre-thread, so single-writer holds); readers
+    // reach them through the frontier-deque mutexes as usual. kPriority
+    // is rejected by check_pause_resume_options, so deques suffice.
+    std::vector<Node> nodes = resume_nodes(root_anchor, sh.workers[0]->arena);
+    sh.active.store(nodes.size());
+    std::size_t wi = 0;
+    for (Node& nd : nodes) {
+      nd.owner = static_cast<std::uint32_t>(wi);
+      sh.workers[wi]->meter.push(nd);
+      sh.workers[wi]->deque.push_back(std::move(nd));
+      wi = (wi + 1) % n_workers;
+    }
   } else {
-    sh.workers[0]->deque.push_back(std::move(root));
+    sh.active.store(1);
+    root.owner = 0;
+    sh.workers[0]->meter.push(root);
+    if (opts_.order == SearchOrder::kPriority) {
+      double pri = opts_.priority ? opts_.priority(*scratch_) : 0.0;
+      sh.workers[0]->pq.push(pri, std::move(root));
+    } else {
+      sh.workers[0]->deque.push_back(std::move(root));
+    }
   }
 
   {
@@ -1630,6 +1757,18 @@ SysExploreResult SystemExplorer::graph_search_parallel() {
     res.visited = use_sleepvis  ? sh.sleepvis.sorted_contents()
                   : sh.tiered ? sh.tiered->sorted_contents()
                               : sh.visited.sorted_contents();
+  }
+  // A pause that raced a hard stop (budget/violation cap) is NOT a clean
+  // boundary — stop abandons in-flight children — so it is not reported
+  // as paused and nothing is captured.
+  res.paused = sh.paused.load() && !sh.stop.load();
+  if (res.paused && opts_.capture_frontier) {
+    for (auto& wk : sh.workers) {
+      Node nd;
+      while (wk->deque.pop_front(nd)) {
+        res.frontier.push_back(trail_of(nd.path));
+      }
+    }
   }
   return res;
 }

@@ -19,6 +19,7 @@
 // (the example apps export exactly such installers).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 
@@ -228,6 +229,48 @@ struct SysExploreOptions {
 
   /// Registers invariants (and anything else detection needs) on a world.
   std::function<void(rt::World&)> install_invariants;
+
+  // --- Pause / capture / resume (the service layer's durability hooks) ----
+  //
+  // A dedup'd exhaustive graph search has an order-independent final
+  // visited set: preseed ∪ reachable-from-frontier. That makes a search
+  // *sliceable* — stop at a clean node boundary, capture {visited,
+  // frontier-as-trails}, and a later explorer (even in a fresh process)
+  // resumes to the identical final visited set; sequential BFS/DFS
+  // additionally preserve the exact pop order, so violation trails come
+  // back byte-identical. src/svc/jobd.cpp builds durable, kill -9
+  // survivable investigation jobs on exactly this contract.
+  //
+  // Supported only for graph searches (kBfs/kDfs) with dedup on and
+  // sleep_sets/por off (those carry traversal-order-sensitive extra
+  // state); explore() throws ConfigError otherwise.
+
+  /// Polled once per frontier pop (per worker when workers > 1 — must be
+  /// thread-safe then). The stats it receives carry the slice-wide
+  /// `states` total (shared across workers) with the polling worker's
+  /// other counters, so a `states >= N` threshold means the same thing
+  /// at any worker count. Returning
+  /// true pauses the search at the current clean node boundary:
+  /// in-flight expansions complete (their children are pushed or deduped,
+  /// never dropped), then SysExploreResult::paused is set. Also the
+  /// service heartbeat: jobd's lease supervision feeds off these calls.
+  std::function<bool(const ExploreStats&)> pause_check;
+
+  /// On pause, drain the remaining frontier into SysExploreResult::
+  /// frontier as root-relative trails (deque order, front first, workers
+  /// in id order). Nodes are captured as {action path from the root},
+  /// which is exactly what resume_frontier accepts.
+  bool capture_frontier = false;
+
+  /// Resume a previously paused search instead of starting from the root:
+  /// the root state is NOT re-probed or re-counted, resume_visited
+  /// preseeds the dedup set (it must contain the root digest), and
+  /// resume_frontier's trails are re-planted as root-anchored frontier
+  /// nodes in order. The base world passed to the constructor must be the
+  /// same state the original search started from.
+  bool resume_from_checkpoint = false;
+  std::vector<std::uint64_t> resume_visited;
+  std::vector<Trail> resume_frontier;
 };
 
 struct SysExploreResult {
@@ -235,6 +278,11 @@ struct SysExploreResult {
   std::vector<SysViolation> violations;
   /// Sorted visited canonical digests (only when opts.collect_visited).
   std::vector<std::uint64_t> visited;
+  /// True when pause_check stopped the search at a clean node boundary
+  /// (never set by budget truncation or a filled violation budget).
+  bool paused = false;
+  /// The un-expanded frontier at pause time (only when opts.capture_frontier).
+  std::vector<Trail> frontier;
   bool found_violation() const { return !violations.empty(); }
 };
 
@@ -409,6 +457,16 @@ class SystemExplorer {
                        ExploreStats& stats) const;
 
   static Trail trail_of(const PathNode* path);
+  /// Re-plant checkpoint trails (opts_.resume_frontier) as root-anchored
+  /// frontier nodes, in order: each trail's actions become a PathNode
+  /// chain in `arena`, and the node replays from the root anchor on
+  /// materialize — the same mechanism as POR backtrack nodes, so no new
+  /// replay machinery. The first expansion re-anchors them per the
+  /// standard rules.
+  std::vector<Node> resume_nodes(const std::shared_ptr<Anchor>& root_anchor,
+                                 std::deque<PathNode>& arena) const;
+  /// Validates the pause/capture/resume option contract (ConfigError).
+  void check_pause_resume_options() const;
   /// Probe the investigated state itself (the violation might already
   /// hold); returns false when the violation budget is already exhausted.
   bool probe_root(SysExploreResult& res);

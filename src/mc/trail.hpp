@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "rt/event.hpp"
 #include "rt/invariant.hpp"
 
@@ -61,6 +62,28 @@ struct SysAction {
     }
     return "?";
   }
+
+  void save(BinaryWriter& w) const {
+    w.write_u8(static_cast<std::uint8_t>(kind));
+    event.save(w);
+    w.write_varint(msg);
+    w.write_varint(delay);
+    w.write_u32(src);
+    w.write_u32(dst);
+  }
+
+  void load(BinaryReader& r) {
+    const std::uint8_t k = r.read_u8();
+    if (k > static_cast<std::uint8_t>(Kind::kRestartProcess)) {
+      throw SerializationError("SysAction: bad kind tag " + std::to_string(k));
+    }
+    kind = static_cast<Kind>(k);
+    event.load(r);
+    msg = r.read_varint();
+    delay = r.read_varint();
+    src = r.read_u32();
+    dst = r.read_u32();
+  }
 };
 
 struct Trail {
@@ -75,6 +98,19 @@ struct Trail {
     }
     return out;
   }
+
+  void save(BinaryWriter& w) const {
+    w.write_vector(steps,
+                   [](BinaryWriter& ww, const SysAction& a) { a.save(ww); });
+  }
+
+  void load(BinaryReader& r) {
+    steps = r.read_vector<SysAction>([](BinaryReader& rr) {
+      SysAction a;
+      a.load(rr);
+      return a;
+    });
+  }
 };
 
 /// A violation found by the system explorer, with its trail.
@@ -85,6 +121,18 @@ struct SysViolation {
 
   std::string render() const {
     return violation.to_string() + "\n" + trail.render();
+  }
+
+  void save(BinaryWriter& w) const {
+    violation.save(w);
+    trail.save(w);
+    w.write_varint(depth);
+  }
+
+  void load(BinaryReader& r) {
+    violation.load(r);
+    trail.load(r);
+    depth = static_cast<std::size_t>(r.read_varint());
   }
 };
 

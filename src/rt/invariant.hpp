@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace fixd::rt {
@@ -34,6 +35,24 @@ struct Violation {
                                         : "p" + std::to_string(pid);
     return "[" + invariant + "] " + who + " step=" + std::to_string(step) +
            " t=" + std::to_string(at) + (detail.empty() ? "" : ": " + detail);
+  }
+
+  void save(BinaryWriter& w) const {
+    w.write_string(invariant);
+    w.write_u32(pid);
+    w.write_string(detail);
+    w.write_varint(at);
+    w.write_varint(lamport);
+    w.write_varint(step);
+  }
+
+  void load(BinaryReader& r) {
+    invariant = r.read_string();
+    pid = r.read_u32();
+    detail = r.read_string();
+    at = r.read_varint();
+    lamport = r.read_varint();
+    step = r.read_varint();
   }
 };
 

@@ -1,0 +1,153 @@
+#include "svc/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/hash.hpp"
+
+namespace fixd::svc {
+
+std::uint64_t backoff_ms(const RetryPolicy& p, std::uint32_t attempt) {
+  if (attempt <= 1) return 0;
+  // Exponential: base * 2^(attempt-2), capped.
+  std::uint64_t base = p.base_backoff_ms;
+  for (std::uint32_t i = 2; i < attempt && base < p.max_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, p.max_backoff_ms);
+  // Deterministic jitter in [0.5, 1.5): same (seed, attempt) → same wait,
+  // distinct seeds decorrelate concurrent clients.
+  const std::uint64_t h = hash_combine(p.jitter_seed, attempt);
+  const double factor = 0.5 + static_cast<double>(h >> 11) *
+                                  (1.0 / 9007199254740992.0);  // 2^53
+  return static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+}
+
+Response Client::call(Request req) {
+  const std::uint64_t budget_end = now_ms() + policy_.total_budget_ms;
+  std::string last_error = "no attempts made";
+  last_attempts_ = 0;
+  for (std::uint32_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const std::uint64_t wait = backoff_ms(policy_, attempt);
+    if (wait > 0) {
+      if (now_ms() + wait >= budget_end) break;  // budget would lapse mid-wait
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+    const std::uint64_t deadline =
+        std::min(budget_end, now_ms() + policy_.rpc_timeout_ms);
+    if (now_ms() >= deadline) break;
+    ++last_attempts_;
+    try {
+      // Fresh connection per attempt: abandoning a timed-out attempt
+      // closes its socket, so the daemon's serve loop sees EOF and is
+      // never left waiting on a half-dead peer.
+      Conn conn = connect(ep_, deadline);
+      req.deadline_ms = deadline - now_ms();
+      conn.send_frame(encode_frame(req), deadline);
+      std::optional<std::vector<std::byte>> payload = conn.recv_frame(deadline);
+      if (!payload) {
+        last_error = "connection severed before response";
+        continue;  // shim kSever / daemon died: retry
+      }
+      Response rsp = decode_payload<Response>(*payload);
+      if (rsp.request_id != req.request_id) {
+        last_error = "response for a different request (stale)";
+        continue;
+      }
+      if (rsp.status == RpcStatus::kRetryLater) {
+        last_error = "daemon asked to retry: " + rsp.error;
+        continue;
+      }
+      return rsp;
+    } catch (const TimeoutError& e) {
+      last_error = e.what();  // dropped response / dead daemon: retry
+    } catch (const IoError& e) {
+      last_error = e.what();  // connect refused / reset: retry
+    } catch (const SerializationError& e) {
+      last_error = e.what();  // torn frame (severed mid-frame): retry
+    }
+  }
+  throw TimeoutError("rpc " + std::string(to_string(req.kind)) + " to " +
+                     ep_.to_string() + " failed after " +
+                     std::to_string(last_attempts_) +
+                     " attempts: " + last_error);
+}
+
+InvestigationOutcome submit_and_wait_or_degrade(
+    Client& client, const ScenarioRegistry& registry, const JobSpec& spec,
+    std::uint64_t request_id, std::uint64_t poll_interval_ms,
+    std::uint64_t wait_budget_ms) {
+  InvestigationOutcome out;
+  const auto degrade = [&](const std::string& why) {
+    const ScenarioFamily* fam = registry.find(spec.scenario);
+    if (fam == nullptr) {
+      throw ConfigError("degraded run: unknown scenario '" + spec.scenario +
+                        "'");
+    }
+    // Same runner the daemon uses (no durability callbacks), so a
+    // degraded result is byte-comparable with a daemon result.
+    out.result = run_investigation(*fam, spec, nullptr, RunCallbacks{});
+    out.result.degraded = true;
+    out.degraded = true;
+    out.degraded_reason = why;
+    return out;
+  };
+
+  std::uint64_t job_id = 0;
+  try {
+    Request req;
+    req.request_id = request_id;
+    req.kind = RpcKind::kSubmit;
+    req.spec = spec;
+    Response rsp = client.call(req);
+    if (rsp.status == RpcStatus::kShuttingDown) {
+      return degrade("daemon draining: " + rsp.error);
+    }
+    if (rsp.status != RpcStatus::kOk) {
+      throw ConfigError("submit rejected: " + rsp.error);
+    }
+    job_id = rsp.job_id;
+  } catch (const TimeoutError& e) {
+    return degrade(e.what());
+  }
+
+  const std::uint64_t wait_end = now_ms() + wait_budget_ms;
+  for (;;) {
+    try {
+      Request req;
+      req.request_id = request_id ^ 0x726573756c74ull;  // distinct rpc id
+      req.kind = RpcKind::kResult;
+      req.job_id = job_id;
+      Response rsp = client.call(req);
+      if (rsp.status == RpcStatus::kOk) {
+        out.result = rsp.result;
+        return out;
+      }
+      // kNotFound: still running. Check for a terminal failure so a
+      // failed job surfaces as an error, not an endless poll.
+      Request sreq;
+      sreq.request_id = request_id ^ 0x737461747573ull;
+      sreq.kind = RpcKind::kStatus;
+      sreq.job_id = job_id;
+      Response srsp = client.call(sreq);
+      if (srsp.status == RpcStatus::kOk &&
+          srsp.status_msg.phase == JobPhase::kFailed) {
+        throw ConfigError("job " + std::to_string(job_id) +
+                          " failed: " + srsp.status_msg.error);
+      }
+      if (srsp.status == RpcStatus::kOk &&
+          srsp.status_msg.phase == JobPhase::kCancelled) {
+        throw ConfigError("job " + std::to_string(job_id) + " was cancelled");
+      }
+    } catch (const TimeoutError& e) {
+      return degrade(e.what());
+    }
+    if (now_ms() >= wait_end) {
+      throw TimeoutError("job " + std::to_string(job_id) +
+                         " did not finish within the wait budget");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_interval_ms));
+  }
+}
+
+}  // namespace fixd::svc

@@ -1,0 +1,82 @@
+// fixdd RPC client: deadline + jittered-backoff retries + graceful
+// degradation.
+//
+// Retry contract (docs/SERVICE.md):
+//   * Every attempt gets its own connection and a per-attempt deadline.
+//     A timed-out attempt abandons its connection (the daemon sees EOF),
+//     so a dropped response can never wedge either side.
+//   * Backoff between attempts is exponential with deterministic jitter
+//     — hash_combine(jitter_seed, attempt) mapped to [0.5, 1.5) — so
+//     tests replay exact retry schedules and a thundering herd of
+//     clients with distinct seeds decorrelates.
+//   * A total budget bounds the whole call. Exhausting attempts or the
+//     budget throws TimeoutError — which submit_and_wait_or_degrade
+//     catches to run the investigation in-process instead (graceful
+//     degradation, flagged `degraded`, never an error).
+//   * Safe to retry by design: requests carry the idempotency request_id,
+//     so a retried submit whose first try actually executed returns the
+//     same job (`duplicate=true`) instead of double-running.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "svc/jobd.hpp"
+#include "svc/transport.hpp"
+#include "svc/wire.hpp"
+
+namespace fixd::svc {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;
+  std::uint64_t rpc_timeout_ms = 1000;  ///< per-attempt deadline
+  std::uint64_t base_backoff_ms = 5;
+  std::uint64_t max_backoff_ms = 200;
+  std::uint64_t total_budget_ms = 5000;  ///< whole-call ceiling
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Backoff before attempt `attempt` (1-based; attempt 1 has none).
+/// Deterministic in (policy, attempt). Exposed for tests.
+std::uint64_t backoff_ms(const RetryPolicy& p, std::uint32_t attempt);
+
+class Client {
+ public:
+  Client(Endpoint ep, RetryPolicy policy)
+      : ep_(std::move(ep)), policy_(policy) {}
+
+  /// One RPC with the full retry ladder. Throws TimeoutError when the
+  /// budget/attempts are exhausted without a response.
+  Response call(Request req);
+
+  /// Number of attempts the last call() used (observability/tests).
+  std::uint32_t last_attempts() const { return last_attempts_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+  const Endpoint& endpoint() const { return ep_; }
+
+ private:
+  Endpoint ep_;
+  RetryPolicy policy_;
+  std::uint32_t last_attempts_ = 0;
+};
+
+/// Outcome of the submit→poll→result ladder, degraded or not.
+struct InvestigationOutcome {
+  JobResultMsg result;
+  bool degraded = false;  ///< daemon unreachable; ran in-process
+  std::string degraded_reason;
+};
+
+/// Submit `spec` to the daemon and wait for the result, falling back to an
+/// in-process run (same run_investigation code — results are comparable by
+/// construction) when the daemon is unreachable past the retry budget.
+/// `request_id` is the idempotency token: reusing one never double-runs.
+/// `poll_interval_ms` paces the status/result polling loop.
+InvestigationOutcome submit_and_wait_or_degrade(
+    Client& client, const ScenarioRegistry& registry, const JobSpec& spec,
+    std::uint64_t request_id, std::uint64_t poll_interval_ms = 20,
+    std::uint64_t wait_budget_ms = 60000);
+
+}  // namespace fixd::svc

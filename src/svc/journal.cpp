@@ -1,0 +1,260 @@
+#include "svc/journal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+namespace fixd::svc {
+
+namespace {
+
+std::filesystem::path wal_path(const std::filesystem::path& dir,
+                               std::uint64_t job_id) {
+  return dir / ("job-" + std::to_string(job_id) + ".wal");
+}
+
+std::filesystem::path run_path(const std::filesystem::path& dir,
+                               std::uint64_t job_id, std::uint64_t seq) {
+  return dir / ("job-" + std::to_string(job_id) + "-ckpt-" +
+                std::to_string(seq) + ".run");
+}
+
+}  // namespace
+
+void RunManifest::save(BinaryWriter& w) const {
+  w.write_string(file);
+  w.write_u64(count);
+  w.write_pod_vector(fence);
+}
+
+void RunManifest::load(BinaryReader& r) {
+  file = r.read_string();
+  count = r.read_u64();
+  fence = r.read_pod_vector<std::uint64_t>();
+}
+
+void JournalRecord::save(BinaryWriter& w) const {
+  w.write_u8(static_cast<std::uint8_t>(type));
+  switch (type) {
+    case JournalRecordType::kSubmitted:
+      w.write_u64(request_id);
+      w.write_u64(job_id);
+      spec.save(w);
+      break;
+    case JournalRecordType::kAttemptStarted:
+      w.write_u32(generation);
+      break;
+    case JournalRecordType::kCheckpoint:
+      w.write_u64(checkpoint_seq);
+      visited.save(w);
+      w.write_vector(frontier, [](BinaryWriter& ww, const mc::Trail& t) {
+        t.save(ww);
+      });
+      stats.save(w);
+      w.write_vector(violations,
+                     [](BinaryWriter& ww, const mc::SysViolation& v) {
+                       v.save(ww);
+                     });
+      break;
+    case JournalRecordType::kCompleted:
+      result.save(w);
+      break;
+    case JournalRecordType::kCancelled:
+      break;
+  }
+}
+
+void JournalRecord::load(BinaryReader& r) {
+  const std::uint8_t t = r.read_u8();
+  if (t > static_cast<std::uint8_t>(JournalRecordType::kCancelled)) {
+    throw SerializationError("journal: bad record type " + std::to_string(t));
+  }
+  type = static_cast<JournalRecordType>(t);
+  switch (type) {
+    case JournalRecordType::kSubmitted:
+      request_id = r.read_u64();
+      job_id = r.read_u64();
+      spec.load(r);
+      break;
+    case JournalRecordType::kAttemptStarted:
+      generation = r.read_u32();
+      break;
+    case JournalRecordType::kCheckpoint:
+      checkpoint_seq = r.read_u64();
+      visited.load(r);
+      frontier = r.read_vector<mc::Trail>([](BinaryReader& rr) {
+        mc::Trail tr;
+        tr.load(rr);
+        return tr;
+      });
+      stats.load(r);
+      violations = r.read_vector<mc::SysViolation>([](BinaryReader& rr) {
+        mc::SysViolation v;
+        v.load(rr);
+        return v;
+      });
+      break;
+    case JournalRecordType::kCompleted:
+      result.load(r);
+      break;
+    case JournalRecordType::kCancelled:
+      break;
+  }
+}
+
+JobJournal::JobJournal(std::filesystem::path dir, std::uint64_t job_id)
+    : dir_(std::move(dir)), path_(wal_path(dir_, job_id)), job_id_(job_id) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("journal: create_directories " + dir_.string(), ec.value());
+  }
+  errno = 0;
+  f_ = std::fopen(path_.c_str(), "ab");
+  if (f_ == nullptr) {
+    throw IoError("journal: open " + path_.string(), errno);
+  }
+}
+
+JobJournal::~JobJournal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void JobJournal::append(const JournalRecord& rec) {
+  BinaryWriter payload;
+  rec.save(payload);
+  BinaryWriter frame;
+  write_crc_frame(frame, kJournalMagic, payload.bytes());
+  const auto bytes = frame.bytes();
+  io_detail::checked_fwrite(bytes.data(), bytes.size(), f_, path_,
+                            "journal append");
+  io_detail::flush_and_sync(f_, path_);
+}
+
+RunManifest JobJournal::write_visited_run(
+    std::uint64_t checkpoint_seq, const std::vector<std::uint64_t>& keys) {
+  const std::filesystem::path p = run_path(dir_, job_id_, checkpoint_seq);
+  SortedRunWriter writer(p);
+  if (!keys.empty()) writer.append(keys.data(), keys.size());
+  SortedRunWriter::Finished fin = writer.finish();
+  RunManifest m;
+  m.file = p.filename().string();
+  m.count = fin.count;
+  m.fence = std::move(fin.fence);
+  return m;
+}
+
+std::vector<std::uint64_t> JobJournal::load_visited_run(
+    const RunManifest& m) const {
+  SortedRunReader reader(dir_ / m.file, m.fence);
+  return reader.read_all();
+}
+
+void JobJournal::remove_files(const std::filesystem::path& dir,
+                              std::uint64_t job_id) {
+  std::error_code ec;
+  const std::string stem = "job-" + std::to_string(job_id);
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == stem + ".wal" ||
+        (name.rfind(stem + "-ckpt-", 0) == 0 &&
+         name.size() > 4 && name.substr(name.size() - 4) == ".run")) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::optional<RecoveredJob> recover_job(const std::filesystem::path& dir,
+                                        std::uint64_t job_id) {
+  const std::filesystem::path p = wal_path(dir, job_id);
+  errno = 0;
+  std::FILE* f = std::fopen(p.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+
+  RecoveredJob out;
+  out.job_id = job_id;
+  bool saw_submitted = false;
+  std::set<std::uint64_t> submitted_ids;
+
+  for (;;) {
+    std::array<std::byte, kCrcFrameHeaderBytes> header;
+    const std::size_t got = std::fread(header.data(), 1, header.size(), f);
+    if (got != header.size()) break;  // clean end or torn header: stop
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    try {
+      const auto parsed =
+          parse_crc_frame_header(header, kJournalMagic, kMaxFramePayload);
+      len = parsed.first;
+      crc = parsed.second;
+    } catch (const SerializationError&) {
+      break;  // garbled header: treat as torn tail
+    }
+    std::vector<std::byte> payload(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) {
+      break;  // payload torn mid-frame
+    }
+    JournalRecord rec;
+    try {
+      check_crc_payload(payload, crc);
+      BinaryReader r(payload);
+      rec.load(r);
+    } catch (const SerializationError&) {
+      break;  // CRC mismatch or truncated encoding: torn tail
+    }
+
+    switch (rec.type) {
+      case JournalRecordType::kSubmitted:
+        if (!submitted_ids.insert(rec.request_id).second || saw_submitted) {
+          std::fclose(f);
+          throw SerializationError(
+              "journal: duplicate kSubmitted for request " +
+              std::to_string(rec.request_id) + " in job " +
+              std::to_string(job_id) + " — idempotency ledger violated");
+        }
+        saw_submitted = true;
+        out.request_id = rec.request_id;
+        out.spec = rec.spec;
+        break;
+      case JournalRecordType::kAttemptStarted:
+        ++out.attempts;
+        break;
+      case JournalRecordType::kCheckpoint:
+        out.last_checkpoint = std::move(rec);
+        ++out.checkpoints;
+        break;
+      case JournalRecordType::kCompleted:
+        out.result = std::move(rec.result);
+        break;
+      case JournalRecordType::kCancelled:
+        out.cancelled = true;
+        break;
+    }
+  }
+  std::fclose(f);
+  if (!saw_submitted) return std::nullopt;
+  return out;
+}
+
+std::vector<std::uint64_t> list_journaled_jobs(
+    const std::filesystem::path& dir) {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job-", 0) == 0 &&
+        name.size() > 8 && name.substr(name.size() - 4) == ".wal") {
+      try {
+        out.push_back(std::stoull(name.substr(4, name.size() - 8)));
+      } catch (const std::exception&) {
+        // not ours; skip
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fixd::svc

@@ -1,0 +1,370 @@
+#include "svc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "svc/wire.hpp"
+
+namespace fixd::svc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw IoError("transport: fcntl(O_NONBLOCK)", errno);
+  }
+}
+
+/// Block until fd is ready for `events` or the deadline passes.
+/// Returns false on deadline expiry.
+bool wait_ready(int fd, short events, std::uint64_t deadline) {
+  for (;;) {
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) return false;
+    const std::uint64_t budget = deadline - now;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1,
+                          static_cast<int>(budget > 60000 ? 60000 : budget));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("transport: poll", errno);
+    }
+    if (rc > 0) return true;
+  }
+}
+
+double parse_fraction(const std::string& v, const std::string& spec) {
+  try {
+    const double d = std::stod(v);
+    if (d < 0.0 || d > 1.0) throw std::out_of_range("range");
+    return d;
+  } catch (const std::exception&) {
+    throw ConfigError("fault shim: bad probability '" + v + "' in '" + spec +
+                      "'");
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw ConfigError("endpoint: empty unix path");
+    if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw ConfigError("endpoint: unix path too long: " + ep.path);
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("endpoint: expected tcp:HOST:PORT, got " + spec);
+    }
+    ep.host = rest.substr(0, colon);
+    try {
+      const unsigned long p = std::stoul(rest.substr(colon + 1));
+      if (p > 65535) throw std::out_of_range("port");
+      ep.port = static_cast<std::uint16_t>(p);
+    } catch (const std::exception&) {
+      throw ConfigError("endpoint: bad port in " + spec);
+    }
+    return ep;
+  }
+  throw ConfigError("endpoint: expected unix:/path or tcp:HOST:PORT, got " +
+                    spec);
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+FaultShimSpec FaultShimSpec::parse(const std::string& spec) {
+  FaultShimSpec out;
+  if (spec.empty()) return out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("fault shim: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      out.seed = std::stoull(val);
+    } else if (key == "drop") {
+      out.drop = parse_fraction(val, spec);
+    } else if (key == "sever") {
+      out.sever = parse_fraction(val, spec);
+    } else if (key == "delay") {
+      // delay=P:MS — probability and added latency together.
+      const std::size_t sep = val.find(':');
+      if (sep == std::string::npos) {
+        throw ConfigError("fault shim: delay needs P:MS, got '" + val + "'");
+      }
+      out.delay = parse_fraction(val.substr(0, sep), spec);
+      out.delay_ms = static_cast<std::uint32_t>(std::stoul(val.substr(sep + 1)));
+    } else {
+      throw ConfigError("fault shim: unknown key '" + key + "'");
+    }
+  }
+  if (out.drop + out.sever + out.delay > 1.0) {
+    throw ConfigError("fault shim: drop+sever+delay must be <= 1");
+  }
+  return out;
+}
+
+FaultVerdict FaultShim::next() {
+  const std::uint64_t c = counter_++;
+  const std::uint64_t h = hash_combine(spec_.seed ^ 0x66617573686d31ull, c);
+  // Map to [0,1) and carve the interval: [0,drop) drop, [drop,drop+sever)
+  // sever, [drop+sever,drop+sever+delay) delay, rest clean.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  if (u < spec_.drop) return FaultVerdict::kDrop;
+  if (u < spec_.drop + spec_.sever) return FaultVerdict::kSever;
+  if (u < spec_.drop + spec_.sever + spec_.delay) return FaultVerdict::kDelay;
+  return FaultVerdict::kNone;
+}
+
+Conn::Conn(int fd) : fd_(fd) {
+  if (fd_ >= 0) set_nonblocking(fd_);
+}
+
+Conn::~Conn() { close(); }
+
+Conn::Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::send_frame(const std::vector<std::byte>& frame,
+                      std::uint64_t deadline) {
+  FIXD_CHECK_MSG(valid(), "send_frame on closed connection");
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_ready(fd_, POLLOUT, deadline)) {
+        throw TimeoutError("transport: send deadline exceeded");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw IoError("transport: send", errno);
+  }
+}
+
+bool Conn::read_exact(std::byte* dst, std::size_t n, std::uint64_t deadline,
+                      bool eof_ok_at_start) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::recv(fd_, dst + off, n - off, 0);
+    if (got > 0) {
+      off += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (off == 0 && eof_ok_at_start) return false;
+      throw SerializationError(
+          "transport: connection closed mid-frame (torn frame)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd_, POLLIN, deadline)) {
+        throw TimeoutError("transport: recv deadline exceeded");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // A peer reset at a frame boundary reads the same as a clean close:
+    // the caller treats both as "peer gone".
+    if (off == 0 && eof_ok_at_start && (errno == ECONNRESET)) return false;
+    throw IoError("transport: recv", errno);
+  }
+  return true;
+}
+
+std::optional<std::vector<std::byte>> Conn::recv_frame(std::uint64_t deadline) {
+  FIXD_CHECK_MSG(valid(), "recv_frame on closed connection");
+  std::array<std::byte, kCrcFrameHeaderBytes> header;
+  if (!read_exact(header.data(), header.size(), deadline,
+                  /*eof_ok_at_start=*/true)) {
+    return std::nullopt;
+  }
+  const auto [len, crc] =
+      parse_crc_frame_header(header, kWireMagic, kMaxFramePayload);
+  std::vector<std::byte> payload(len);
+  if (len > 0) {
+    read_exact(payload.data(), payload.size(), deadline,
+               /*eof_ok_at_start=*/false);
+  }
+  check_crc_payload(payload, crc);
+  return payload;
+}
+
+Listener::Listener(const Endpoint& ep) : ep_(ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw IoError("listener: socket(AF_UNIX)", errno);
+    ::unlink(ep.path.c_str());  // stale socket from a crashed daemon
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw IoError("listener: bind " + ep.path, err);
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw IoError("listener: socket(AF_INET)", errno);
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd_);
+      fd_ = -1;
+      throw ConfigError("listener: bad host " + ep.host);
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw IoError("listener: bind " + ep.to_string(), err);
+    }
+    if (ep.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        ep_.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(fd_, 64) < 0) {
+    const int err = errno;
+    close();
+    throw IoError("listener: listen", err);
+  }
+  set_nonblocking(fd_);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (ep_.kind == Endpoint::Kind::kUnix) ::unlink(ep_.path.c_str());
+  }
+}
+
+std::optional<Conn> Listener::accept(std::uint64_t deadline) {
+  FIXD_CHECK_MSG(fd_ >= 0, "accept on closed listener");
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) return Conn(cfd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd_, POLLIN, deadline)) return std::nullopt;
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    throw IoError("listener: accept", errno);
+  }
+}
+
+Conn connect(const Endpoint& ep, std::uint64_t deadline) {
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw IoError("connect: socket(AF_UNIX)", errno);
+    set_nonblocking(fd);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return Conn(fd);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw IoError("connect: socket(AF_INET)", errno);
+    set_nonblocking(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw ConfigError("connect: bad host " + ep.host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return Conn(fd);
+    }
+  }
+  if (errno != EINPROGRESS && errno != EAGAIN) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("connect: " + ep.to_string(), err);
+  }
+  if (!wait_ready(fd, POLLOUT, deadline)) {
+    ::close(fd);
+    throw TimeoutError("connect: deadline exceeded for " + ep.to_string());
+  }
+  int soerr = 0;
+  socklen_t len = sizeof(soerr);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 || soerr != 0) {
+    ::close(fd);
+    throw IoError("connect: " + ep.to_string(),
+                  soerr != 0 ? soerr : errno);
+  }
+  return Conn(fd);
+}
+
+}  // namespace fixd::svc

@@ -1,0 +1,136 @@
+// Socket transport for fixdd: Unix-domain or loopback-TCP endpoints with
+// deadline-bounded frame IO and a deterministic fault shim.
+//
+// Design rules:
+//   * Every blocking operation (connect / accept / read / write) takes an
+//     absolute deadline and is implemented with poll(2) on a non-blocking
+//     fd, so a dead peer costs at most the caller's deadline — never a
+//     hung daemon thread. Deadline expiry throws TimeoutError; the RPC
+//     client catches it and retries with backoff.
+//   * Frames are the CRC frames of common/serialize (wire.hpp magic). A
+//     torn or garbled frame throws SerializationError; clean EOF before
+//     any header byte returns nullopt so "peer closed" is not an error.
+//   * The fault shim is seeded and counts injection points, so a test run
+//     with the same seed sees the same drops/delays/severs — fault testing
+//     without flaky sleeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fixd::svc {
+
+/// Where a daemon listens / a client connects. `unix:/path/sock` or
+/// `tcp:127.0.0.1:PORT` (loopback only; multi-machine is out of scope —
+/// see ROADMAP).
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix = 0, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;             ///< kUnix: socket path
+  std::string host = "127.0.0.1";  ///< kTcp
+  std::uint16_t port = 0;          ///< kTcp (0 = kernel-assigned)
+
+  static Endpoint parse(const std::string& spec);  ///< throws ConfigError
+  std::string to_string() const;
+};
+
+/// Deterministic transport-fault injection. Verdicts are pure functions of
+/// (seed, injection counter): run the same scripted client against the
+/// same seed and the same requests get dropped/delayed/severed.
+struct FaultShimSpec {
+  std::uint64_t seed = 0;
+  double drop = 0.0;        ///< P(server never responds to a request)
+  double sever = 0.0;       ///< P(connection closed instead of responding)
+  double delay = 0.0;       ///< P(response delayed by delay_ms)
+  std::uint32_t delay_ms = 0;
+
+  bool enabled() const { return drop > 0 || sever > 0 || delay > 0; }
+  /// "drop=0.2,sever=0.1,delay=0.3:25,seed=7" (any subset, any order).
+  static FaultShimSpec parse(const std::string& spec);  ///< throws ConfigError
+};
+
+enum class FaultVerdict : std::uint8_t { kNone = 0, kDrop, kSever, kDelay };
+
+class FaultShim {
+ public:
+  explicit FaultShim(FaultShimSpec spec) : spec_(spec) {}
+
+  /// Next injection-point verdict. Thread-compatible: the daemon serve
+  /// loop is the only caller.
+  FaultVerdict next();
+  std::uint32_t delay_ms() const { return spec_.delay_ms; }
+  std::uint64_t decisions() const { return counter_; }
+
+ private:
+  FaultShimSpec spec_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Monotonic clock in ms, for deadlines. (Wall time is never used for
+/// control flow anywhere in the service layer.)
+std::uint64_t now_ms();
+
+/// One connected stream. Move-only; closes on destruction.
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd);
+  ~Conn();
+  Conn(Conn&& other) noexcept;
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write a whole pre-encoded frame. Throws TimeoutError past the
+  /// deadline, IoError on socket failure.
+  void send_frame(const std::vector<std::byte>& frame,
+                  std::uint64_t deadline_ms_abs);
+
+  /// Read one whole frame payload (header validated, CRC checked).
+  /// Returns nullopt on clean EOF at a frame boundary. Throws
+  /// SerializationError on a torn/garbled frame, TimeoutError past the
+  /// deadline, IoError on socket failure.
+  std::optional<std::vector<std::byte>> recv_frame(
+      std::uint64_t deadline_ms_abs);
+
+ private:
+  /// Reads exactly n bytes; false on EOF before the first byte,
+  /// SerializationError on EOF mid-buffer (torn frame).
+  bool read_exact(std::byte* dst, std::size_t n, std::uint64_t deadline,
+                  bool eof_ok_at_start);
+
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  /// Binds and listens; for kUnix unlinks a stale socket file first; for
+  /// kTcp port 0, the kernel-assigned port is readable via endpoint().
+  explicit Listener(const Endpoint& ep);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accept one connection; nullopt if the deadline passes first.
+  std::optional<Conn> accept(std::uint64_t deadline_ms_abs);
+  const Endpoint& endpoint() const { return ep_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint ep_;
+};
+
+/// Connect with a deadline. Throws TimeoutError / IoError.
+Conn connect(const Endpoint& ep, std::uint64_t deadline_ms_abs);
+
+}  // namespace fixd::svc

@@ -1,0 +1,204 @@
+#include "svc/wire.hpp"
+
+namespace fixd::svc {
+
+const char* to_string(RpcKind k) {
+  switch (k) {
+    case RpcKind::kPing:
+      return "ping";
+    case RpcKind::kSubmit:
+      return "submit";
+    case RpcKind::kStatus:
+      return "status";
+    case RpcKind::kCancel:
+      return "cancel";
+    case RpcKind::kResult:
+      return "result";
+    case RpcKind::kTailLog:
+      return "tail-log";
+    case RpcKind::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+const char* to_string(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::kOk:
+      return "ok";
+    case RpcStatus::kNotFound:
+      return "not-found";
+    case RpcStatus::kBadRequest:
+      return "bad-request";
+    case RpcStatus::kRetryLater:
+      return "retry-later";
+    case RpcStatus::kShuttingDown:
+      return "shutting-down";
+    case RpcStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* to_string(JobPhase p) {
+  switch (p) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kDone:
+      return "done";
+    case JobPhase::kFailed:
+      return "failed";
+    case JobPhase::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename E>
+E checked_enum(std::uint8_t raw, E max, const char* what) {
+  if (raw > static_cast<std::uint8_t>(max)) {
+    throw SerializationError(std::string(what) + ": bad tag " +
+                             std::to_string(raw));
+  }
+  return static_cast<E>(raw);
+}
+
+}  // namespace
+
+void JobSpec::save(BinaryWriter& w) const {
+  w.write_string(scenario);
+  w.write_u32(n);
+  w.write_u32(static_cast<std::uint32_t>(version));
+  w.write_u8(static_cast<std::uint8_t>(order));
+  w.write_bool(trail_frontier);
+  w.write_u32(workers);
+  w.write_u64(max_states);
+  w.write_u32(max_depth);
+  w.write_u64(max_violations);
+  w.write_u64(seed);
+  w.write_bool(model_message_loss);
+  w.write_bool(model_message_duplication);
+  w.write_u64(checkpoint_states);
+}
+
+void JobSpec::load(BinaryReader& r) {
+  scenario = r.read_string();
+  n = r.read_u32();
+  version = static_cast<std::int32_t>(r.read_u32());
+  order = checked_enum(r.read_u8(), mc::SearchOrder::kRandomWalk,
+                       "JobSpec.order");
+  trail_frontier = r.read_bool();
+  workers = r.read_u32();
+  max_states = r.read_u64();
+  max_depth = r.read_u32();
+  max_violations = r.read_u64();
+  seed = r.read_u64();
+  model_message_loss = r.read_bool();
+  model_message_duplication = r.read_bool();
+  checkpoint_states = r.read_u64();
+}
+
+void JobStatusMsg::save(BinaryWriter& w) const {
+  w.write_u64(job_id);
+  w.write_u8(static_cast<std::uint8_t>(phase));
+  w.write_u32(attempts);
+  w.write_u64(states);
+  w.write_u64(transitions);
+  w.write_u64(violations);
+  w.write_u64(checkpoints);
+  w.write_bool(resumed);
+  w.write_string(error);
+}
+
+void JobStatusMsg::load(BinaryReader& r) {
+  job_id = r.read_u64();
+  phase = checked_enum(r.read_u8(), JobPhase::kCancelled, "JobStatusMsg.phase");
+  attempts = r.read_u32();
+  states = r.read_u64();
+  transitions = r.read_u64();
+  violations = r.read_u64();
+  checkpoints = r.read_u64();
+  resumed = r.read_bool();
+  error = r.read_string();
+}
+
+void JobResultMsg::save(BinaryWriter& w) const {
+  w.write_u64(job_id);
+  w.write_bool(complete);
+  w.write_bool(degraded);
+  w.write_bool(resumed);
+  w.write_u32(attempts);
+  stats.save(w);
+  w.write_vector(violations, [](BinaryWriter& ww, const mc::SysViolation& v) {
+    v.save(ww);
+  });
+  w.write_u64(visited_count);
+  w.write_u64(visited_digest);
+  w.write_u64(trail_digest);
+}
+
+void JobResultMsg::load(BinaryReader& r) {
+  job_id = r.read_u64();
+  complete = r.read_bool();
+  degraded = r.read_bool();
+  resumed = r.read_bool();
+  attempts = r.read_u32();
+  stats.load(r);
+  violations = r.read_vector<mc::SysViolation>([](BinaryReader& rr) {
+    mc::SysViolation v;
+    v.load(rr);
+    return v;
+  });
+  visited_count = r.read_u64();
+  visited_digest = r.read_u64();
+  trail_digest = r.read_u64();
+}
+
+void Request::save(BinaryWriter& w) const {
+  w.write_u64(request_id);
+  w.write_u64(deadline_ms);
+  w.write_u8(static_cast<std::uint8_t>(kind));
+  w.write_u64(job_id);
+  w.write_u64(arg);
+  spec.save(w);
+}
+
+void Request::load(BinaryReader& r) {
+  request_id = r.read_u64();
+  deadline_ms = r.read_u64();
+  kind = checked_enum(r.read_u8(), RpcKind::kShutdown, "Request.kind");
+  job_id = r.read_u64();
+  arg = r.read_u64();
+  spec.load(r);
+}
+
+void Response::save(BinaryWriter& w) const {
+  w.write_u64(request_id);
+  w.write_u8(static_cast<std::uint8_t>(status));
+  w.write_string(error);
+  w.write_u64(job_id);
+  w.write_bool(duplicate);
+  status_msg.save(w);
+  result.save(w);
+  w.write_vector(log_lines, [](BinaryWriter& ww, const std::string& s) {
+    ww.write_string(s);
+  });
+}
+
+void Response::load(BinaryReader& r) {
+  request_id = r.read_u64();
+  status = checked_enum(r.read_u8(), RpcStatus::kError, "Response.status");
+  error = r.read_string();
+  job_id = r.read_u64();
+  duplicate = r.read_bool();
+  status_msg.load(r);
+  result.load(r);
+  log_lines = r.read_vector<std::string>(
+      [](BinaryReader& rr) { return rr.read_string(); });
+}
+
+}  // namespace fixd::svc

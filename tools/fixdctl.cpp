@@ -1,0 +1,253 @@
+// fixdctl — thin CLI for fixdd.
+//
+// Commands (see docs/SERVICE.md):
+//   fixdctl --endpoint E ping
+//   fixdctl --endpoint E submit [--scenario S] [--n N] [--version V]
+//           [--order bfs|dfs] [--workers W] [--trail-frontier]
+//           [--checkpoint-states N] [--max-states N] [--max-depth N]
+//           [--request-id R]
+//   fixdctl --endpoint E status <job-id>
+//   fixdctl --endpoint E result <job-id>       # waits until terminal
+//   fixdctl --endpoint E cancel <job-id>
+//   fixdctl --endpoint E logs [n]
+//   fixdctl --endpoint E shutdown
+//   fixdctl local <same submit flags>          # in-process, no daemon:
+//       prints the identical digest lines — the CI smoke baseline.
+//
+// `submit` + `result` print digest lines of the form
+//   RESULT job=<id> complete=1 degraded=0 resumed=<r> states=<n>
+//     violations=<v> visited=<count> visited_digest=<hex> trail_digest=<hex>
+// which the crash-restart smoke test compares across daemon restarts.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "svc/client.hpp"
+
+namespace {
+
+using namespace fixd::svc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fixdctl [--endpoint E] [--retries N] [--budget-ms N] "
+               "<ping|submit|status|result|cancel|logs|shutdown|local> ...\n");
+  return 2;
+}
+
+void print_result_line(const JobResultMsg& r) {
+  std::printf("RESULT job=%" PRIu64 " complete=%d degraded=%d resumed=%d "
+              "attempts=%u states=%" PRIu64 " violations=%zu "
+              "visited=%" PRIu64 " visited_digest=%016" PRIx64
+              " trail_digest=%016" PRIx64 "\n",
+              r.job_id, r.complete ? 1 : 0, r.degraded ? 1 : 0,
+              r.resumed ? 1 : 0, r.attempts, r.stats.states,
+              r.violations.size(), r.visited_count, r.visited_digest,
+              r.trail_digest);
+}
+
+JobSpec parse_spec(int argc, char** argv, int& i) {
+  JobSpec spec;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw fixd::ConfigError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      spec.scenario = next();
+    } else if (arg == "--n") {
+      spec.n = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--version") {
+      spec.version = std::stoi(next());
+    } else if (arg == "--order") {
+      const std::string v = next();
+      if (v == "bfs") {
+        spec.order = fixd::mc::SearchOrder::kBfs;
+      } else if (v == "dfs") {
+        spec.order = fixd::mc::SearchOrder::kDfs;
+      } else {
+        throw fixd::ConfigError("bad --order " + v + " (bfs|dfs)");
+      }
+    } else if (arg == "--workers") {
+      spec.workers = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--trail-frontier") {
+      spec.trail_frontier = true;
+    } else if (arg == "--checkpoint-states") {
+      spec.checkpoint_states = std::stoull(next());
+    } else if (arg == "--max-states") {
+      spec.max_states = std::stoull(next());
+    } else if (arg == "--max-depth") {
+      spec.max_depth = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--max-violations") {
+      spec.max_violations = std::stoull(next());
+    } else if (arg == "--seed") {
+      spec.seed = std::stoull(next());
+    } else if (arg == "--model-loss") {
+      spec.model_message_loss = true;
+    } else if (arg == "--model-dup") {
+      spec.model_message_duplication = true;
+    } else {
+      throw fixd::ConfigError("unknown submit flag " + arg);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint_spec = "unix:/tmp/fixdd.sock";
+  RetryPolicy policy;
+  std::uint64_t request_id = 0;
+  std::uint64_t wait_budget_ms = 120000;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--endpoint" && i + 1 < argc) {
+      endpoint_spec = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      policy.max_attempts = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--budget-ms" && i + 1 < argc) {
+      policy.total_budget_ms = std::stoull(argv[++i]);
+    } else if (arg == "--rpc-timeout-ms" && i + 1 < argc) {
+      policy.rpc_timeout_ms = std::stoull(argv[++i]);
+    } else if (arg == "--request-id" && i + 1 < argc) {
+      request_id = std::stoull(argv[++i]);
+    } else if (arg == "--wait-budget-ms" && i + 1 < argc) {
+      wait_budget_ms = std::stoull(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return usage();
+  const std::string cmd = argv[i++];
+
+  try {
+    if (cmd == "local") {
+      // Degraded-mode baseline: run in-process through the exact runner
+      // the daemon uses; digests are comparable by construction.
+      JobSpec spec = parse_spec(argc, argv, i);
+      const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
+      const ScenarioFamily* fam = registry.find(spec.scenario);
+      if (fam == nullptr) {
+        throw fixd::ConfigError("unknown scenario " + spec.scenario);
+      }
+      JobResultMsg r = run_investigation(*fam, spec, nullptr, RunCallbacks{});
+      print_result_line(r);
+      return 0;
+    }
+
+    Client client(Endpoint::parse(endpoint_spec), policy);
+    if (cmd == "ping") {
+      Request req;
+      req.request_id = request_id != 0 ? request_id : now_ms();
+      req.kind = RpcKind::kPing;
+      client.call(req);
+      std::printf("PONG attempts=%u\n", client.last_attempts());
+      return 0;
+    }
+    if (cmd == "submit") {
+      JobSpec spec = parse_spec(argc, argv, i);
+      if (request_id == 0) request_id = now_ms();
+      Request req;
+      req.request_id = request_id;
+      req.kind = RpcKind::kSubmit;
+      req.spec = spec;
+      Response rsp = client.call(req);
+      if (rsp.status != RpcStatus::kOk) {
+        std::fprintf(stderr, "fixdctl: submit: %s (%s)\n",
+                     to_string(rsp.status), rsp.error.c_str());
+        return 1;
+      }
+      std::printf("SUBMITTED job=%" PRIu64 " request=%" PRIu64
+                  " duplicate=%d\n",
+                  rsp.job_id, request_id, rsp.duplicate ? 1 : 0);
+      return 0;
+    }
+    if (cmd == "status" || cmd == "result" || cmd == "cancel") {
+      if (i >= argc) return usage();
+      const std::uint64_t job_id = std::stoull(argv[i]);
+      Request req;
+      req.request_id = now_ms() ^ job_id;
+      req.job_id = job_id;
+      if (cmd == "status") {
+        req.kind = RpcKind::kStatus;
+        Response rsp = client.call(req);
+        if (rsp.status != RpcStatus::kOk) {
+          std::fprintf(stderr, "fixdctl: %s\n", rsp.error.c_str());
+          return 1;
+        }
+        const JobStatusMsg& s = rsp.status_msg;
+        std::printf("STATUS job=%" PRIu64 " phase=%s attempts=%u states=%" PRIu64
+                    " violations=%" PRIu64 " checkpoints=%" PRIu64
+                    " resumed=%d%s%s\n",
+                    s.job_id, to_string(s.phase), s.attempts, s.states,
+                    s.violations, s.checkpoints, s.resumed ? 1 : 0,
+                    s.error.empty() ? "" : " error=",
+                    s.error.empty() ? "" : s.error.c_str());
+        return 0;
+      }
+      if (cmd == "cancel") {
+        req.kind = RpcKind::kCancel;
+        Response rsp = client.call(req);
+        if (rsp.status != RpcStatus::kOk) {
+          std::fprintf(stderr, "fixdctl: %s\n", rsp.error.c_str());
+          return 1;
+        }
+        std::printf("CANCELLED job=%" PRIu64 "\n", job_id);
+        return 0;
+      }
+      // result: poll until terminal (or wait budget lapses).
+      const std::uint64_t wait_end = now_ms() + wait_budget_ms;
+      for (;;) {
+        req.kind = RpcKind::kResult;
+        req.request_id = now_ms() ^ job_id;
+        Response rsp = client.call(req);
+        if (rsp.status == RpcStatus::kOk) {
+          print_result_line(rsp.result);
+          return 0;
+        }
+        if (rsp.status != RpcStatus::kNotFound) {
+          std::fprintf(stderr, "fixdctl: %s\n", rsp.error.c_str());
+          return 1;
+        }
+        if (now_ms() >= wait_end) {
+          std::fprintf(stderr, "fixdctl: job %" PRIu64 " not terminal in time\n",
+                       job_id);
+          return 1;
+        }
+        struct timespec ts = {0, 50 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+      }
+    }
+    if (cmd == "logs") {
+      Request req;
+      req.request_id = now_ms();
+      req.kind = RpcKind::kTailLog;
+      req.arg = i < argc ? std::stoull(argv[i]) : 0;
+      Response rsp = client.call(req);
+      for (const std::string& line : rsp.log_lines) {
+        std::printf("%s\n", line.c_str());
+      }
+      return 0;
+    }
+    if (cmd == "shutdown") {
+      Request req;
+      req.request_id = now_ms();
+      req.kind = RpcKind::kShutdown;
+      client.call(req);
+      std::printf("SHUTDOWN acknowledged\n");
+      return 0;
+    }
+    return usage();
+  } catch (const fixd::TimeoutError& e) {
+    std::fprintf(stderr, "fixdctl: unreachable: %s\n", e.what());
+    return 3;  // distinct exit code: scripts distinguish "down" from "error"
+  } catch (const fixd::FixdError& e) {
+    std::fprintf(stderr, "fixdctl: %s\n", e.what());
+    return 1;
+  }
+}

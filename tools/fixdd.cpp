@@ -1,0 +1,103 @@
+// fixdd — the FixD investigation daemon.
+//
+// Long-running service hosting investigation jobs over registered scenario
+// families, with durable journals, lease supervision, and a deterministic
+// transport fault shim. See docs/SERVICE.md.
+//
+// Usage:
+//   fixdd --endpoint unix:/tmp/fixdd.sock --state-dir /var/lib/fixdd
+//         [--lease-ms 2000] [--workers 2] [--shim drop=0.2,seed=7]
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "svc/jobd.hpp"
+
+namespace {
+
+fixd::svc::Daemon* g_daemon = nullptr;
+
+void handle_term(int) {
+  // SIGTERM = graceful drain. SIGKILL (the crash the journal exists for)
+  // never reaches us, by definition.
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --endpoint <unix:/path|tcp:HOST:PORT> "
+               "--state-dir <dir> [--lease-ms N] [--workers N] "
+               "[--shim SPEC] [--log-capacity N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fixd::svc::DaemonOptions opts;
+  std::string endpoint_spec = "unix:/tmp/fixdd.sock";
+  opts.state_dir = "/tmp/fixdd-state";
+  std::string shim_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--endpoint") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      endpoint_spec = v;
+    } else if (arg == "--state-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.state_dir = v;
+    } else if (arg == "--lease-ms") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.lease_ms = std::stoull(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.worker_threads = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--shim") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      shim_spec = v;
+    } else if (arg == "--log-capacity") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.log_capacity = std::stoul(v);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "fixdd: unknown argument %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    opts.endpoint = fixd::svc::Endpoint::parse(endpoint_spec);
+    opts.shim = fixd::svc::FaultShimSpec::parse(shim_spec);
+    fixd::svc::Daemon daemon(opts);
+    g_daemon = &daemon;
+    std::signal(SIGTERM, handle_term);
+    std::signal(SIGINT, handle_term);
+    // Announce the bound endpoint (tcp port 0 resolves at bind) so
+    // scripts can scrape it.
+    std::printf("fixdd: serving on %s state-dir=%s\n",
+                daemon.endpoint().to_string().c_str(),
+                opts.state_dir.c_str());
+    std::fflush(stdout);
+    daemon.serve();
+    g_daemon = nullptr;
+  } catch (const fixd::FixdError& e) {
+    std::fprintf(stderr, "fixdd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
